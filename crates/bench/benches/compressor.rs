@@ -1,0 +1,39 @@
+//! Bit-plane compressor (BPC) throughput and the storage ablation:
+//! Anda bit-plane storage versus FP16 element storage.
+
+use anda_format::compressor::BitPlaneCompressor;
+use anda_format::{AndaConfig, BfpConfig, BfpTensor};
+use anda_tensor::Rng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_bpc(c: &mut Criterion) {
+    let mut rng = Rng::new(11);
+    let vals: Vec<f32> = (0..8192).map(|_| rng.normal_with(0.0, 4.0)).collect();
+    let mut g = c.benchmark_group("bpc_compress_8192");
+    g.throughput(Throughput::Elements(8192));
+    for m in [4u32, 8, 12, 16] {
+        let bpc = BitPlaneCompressor::new(AndaConfig::hardware(m).unwrap());
+        g.bench_with_input(BenchmarkId::new("serial_aligner", m), &m, |b, _| {
+            b.iter(|| bpc.compress_f32(black_box(&vals)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_bfp_groupsizes(c: &mut Criterion) {
+    let mut rng = Rng::new(12);
+    let vals: Vec<f32> = (0..8192).map(|_| rng.normal_with(0.0, 4.0)).collect();
+    let mut g = c.benchmark_group("bfp_groupsize_ablation_8192");
+    g.throughput(Throughput::Elements(8192));
+    for gs in [8usize, 32, 64, 256] {
+        let cfg = BfpConfig::new(gs, 8).unwrap();
+        g.bench_with_input(BenchmarkId::new("quantize_gs", gs), &gs, |b, _| {
+            b.iter(|| BfpTensor::from_f32_saturating(black_box(&vals), cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bpc, bench_bfp_groupsizes);
+criterion_main!(benches);

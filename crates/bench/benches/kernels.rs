@@ -1,0 +1,95 @@
+//! Kernel-level benchmarks: FP16 reference dot products versus the Anda
+//! bit-serial schedule across mantissa lengths, and full FP-INT GeMMs.
+//!
+//! These quantify the software model's costs; *hardware* performance claims
+//! come from the `anda-sim` crate (the bit-serial schedule is slower in
+//! software — it exists to prove functional equivalence and to model the
+//! APU, not to accelerate host CPUs).
+
+use anda_format::align::align_group;
+use anda_format::bitplane::BitPlaneGroup;
+use anda_format::dot::{dot_f16_int_reference, dot_group_bit_serial, dot_group_reference};
+use anda_format::{AndaConfig, AndaTensor};
+use anda_fp::{RoundingMode, F16};
+use anda_quant::gemm::{gemm_anda, gemm_f16, gemm_fake_quant};
+use anda_quant::{ActivationCodec, IntWeightMatrix, WeightQuantConfig};
+use anda_tensor::{Matrix, Rng};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn group_inputs(seed: u64) -> (Vec<F16>, Vec<i8>) {
+    let mut rng = Rng::new(seed);
+    let acts: Vec<F16> = (0..64)
+        .map(|_| F16::from_f32(rng.normal_with(0.0, 2.0)))
+        .collect();
+    let weights: Vec<i8> = (0..64).map(|_| rng.below(15) as i8 - 7).collect();
+    (acts, weights)
+}
+
+fn bench_group_dot(c: &mut Criterion) {
+    let (acts, weights) = group_inputs(1);
+    let mut g = c.benchmark_group("group_dot_64");
+
+    g.bench_function("fp16_reference", |b| {
+        b.iter(|| dot_f16_int_reference(black_box(&acts), black_box(&weights), 0.01))
+    });
+
+    for m in [4u32, 8, 13, 16] {
+        let aligned = align_group(&acts, m, RoundingMode::Truncate).unwrap();
+        let bp = BitPlaneGroup::from_aligned(&aligned);
+        g.bench_with_input(BenchmarkId::new("integer_reference", m), &m, |b, _| {
+            b.iter(|| dot_group_reference(black_box(&aligned), black_box(&weights)))
+        });
+        g.bench_with_input(BenchmarkId::new("bit_serial", m), &m, |b, _| {
+            b.iter(|| dot_group_bit_serial(black_box(&bp), black_box(&weights)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_conversion(c: &mut Criterion) {
+    let mut rng = Rng::new(2);
+    let vals: Vec<f32> = (0..4096).map(|_| rng.normal_with(0.0, 2.0)).collect();
+    let mut g = c.benchmark_group("anda_conversion_4096");
+    for m in [4u32, 8, 16] {
+        let cfg = AndaConfig::hardware(m).unwrap();
+        g.bench_with_input(BenchmarkId::new("quantize", m), &m, |b, _| {
+            b.iter(|| AndaTensor::from_f32(black_box(&vals), cfg))
+        });
+        let t = AndaTensor::from_f32(&vals, cfg);
+        g.bench_with_input(BenchmarkId::new("dequantize", m), &m, |b, _| {
+            b.iter(|| black_box(&t).to_f32())
+        });
+    }
+    g.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = Rng::new(3);
+    let (m, k, n) = (16, 256, 64);
+    let mut x = Matrix::zeros(m, k);
+    rng.fill_normal(x.as_mut_slice(), 1.0);
+    let mut w = Matrix::zeros(k, n);
+    rng.fill_normal(w.as_mut_slice(), 0.05);
+    let wq = IntWeightMatrix::quantize(&w, WeightQuantConfig::rtn(4, 128));
+
+    let mut g = c.benchmark_group("fp_int_gemm_16x256x64");
+    g.bench_function("fp16_path", |b| {
+        b.iter(|| gemm_f16(black_box(&x), black_box(&wq)))
+    });
+    g.bench_function("fake_quant_anda8", |b| {
+        let codec = ActivationCodec::anda(8);
+        b.iter(|| gemm_fake_quant(black_box(&x), black_box(&wq), &codec))
+    });
+    for mbits in [4u32, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("integer_bit_serial", mbits),
+            &mbits,
+            |b, &mb| b.iter(|| gemm_anda(black_box(&x), black_box(&wq), mb)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_group_dot, bench_conversion, bench_gemm);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Search-algorithm benchmarks: BOPs evaluation cost and full Algorithm 1
+//! runs on a synthetic accuracy landscape (isolating search overhead from
+//! model evaluation).
+
+use anda_llm::modules::PrecisionCombo;
+use anda_llm::zoo::real_model;
+use anda_search::bops::bops_per_token;
+use anda_search::search::{adaptive_precision_search, AccuracyEvaluator, SearchConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+struct SyntheticLandscape {
+    minima: [u32; 4],
+    evals: usize,
+}
+
+impl AccuracyEvaluator for SyntheticLandscape {
+    fn baseline(&mut self) -> f64 {
+        10.0
+    }
+    fn evaluate(&mut self, combo: PrecisionCombo) -> f64 {
+        self.evals += 1;
+        let ok = combo.0.iter().zip(&self.minima).all(|(&m, &min)| m >= min);
+        if ok {
+            10.0
+        } else {
+            20.0
+        }
+    }
+    fn evaluations(&self) -> usize {
+        self.evals
+    }
+}
+
+fn bench_bops(c: &mut Criterion) {
+    let cfg = real_model("OPT-6.7B").unwrap();
+    c.bench_function("bops_per_token", |b| {
+        b.iter(|| bops_per_token(black_box(&cfg), black_box(PrecisionCombo([7, 6, 5, 5]))))
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let cfg = real_model("OPT-6.7B").unwrap();
+    c.bench_function("algorithm1_synthetic_landscape", |b| {
+        b.iter(|| {
+            let mut land = SyntheticLandscape {
+                minima: [7, 6, 6, 5],
+                evals: 0,
+            };
+            adaptive_precision_search(
+                black_box(&cfg),
+                &mut land,
+                &SearchConfig::with_tolerance(0.01),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_bops, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Hardware-simulator benchmarks: per-GeMM and whole-model simulation cost,
+//! plus the Fig. 16-style architecture sweep as a single macro benchmark.
+
+use anda_llm::modules::PrecisionCombo;
+use anda_llm::zoo::{real_model, real_models};
+use anda_sim::arch::Accelerator;
+use anda_sim::engine::simulate_gemm;
+use anda_sim::pe::PeKind;
+use anda_sim::system::{simulate_baseline, simulate_model};
+use anda_sim::workload::Gemm;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_gemm_sim(c: &mut Criterion) {
+    let arch = Accelerator::paper(PeKind::Anda);
+    let g = Gemm {
+        module: anda_llm::modules::ModuleKind::Qkv,
+        m: 2048,
+        k: 5120,
+        n: 15360,
+        count: 40,
+    };
+    c.bench_function("simulate_one_gemm", |b| {
+        b.iter(|| simulate_gemm(black_box(&g), black_box(&arch), 6))
+    });
+}
+
+fn bench_model_sim(c: &mut Criterion) {
+    let cfg = real_model("LLaMA-13B").unwrap();
+    c.bench_function("simulate_llama13b_anda", |b| {
+        b.iter(|| {
+            simulate_model(
+                black_box(&cfg),
+                2048,
+                PeKind::Anda,
+                PrecisionCombo([7, 5, 6, 6]),
+            )
+        })
+    });
+}
+
+fn bench_full_sweep(c: &mut Criterion) {
+    let models = real_models();
+    c.bench_function("fig16_architecture_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for cfg in &models {
+                let base = simulate_baseline(cfg, 2048);
+                for kind in PeKind::ALL {
+                    let m = kind.datapath_mantissa_bits().unwrap_or(6);
+                    let r = simulate_model(cfg, 2048, kind, PrecisionCombo::uniform(m));
+                    acc += r.speedup_vs(&base);
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_gemm_sim, bench_model_sim, bench_full_sweep);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Decode-phase study (§VI extension): generation speed and energy with a
+//! growing KV cache, with and without Anda KV-cache compression.
+//!
+//! The paper's system evaluation covers the compute-bound prefill; decode
+//! is DRAM-bound on weight/KV streaming, which is where the §VI "KV cache
+//! synergy" pays off.
+
+use anda_bench::Table;
+use anda_llm::modules::PrecisionCombo;
+use anda_llm::zoo::real_model;
+use anda_sim::decode::{simulate_decode, simulate_decode_baseline, KvPolicy};
+use anda_sim::pe::PeKind;
+
+fn main() {
+    let cfg = real_model("LLaMA-13B").unwrap();
+    let combo = PrecisionCombo([7, 5, 6, 6]);
+    let n_new = 128;
+
+    println!(
+        "Decode-phase simulation — {} generating {n_new} tokens, Anda combo {combo}\n",
+        cfg.name
+    );
+    let mut table = Table::new(&[
+        "context",
+        "FP-FP ms",
+        "Anda ms (FP16 KV)",
+        "Anda ms (Anda KV)",
+        "speedup",
+        "w/ KV compr.",
+        "energy gain",
+    ]);
+    for context in [1024usize, 2048, 4096, 8192, 16384] {
+        let base = simulate_decode_baseline(&cfg, context, n_new);
+        let anda_fp16kv = simulate_decode(&cfg, context, n_new, PeKind::Anda, combo, KvPolicy::Fp16);
+        let anda_andakv = simulate_decode(
+            &cfg,
+            context,
+            n_new,
+            PeKind::Anda,
+            combo,
+            KvPolicy::Anda { mantissa_bits: 6 },
+        );
+        table.row_owned(vec![
+            context.to_string(),
+            format!("{:.1}", base.time_s * 1e3),
+            format!("{:.1}", anda_fp16kv.time_s * 1e3),
+            format!("{:.1}", anda_andakv.time_s * 1e3),
+            format!("{:.2}x", anda_fp16kv.speedup_vs(&base)),
+            format!("{:.2}x", anda_andakv.speedup_vs(&base)),
+            format!("{:.2}x", anda_andakv.energy_efficiency_vs(&base)),
+        ]);
+    }
+    table.print();
+    println!(
+        "\n(decode is DRAM-bound: gains are smaller than the prefill's 2.4x and grow\n \
+         with context once the Anda KV cache removes the FP16 streaming bottleneck)"
+    );
+}

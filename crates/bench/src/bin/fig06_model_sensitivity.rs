@@ -1,0 +1,52 @@
+//! Fig. 6 — relative accuracy versus preserved mantissa bits across models.
+//!
+//! Paper reference: with group size 64, OPT-2.7B/6.7B/13B/30B tolerate the
+//! removal of 5 mantissa bits within 1% accuracy loss while other models
+//! tolerate 4; differences widen as more bits are removed.
+//!
+//! Usage: `fig06_model_sensitivity [--quick | --models N]`
+
+use anda_bench::runs::{cli_model_limit, Prepared, WINDOW};
+use anda_bench::Table;
+use anda_llm::corpus::corpus;
+use anda_llm::eval::{perplexity, relative_accuracy};
+use anda_llm::modules::{CodecAssignment, PrecisionCombo};
+use anda_llm::zoo::sim_models;
+
+fn main() {
+    let limit = cli_model_limit().unwrap_or(usize::MAX);
+    let spec_list: Vec<_> = sim_models()
+        .into_iter()
+        .filter(|s| s.sim.name != "OPT-125M-sim")
+        .take(limit)
+        .collect();
+    let mantissa_range: Vec<u32> = (4..=13).collect();
+
+    println!("Fig. 6 — relative accuracy vs preserved mantissa bits (GS=64, wikitext2-sim)\n");
+    let mut headers = vec!["model".to_string()];
+    headers.extend(mantissa_range.iter().map(|m| format!("M={m}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    for spec in spec_list {
+        let prep = Prepared::new(spec.clone(), corpus("wikitext2-sim").unwrap());
+        let quant = &prep.quant_model;
+        let data = &prep.data;
+        let base = perplexity(quant, &CodecAssignment::fp16(), &data.validation, WINDOW);
+        let mut cells = vec![spec.real.name.clone()];
+        for &m in &mantissa_range {
+            let ppl = perplexity(
+                quant,
+                &CodecAssignment::from_combo(PrecisionCombo::uniform(m)),
+                &data.validation,
+                WINDOW,
+            );
+            cells.push(format!("{:.2}%", 100.0 * relative_accuracy(base, ppl)));
+        }
+        table.row_owned(cells);
+    }
+    table.print();
+    println!(
+        "\n(paper: curves stay above 99% down to M≈8–9, then fall; OPT more tolerant than LLaMA)"
+    );
+}

@@ -1,0 +1,79 @@
+//! Fig. 9 companion — search efficiency versus brute force.
+//!
+//! The paper contrasts Algorithm 1's ~10 iterations with the >10,000-point
+//! brute-force space. Here a first-order surrogate of the accuracy
+//! landscape is fitted from per-module sweeps (41 forward passes), the full
+//! 10⁴ space is enumerated on the surrogate, and the search's pick is
+//! compared against the exhaustive optimum.
+
+use anda_bench::runs::{Prepared, WINDOW};
+use anda_bench::Table;
+use anda_llm::corpus::corpus;
+use anda_llm::zoo::opt_125m_sim;
+use anda_search::bops::bops_per_token;
+use anda_search::search::{adaptive_precision_search, SearchConfig};
+use anda_search::surrogate::{SurrogateEvaluator, SurrogateLandscape};
+
+fn main() {
+    let prep = Prepared::new(opt_125m_sim(), corpus("wikitext2-sim").expect("corpus"));
+    println!("Fig. 9 companion — Algorithm 1 vs brute force on OPT-125M-sim\n");
+
+    let land = SurrogateLandscape::fit(
+        &prep.quant_model,
+        &prep.data.calibration,
+        WINDOW,
+        (4, 13),
+    );
+    println!(
+        "surrogate fitted from {} forward passes (baseline ppl {:.3})\n",
+        land.fit_cost(),
+        land.baseline_ppl()
+    );
+
+    let mut table = Table::new(&[
+        "tolerance",
+        "search combo",
+        "iters",
+        "brute-force combo",
+        "points",
+        "BOPs gap",
+    ]);
+    for tol in [0.001f64, 0.01, 0.05] {
+        let (brute, examined) = land.brute_force_optimum(&prep.spec.sim, tol);
+        let mut ev = SurrogateEvaluator::new(&land);
+        let mut scfg = SearchConfig::with_tolerance(tol);
+        scfg.max_iterations = 32;
+        let out = adaptive_precision_search(&prep.spec.sim, &mut ev, &scfg);
+
+        let (search_str, gap) = match (out.best, brute) {
+            (Some(s), Some(b)) => (
+                s.to_string(),
+                format!(
+                    "{:.3}x",
+                    bops_per_token(&prep.spec.sim, s) as f64
+                        / bops_per_token(&prep.spec.sim, b) as f64
+                ),
+            ),
+            (None, None) => ("infeasible".into(), "--".into()),
+            (s, _) => (
+                s.map(|c| c.to_string()).unwrap_or_else(|| "none".into()),
+                "?".into(),
+            ),
+        };
+        table.row_owned(vec![
+            format!("{:.1}%", 100.0 * tol),
+            search_str,
+            out.trace.len().to_string(),
+            brute
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "infeasible".into()),
+            examined.to_string(),
+            gap,
+        ]);
+    }
+    table.print();
+    println!(
+        "\n(paper: the search reaches the brute-force optimum's neighbourhood in ~10\n \
+         of 10,000+ points; ~2x faster than Omniquant and ~10x faster than GPTQ deployment)"
+    );
+}

@@ -1,0 +1,83 @@
+//! Fig. 9 — trace of the adaptive precision combination search on the
+//! OPT-125M model under a 1% accuracy-loss constraint.
+//!
+//! Paper reference: the search walks the uniform ladder `[4,4,4,4]` →
+//! `[7,7,7,7]`, then refines to mixed combinations, identifying `[7,7,6,5]`
+//! within 10 iterations out of a >10,000-point space.
+
+use anda_bench::runs::{Prepared, WINDOW};
+use anda_bench::Table;
+use anda_llm::corpus::corpus;
+use anda_llm::eval::perplexity;
+use anda_llm::modules::CodecAssignment;
+use anda_llm::zoo::opt_125m_sim;
+use anda_search::bops::{bops_per_token, uniform_bops_saving};
+use anda_search::search::{adaptive_precision_search, PplEvaluator, SearchConfig};
+
+fn main() {
+    let prep = Prepared::new(opt_125m_sim(), corpus("wikitext2-sim").expect("corpus"));
+    let mut evaluator = PplEvaluator::new(&prep.quant_model, &prep.data.calibration, WINDOW);
+    let outcome = adaptive_precision_search(
+        &prep.spec.sim,
+        &mut evaluator,
+        &SearchConfig::with_tolerance(0.01),
+    );
+
+    println!("Fig. 9 — adaptive precision search on OPT-125M-sim (δ = 1%)\n");
+    // Normalize BOPs to FIGNA (M=13 everywhere), as in the figure's x-axis.
+    let figna_bops = bops_per_token(
+        &prep.spec.sim,
+        anda_llm::modules::PrecisionCombo::uniform(13),
+    ) as f64;
+
+    let mut table = Table::new(&["#", "combo", "BOPs/FIGNA", "rel.acc", "best after"]);
+    for step in &outcome.trace {
+        table.row_owned(vec![
+            format!("{}", step.iteration),
+            step.combo.to_string(),
+            format!("{:.3}", step.bops as f64 / figna_bops),
+            format!(
+                "{:.2}%",
+                100.0 * (1.0 - (step.ppl - outcome.baseline_ppl) / outcome.baseline_ppl)
+            ),
+            step.best_after
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "None".into()),
+        ]);
+    }
+    table.print();
+
+    match outcome.best {
+        Some(best) => {
+            println!(
+                "\nbest combination: {best} after {} iterations",
+                outcome.trace.len()
+            );
+            println!(
+                "BOPs saving vs FP16: {:.2}x (FIGNA achieves {:.2}x)",
+                outcome.bops_saving(&prep.spec.sim).unwrap(),
+                uniform_bops_saving(13),
+            );
+            // Confirm on the validation split.
+            let val_base = perplexity(
+                &prep.quant_model,
+                &CodecAssignment::fp16(),
+                &prep.data.validation,
+                WINDOW,
+            );
+            let val_ppl = perplexity(
+                &prep.quant_model,
+                &CodecAssignment::from_combo(best),
+                &prep.data.validation,
+                WINDOW,
+            );
+            println!(
+                "validation check: baseline ppl {val_base:.3}, {best} ppl {val_ppl:.3} \
+                 ({:+.2}% loss)",
+                100.0 * (val_ppl - val_base) / val_base
+            );
+        }
+        None => println!("\nno combination satisfied the tolerance"),
+    }
+    println!("(paper: finds [7,7,6,5] in 10 iterations under 1% loss)");
+}

@@ -1,0 +1,40 @@
+//! Fig. 14 — best precision combinations `[M_qkv, M_o, M_u, M_d]` found by
+//! the adaptive search for every model, corpus and tolerance.
+//!
+//! Paper reference: A_qkv prefers the highest precision; A_u/A_d (especially
+//! A_d in OPT models) tolerate the most aggressive quantization; 1% combos
+//! sit 1–3 bits below 0.1% combos.
+//!
+//! Usage: `fig14_precision_combos [--quick | --models N]`
+
+use anda_bench::runs::{cli_model_limit, prepare_all};
+use anda_bench::Table;
+
+fn main() {
+    let limit = cli_model_limit();
+    let prepared = prepare_all(limit);
+
+    println!("Fig. 14 — searched precision combinations [M_qkv, M_o, M_u, M_d]\n");
+    for corpus_name in ["wikitext2-sim", "ptb-sim", "c4-sim"] {
+        println!("== {corpus_name} ==");
+        let mut table = Table::new(&["model", "0.1% tolerance", "1% tolerance"]);
+        for p in prepared.iter().filter(|p| p.corpus.name == corpus_name) {
+            let c01 = p
+                .search(0.001)
+                .best
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "not found".into());
+            let c1 = p
+                .search(0.01)
+                .best
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "not found".into());
+            table.row_owned(vec![p.spec.real.name.clone(), c01, c1]);
+        }
+        table.print();
+        println!();
+    }
+    println!(
+        "(paper: combos range 4-11 bits; A_qkv highest; OPT models reach lower bits than LLaMA)"
+    );
+}

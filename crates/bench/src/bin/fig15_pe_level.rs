@@ -1,0 +1,51 @@
+//! Fig. 15 — PE-level area, power, area efficiency and energy efficiency,
+//! normalized to the GPU-like FP-FP unit.
+//!
+//! Paper reference values (16 nm synthesis):
+//!   area:   FP-INT 0.63, iFPU 0.26, FIGNA 0.18, M11 0.15, M8 0.12, Anda 0.23
+//!   power:  FP-INT 0.52, iFPU 0.28, FIGNA 0.17, M11 0.12, M8 0.10, Anda 0.20
+//!   area efficiency:   1.00 1.59 3.78 5.58 6.55 8.09 | Anda-M13..M4 4.96..13.89
+//!   energy efficiency: 1.00 1.93 3.51 5.87 8.03 10.49 | Anda-M13..M4 5.74..16.07
+
+use anda_bench::Table;
+use anda_sim::pe::PeKind;
+
+fn main() {
+    println!("Fig. 15(a,b) — normalized PE area and power\n");
+    let mut ab = Table::new(&["PE", "area (norm)", "power (norm)"]);
+    for kind in PeKind::ALL {
+        ab.row_owned(vec![
+            kind.name().to_string(),
+            format!("{:.2}", kind.area_rel()),
+            format!("{:.2}", kind.power_rel()),
+        ]);
+    }
+    ab.print();
+
+    println!("\nFig. 15(c,d) — normalized PE area/energy efficiency\n");
+    let mut cd = Table::new(&["PE", "area eff", "energy eff"]);
+    for kind in [
+        PeKind::FpFp,
+        PeKind::FpInt,
+        PeKind::Ifpu,
+        PeKind::Figna,
+        PeKind::FignaM11,
+        PeKind::FignaM8,
+    ] {
+        let m = kind.datapath_mantissa_bits().unwrap();
+        cd.row_owned(vec![
+            kind.name().to_string(),
+            format!("{:.2}", kind.pe_area_efficiency(m)),
+            format!("{:.2}", kind.pe_energy_efficiency(m)),
+        ]);
+    }
+    for m in (4..=13).rev() {
+        cd.row_owned(vec![
+            format!("Anda-M{m}"),
+            format!("{:.2}", PeKind::Anda.pe_area_efficiency(m)),
+            format!("{:.2}", PeKind::Anda.pe_energy_efficiency(m)),
+        ]);
+    }
+    cd.print();
+    println!("\n(paper: Anda-M13 4.96/5.74 … Anda-M4 13.89/16.07)");
+}

@@ -1,0 +1,108 @@
+//! Fig. 16 — system-level speedup, area efficiency and energy efficiency
+//! across accelerators on WikiText-2 combos.
+//!
+//! Paper geo-means (FP-FP = 1.00): speedup 1.00/1.00/1.00/1.00/1.45/2.00/
+//! 2.14/2.49; area eff …/3.47/4.03; energy eff …/3.07/3.16 for
+//! [FP-FP, FP-INT, iFPU, FIGNA, FIGNA-M11, FIGNA-M8, Anda(0.1%), Anda(1%)].
+//!
+//! Usage: `fig16_system_level [--quick | --models N]`
+
+use anda_bench::runs::{cli_model_limit, prepare_all};
+use anda_bench::Table;
+use anda_llm::modules::PrecisionCombo;
+use anda_sim::pe::PeKind;
+use anda_sim::system::{geo_mean, simulate_baseline, simulate_model};
+
+fn main() {
+    let limit = cli_model_limit();
+    let prepared: Vec<_> = prepare_all(limit)
+        .into_iter()
+        .filter(|p| p.corpus.name == "wikitext2-sim")
+        .collect();
+
+    println!("Fig. 16 — system-level comparison (WikiText-2 combos, batch 1, max-seq prefill)\n");
+    let archs: [(&str, PeKind, Option<u32>); 6] = [
+        ("FP-INT", PeKind::FpInt, Some(16)),
+        ("iFPU", PeKind::Ifpu, Some(16)),
+        ("FIGNA", PeKind::Figna, Some(16)),
+        ("FIGNA-M11 (0.1%)", PeKind::FignaM11, Some(11)),
+        ("FIGNA-M8 (1%)", PeKind::FignaM8, Some(8)),
+        ("Anda", PeKind::Anda, None),
+    ];
+
+    let mut speed = Table::new(&[
+        "model",
+        "FP-INT",
+        "iFPU",
+        "FIGNA",
+        "M11",
+        "M8",
+        "Anda(0.1%)",
+        "Anda(1%)",
+    ]);
+    let mut area = speed.clone();
+    let mut energy = speed.clone();
+    let mut agg: Vec<Vec<f64>> = vec![Vec::new(); 21];
+
+    for p in &prepared {
+        let combo01 = p.search(0.001).best.unwrap_or(PrecisionCombo::uniform(11));
+        let combo1 = p.search(0.01).best.unwrap_or(PrecisionCombo::uniform(8));
+        let cfg = &p.spec.real;
+        let seq = cfg.max_seq.min(2048);
+        let base = simulate_baseline(cfg, seq);
+
+        let mut s_cells = vec![cfg.name.clone()];
+        let mut a_cells = vec![cfg.name.clone()];
+        let mut e_cells = vec![cfg.name.clone()];
+        let mut col = 0usize;
+        for (_, kind, fixed_m) in archs {
+            let combos: Vec<PrecisionCombo> = match fixed_m {
+                Some(m) => vec![PrecisionCombo::uniform(m)],
+                None => vec![combo01, combo1],
+            };
+            for combo in combos {
+                let r = simulate_model(cfg, seq, kind, combo);
+                let (s, a, e) = (
+                    r.speedup_vs(&base),
+                    r.area_efficiency_vs(&base),
+                    r.energy_efficiency_vs(&base),
+                );
+                s_cells.push(format!("{s:.2}"));
+                a_cells.push(format!("{a:.2}"));
+                e_cells.push(format!("{e:.2}"));
+                agg[col * 3].push(s);
+                agg[col * 3 + 1].push(a);
+                agg[col * 3 + 2].push(e);
+                col += 1;
+            }
+        }
+        speed.row_owned(s_cells);
+        area.row_owned(a_cells);
+        energy.row_owned(e_cells);
+    }
+
+    // Geo-mean rows.
+    let mut s_gm = vec!["Geo.Mean".to_string()];
+    let mut a_gm = vec!["Geo.Mean".to_string()];
+    let mut e_gm = vec!["Geo.Mean".to_string()];
+    for col in 0..7 {
+        s_gm.push(format!("{:.2}", geo_mean(&agg[col * 3])));
+        a_gm.push(format!("{:.2}", geo_mean(&agg[col * 3 + 1])));
+        e_gm.push(format!("{:.2}", geo_mean(&agg[col * 3 + 2])));
+    }
+    speed.row_owned(s_gm);
+    area.row_owned(a_gm);
+    energy.row_owned(e_gm);
+
+    println!("Speedup vs FP-FP:");
+    speed.print();
+    println!("\nArea efficiency vs FP-FP:");
+    area.print();
+    println!("\nEnergy efficiency vs FP-FP:");
+    energy.print();
+    println!(
+        "\n(paper geo-means: speedup 1.00 1.00 1.00 1.45 2.00 | Anda 2.14 / 2.49;\n \
+         area eff 1.23 1.60 1.72 2.55 3.60 | 3.47 / 4.03;\n \
+         energy eff 1.25 1.42 1.53 1.69 1.94 | 3.07 / 3.16)"
+    );
+}

@@ -1,0 +1,14 @@
+//! Experiment harness for the Anda reproduction.
+//!
+//! Each table and figure of the paper's evaluation has a dedicated binary in
+//! `src/bin/` (see `DESIGN.md` §5 for the index); this library holds the
+//! shared plumbing:
+//!
+//! - [`table`] — fixed-width console table rendering.
+//! - [`runs`] — memoized construction of models, corpora and searches so
+//!   the experiment binaries stay fast and consistent with each other.
+
+pub mod runs;
+pub mod table;
+
+pub use table::Table;

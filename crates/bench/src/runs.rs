@@ -1,0 +1,124 @@
+//! Shared experiment plumbing: consistent model/corpus/search construction.
+//!
+//! Every experiment binary draws from the same prepared state so that, e.g.,
+//! Table II and Fig. 14 report the same searched combinations. Sizes follow
+//! the paper's methodology scaled to the sim models: 128 calibration
+//! sequences of length 2048 become one calibration split, and validation
+//! perplexity uses non-overlapping windows.
+
+use anda_llm::corpus::{CorpusSpec, GeneratedCorpus, CORPORA};
+use anda_llm::model::Model;
+use anda_llm::zoo::{sim_models, SimModelSpec};
+use anda_quant::WeightQuantConfig;
+use anda_search::search::{adaptive_precision_search, PplEvaluator, SearchConfig, SearchOutcome};
+
+/// Evaluation window for sim models.
+pub const WINDOW: usize = 128;
+/// Calibration split length (tokens). The paper calibrates on 128×2048
+/// tokens; scaled to the sim models this still needs to be large enough
+/// that PPL sampling noise sits well below the search tolerances.
+pub const CALIBRATION_LEN: usize = 768;
+/// Validation split length (tokens).
+pub const VALIDATION_LEN: usize = 768;
+
+/// A prepared (model, corpus) experiment context.
+pub struct Prepared {
+    /// The simulated model spec.
+    pub spec: SimModelSpec,
+    /// FP16-weight reference model.
+    pub fp16_model: Model,
+    /// Weight-only quantized (W4A16-style) model.
+    pub quant_model: Model,
+    /// The corpus recipe.
+    pub corpus: CorpusSpec,
+    /// Generated calibration/validation token streams.
+    pub data: GeneratedCorpus,
+}
+
+impl Prepared {
+    /// Builds the context for one (model, corpus) pair.
+    pub fn new(spec: SimModelSpec, corpus: CorpusSpec) -> Self {
+        let mut fp16_model = spec.build();
+        let data = corpus.generate(&fp16_model, CALIBRATION_LEN, VALIDATION_LEN);
+        let mut quant_model = fp16_model.quantize_weights(WeightQuantConfig::w4_sim());
+        // One-parameter temperature calibration on the calibration split
+        // (see Model::calibrate_logit_scale) — both models, same data.
+        fp16_model.calibrate_logit_scale(&data.calibration, WINDOW);
+        quant_model.calibrate_logit_scale(&data.calibration, WINDOW);
+        Prepared {
+            spec,
+            fp16_model,
+            quant_model,
+            corpus,
+            data,
+        }
+    }
+
+    /// Runs the adaptive precision search at tolerance δ on the calibration
+    /// split of this context.
+    pub fn search(&self, tolerance: f64) -> SearchOutcome {
+        let mut evaluator = PplEvaluator::new(&self.quant_model, &self.data.calibration, WINDOW);
+        adaptive_precision_search(
+            &self.spec.sim,
+            &mut evaluator,
+            &SearchConfig::with_tolerance(tolerance),
+        )
+    }
+}
+
+/// Prepares every (benchmark model × corpus) combination, in paper order.
+/// `models` limits to the first N benchmark models (all 9 when `None`).
+pub fn prepare_all(models: Option<usize>) -> Vec<Prepared> {
+    let specs: Vec<SimModelSpec> = sim_models()
+        .into_iter()
+        .filter(|s| s.sim.name != "OPT-125M-sim")
+        .take(models.unwrap_or(usize::MAX))
+        .collect();
+    let mut out = Vec::new();
+    for spec in specs {
+        for corpus in CORPORA {
+            out.push(Prepared::new(spec.clone(), corpus));
+        }
+    }
+    out
+}
+
+/// Parses a `--models N` / `--quick` style CLI limit from `std::env::args`.
+///
+/// `--quick` limits to 2 models; `--models N` to N.
+pub fn cli_model_limit() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--quick") {
+        return Some(2);
+    }
+    args.iter()
+        .position(|a| a == "--models")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anda_llm::corpus::corpus;
+    use anda_llm::zoo::sim_model;
+
+    #[test]
+    fn prepared_context_is_consistent() {
+        let p = Prepared::new(
+            sim_model("OPT-1.3B").unwrap(),
+            corpus("wikitext2-sim").unwrap(),
+        );
+        assert_eq!(p.data.calibration.len(), CALIBRATION_LEN);
+        assert_eq!(p.data.validation.len(), VALIDATION_LEN);
+        assert_eq!(p.quant_model.mode(), anda_llm::model::WeightMode::Int4);
+    }
+
+    #[test]
+    fn prepare_all_respects_limit() {
+        // Don't actually build (expensive); just check the combinatorics via
+        // a 1-model limit.
+        let all = prepare_all(Some(1));
+        assert_eq!(all.len(), 3); // 1 model × 3 corpora
+    }
+}

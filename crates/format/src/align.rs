@@ -1,0 +1,274 @@
+//! Shared-exponent alignment: the math common to BFP and Anda conversion.
+//!
+//! Every finite FP16 value satisfies `x = (-1)^s · sig · 2^(e - 25)` with an
+//! 11-bit significand `sig` (hidden bit explicit) and effective biased
+//! exponent `e` (see [`anda_fp::Significand`]). A group shares `E = max e`;
+//! an element's M-bit mantissa `m` is the significand aligned to `E` and cut
+//! to M bits, so that the dequantized value is
+//!
+//! ```text
+//! x̂ = (-1)^s · m · 2^(E - 14 - M)
+//! ```
+//!
+//! For `M ≤ 11` this truncates precision even for the largest element; for
+//! `M > 11` the extra bits absorb alignment shift, approaching lossless
+//! storage as M grows (FIGNA's 14-bit mode and Flexpoint's 16-bit mode are
+//! points in this space, cf. Table I).
+
+use anda_fp::{shift_right_round, RoundingMode, F16};
+
+use crate::error::FormatError;
+
+/// A sign-magnitude mantissa produced by group alignment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SignMag {
+    /// Sign: `true` when negative.
+    pub negative: bool,
+    /// M-bit magnitude (`0 ..= 2^M - 1`).
+    pub magnitude: u16,
+}
+
+impl SignMag {
+    /// The signed integer value of this mantissa.
+    #[inline]
+    pub fn signed(self) -> i32 {
+        let m = i32::from(self.magnitude);
+        if self.negative {
+            -m
+        } else {
+            m
+        }
+    }
+}
+
+/// Result of aligning one group of FP16 values to a shared exponent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AlignedGroup {
+    /// Shared (maximum) effective biased exponent of the group, 1..=30.
+    pub shared_exp: u16,
+    /// Mantissa length in bits (1..=16).
+    pub mantissa_bits: u32,
+    /// One aligned mantissa per input element.
+    pub elements: Vec<SignMag>,
+}
+
+impl AlignedGroup {
+    /// The power-of-two weight of one mantissa LSB: `2^(shared_exp - 14 - M)`.
+    pub fn ulp(&self) -> f32 {
+        exp2f(i32::from(self.shared_exp) - 14 - self.mantissa_bits as i32)
+    }
+
+    /// Dequantizes element `i` to `f32`.
+    pub fn dequantize(&self, i: usize) -> f32 {
+        let e = &self.elements[i];
+        let v = f32::from(e.magnitude) * self.ulp();
+        if e.negative {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Dequantizes the whole group.
+    pub fn dequantize_all(&self) -> Vec<f32> {
+        (0..self.elements.len())
+            .map(|i| self.dequantize(i))
+            .collect()
+    }
+}
+
+/// `2^e` as f32 for exponents representable in f32 (|e| ≤ 126 here).
+#[inline]
+pub fn exp2f(e: i32) -> f32 {
+    anda_fp::f16::exp2i(e)
+}
+
+/// Aligns a group of finite FP16 values to their shared maximum exponent and
+/// truncates each mantissa to `mantissa_bits`.
+///
+/// # Errors
+///
+/// Returns [`FormatError::NonFinite`] if any element is NaN or infinite, and
+/// [`FormatError::InvalidMantissaBits`] for `mantissa_bits` outside 1..=16.
+pub fn align_group(
+    values: &[F16],
+    mantissa_bits: u32,
+    rounding: RoundingMode,
+) -> Result<AlignedGroup, FormatError> {
+    if !(1..=16).contains(&mantissa_bits) {
+        return Err(FormatError::InvalidMantissaBits {
+            requested: mantissa_bits,
+            range: (1, 16),
+        });
+    }
+    if let Some(index) = values.iter().position(|v| !v.is_finite()) {
+        return Err(FormatError::NonFinite { index });
+    }
+
+    let sigs: Vec<_> = values.iter().map(|v| v.significand()).collect();
+    let shared_exp = sigs.iter().map(|s| s.biased_exp).max().unwrap_or(1);
+
+    let m = mantissa_bits;
+    let max_mag = (1u32 << m) - 1;
+    let elements = sigs
+        .iter()
+        .map(|s| {
+            // m_exact = sig · 2^(M - 11 - (E - e)); compute as
+            // (sig << M) >> (11 + E - e) with the requested rounding.
+            let shift = 11 + u32::from(shared_exp - s.biased_exp);
+            let shifted = shift_right_round(u64::from(s.magnitude) << m, shift, rounding);
+            // RNE can carry out of the M-bit field for an all-ones
+            // significand: saturate (truncation never overflows).
+            let magnitude = (shifted as u32).min(max_mag) as u16;
+            SignMag {
+                negative: s.negative,
+                magnitude,
+            }
+        })
+        .collect();
+
+    Ok(AlignedGroup {
+        shared_exp,
+        mantissa_bits,
+        elements,
+    })
+}
+
+/// Upper bound on the absolute quantization error of any element in a group
+/// aligned with truncation: one mantissa ULP, `2^(E - 14 - M)`.
+pub fn truncation_error_bound(shared_exp: u16, mantissa_bits: u32) -> f32 {
+    exp2f(i32::from(shared_exp) - 14 - mantissa_bits as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f16s(vals: &[f32]) -> Vec<F16> {
+        vals.iter().map(|&v| F16::from_f32(v)).collect()
+    }
+
+    #[test]
+    fn single_element_full_mantissa_is_lossless() {
+        let vals = f16s(&[1.5]);
+        let g = align_group(&vals, 11, RoundingMode::Truncate).unwrap();
+        assert_eq!(g.dequantize(0), 1.5);
+    }
+
+    #[test]
+    fn equal_exponents_no_shift() {
+        // 1.0 and 1.5 share exponent 15; M=11 keeps both exactly.
+        let vals = f16s(&[1.0, 1.5, -1.25]);
+        let g = align_group(&vals, 11, RoundingMode::Truncate).unwrap();
+        assert_eq!(g.shared_exp, 15);
+        assert_eq!(g.dequantize_all(), vec![1.0, 1.5, -1.25]);
+    }
+
+    #[test]
+    fn smaller_elements_lose_alignment_bits() {
+        // 8.0 (e=18) dominates 0.0625 (e=11): diff 7. With M=11 the small
+        // element keeps 11-7=4 significant bits — 0.0625 = 2^-4 survives.
+        let vals = f16s(&[8.0, 0.0625]);
+        let g = align_group(&vals, 11, RoundingMode::Truncate).unwrap();
+        assert_eq!(g.shared_exp, 18);
+        assert_eq!(g.dequantize(0), 8.0);
+        assert_eq!(g.dequantize(1), 0.0625);
+        // With M=4, the small element underflows to zero entirely:
+        // m_exact = 1024 · 2^(4-11-7) = 2^-4 → truncates to 0.
+        let g4 = align_group(&vals, 4, RoundingMode::Truncate).unwrap();
+        assert_eq!(g4.dequantize(1), 0.0);
+    }
+
+    #[test]
+    fn truncation_error_within_one_ulp() {
+        let vals = f16s(&[3.1, 0.02, -1.7, 0.9]);
+        for m in 1..=16 {
+            let g = align_group(&vals, m, RoundingMode::Truncate).unwrap();
+            let bound = truncation_error_bound(g.shared_exp, m);
+            for (i, v) in vals.iter().enumerate() {
+                let err = (g.dequantize(i) - v.to_f32()).abs();
+                assert!(err <= bound, "m={m} i={i} err={err} bound={bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_never_increases_magnitude() {
+        let vals = f16s(&[0.3, -0.7, 12.0, -0.001]);
+        for m in 1..=16 {
+            let g = align_group(&vals, m, RoundingMode::Truncate).unwrap();
+            for (i, v) in vals.iter().enumerate() {
+                assert!(g.dequantize(i).abs() <= v.to_f32().abs() + f32::EPSILON);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_mantissa_absorbs_alignment_shift() {
+        // Exponent spread of 4; M=15 ≥ 11+4 keeps everything lossless.
+        let vals = f16s(&[16.0, 1.0]);
+        let g = align_group(&vals, 15, RoundingMode::Truncate).unwrap();
+        assert_eq!(g.dequantize_all(), vec![16.0, 1.0]);
+    }
+
+    #[test]
+    fn all_zero_group() {
+        let vals = f16s(&[0.0, -0.0]);
+        let g = align_group(&vals, 8, RoundingMode::Truncate).unwrap();
+        assert_eq!(g.shared_exp, 1);
+        assert_eq!(g.dequantize_all(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn subnormals_align_correctly() {
+        let tiny = 2.0f32.powi(-24); // smallest subnormal
+        let vals = f16s(&[tiny, 2.0f32.powi(-14)]);
+        let g = align_group(&vals, 11, RoundingMode::Truncate).unwrap();
+        assert_eq!(g.dequantize(1), 2.0f32.powi(-14));
+        assert_eq!(g.dequantize(0), tiny);
+    }
+
+    #[test]
+    fn rne_saturates_instead_of_overflowing() {
+        // 2047/2048 significand with M=4 rounds up to 16 = 2^4: must clamp.
+        let v = F16::from_bits(0x3BFF); // 0.99951… (sig = 2047, e = 14)
+        let g = align_group(&[v], 4, RoundingMode::NearestEven).unwrap();
+        assert_eq!(g.elements[0].magnitude, 15);
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let err = align_group(&[F16::NAN], 8, RoundingMode::Truncate).unwrap_err();
+        assert_eq!(err, FormatError::NonFinite { index: 0 });
+        let err = align_group(&[F16::ONE, F16::INFINITY], 8, RoundingMode::Truncate).unwrap_err();
+        assert_eq!(err, FormatError::NonFinite { index: 1 });
+    }
+
+    #[test]
+    fn rejects_bad_mantissa_bits() {
+        for bad in [0u32, 17, 100] {
+            let err = align_group(&[F16::ONE], bad, RoundingMode::Truncate).unwrap_err();
+            assert!(matches!(err, FormatError::InvalidMantissaBits { .. }));
+        }
+    }
+
+    #[test]
+    fn signed_helper() {
+        assert_eq!(
+            SignMag {
+                negative: true,
+                magnitude: 5
+            }
+            .signed(),
+            -5
+        );
+        assert_eq!(
+            SignMag {
+                negative: false,
+                magnitude: 5
+            }
+            .signed(),
+            5
+        );
+    }
+}

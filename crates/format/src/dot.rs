@@ -1,0 +1,324 @@
+//! Group dot-product kernels: reference sign-magnitude integer dot and the
+//! bit-serial schedule of the Anda processing element (paper Fig. 11).
+//!
+//! The APU computes the dot product of one Anda group (≤ 64 activations)
+//! with INT weights in three steps:
+//!
+//! 1. **Per bit-plane reduction** — for each mantissa plane (MSB first), an
+//!    adder tree sums the sign-applied weights of the lanes whose plane bit
+//!    is set ("first-element-then-bit-plane" reduction: one partial sum per
+//!    plane instead of one running value per element).
+//! 2. **Shift-accumulate** — plane partial sums are accumulated with a
+//!    left-shift per plane, producing the exact integer dot product.
+//! 3. **Rescale** — the integer result is scaled by `2^(E - 14 - M)` and the
+//!    weight group's scale factor, then accumulated in FP32 across groups.
+//!
+//! [`dot_group_bit_serial`] is proven equal to [`dot_group_reference`] for
+//! every input (see the property tests), which is the correctness argument
+//! for the hardware schedule.
+
+use crate::align::{exp2f, AlignedGroup};
+use crate::bitplane::BitPlaneGroup;
+
+/// Reference integer dot product of an aligned group with INT weights:
+/// `Σ (-1)^{s_i} · m_i · w_i`.
+///
+/// # Panics
+///
+/// Panics if `weights.len()` differs from the group's element count.
+pub fn dot_group_reference(group: &AlignedGroup, weights: &[i8]) -> i64 {
+    assert_eq!(
+        group.elements.len(),
+        weights.len(),
+        "group/weight length mismatch"
+    );
+    group
+        .elements
+        .iter()
+        .zip(weights)
+        .map(|(e, &w)| i64::from(e.signed()) * i64::from(w))
+        .sum()
+}
+
+/// Execution trace of one bit-serial group dot product.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSerialTrace {
+    /// Partial sum produced by the adder tree for each plane (MSB first).
+    pub plane_partials: Vec<i64>,
+    /// Total APU cycles: one per mantissa plane plus one setup cycle for
+    /// latching signs and the shared exponent.
+    pub cycles: u64,
+}
+
+/// Bit-serial dot product over bit-plane storage, returning the integer
+/// result and the per-plane execution trace.
+///
+/// # Panics
+///
+/// Panics if `weights.len()` differs from the group's lane count.
+pub fn dot_group_bit_serial(group: &BitPlaneGroup, weights: &[i8]) -> (i64, BitSerialTrace) {
+    assert_eq!(group.len(), weights.len(), "group/weight length mismatch");
+    // Cycle 0 (setup): latch signs, apply them to the weights once.
+    let signs = group.signs();
+    let signed_weights: Vec<i64> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let w = i64::from(w);
+            if (signs >> i) & 1 == 1 {
+                -w
+            } else {
+                w
+            }
+        })
+        .collect();
+
+    let m = group.mantissa_bits();
+    let mut plane_partials = Vec::with_capacity(m as usize);
+    let mut acc = 0i64;
+    for plane in group.planes() {
+        // Adder tree: sum the signed weights of set lanes.
+        let mut partial = 0i64;
+        let mut bits = *plane;
+        while bits != 0 {
+            let lane = bits.trailing_zeros() as usize;
+            partial += signed_weights[lane];
+            bits &= bits - 1;
+        }
+        plane_partials.push(partial);
+        // Shift-accumulate: planes arrive MSB first.
+        acc = (acc << 1) + partial;
+    }
+    (
+        acc,
+        BitSerialTrace {
+            plane_partials,
+            cycles: u64::from(m) + 1,
+        },
+    )
+}
+
+/// Full APU result for one group: integer dot product rescaled to `f32`.
+///
+/// `weight_scale` is the INT-weight group's dequantization scale.
+pub fn dot_group_f32(group: &BitPlaneGroup, weights: &[i8], weight_scale: f32) -> f32 {
+    let (int_dot, _) = dot_group_bit_serial(group, weights);
+    rescale_int_dot(
+        int_dot,
+        group.shared_exp(),
+        group.mantissa_bits(),
+        weight_scale,
+    )
+}
+
+/// Applies the Anda output scaling: `dot · 2^(E - 14 - M) · weight_scale`.
+#[inline]
+pub fn rescale_int_dot(
+    int_dot: i64,
+    shared_exp: u16,
+    mantissa_bits: u32,
+    weight_scale: f32,
+) -> f32 {
+    int_dot as f32 * exp2f(i32::from(shared_exp) - 14 - mantissa_bits as i32) * weight_scale
+}
+
+/// FP16-activation reference dot product (the FP-FP baseline computation):
+/// `Σ a_i · w_i · weight_scale`, accumulated in `f32`.
+pub fn dot_f16_int_reference(acts: &[anda_fp::F16], weights: &[i8], weight_scale: f32) -> f32 {
+    assert_eq!(acts.len(), weights.len(), "length mismatch");
+    let mut acc = 0.0f32;
+    for (a, &w) in acts.iter().zip(weights) {
+        acc += a.to_f32() * f32::from(w);
+    }
+    acc * weight_scale
+}
+
+/// Hardware-cost accounting of the APU's "first-element-then-bit-plane"
+/// reduction versus a naive per-element shift-accumulate (paper §IV-B):
+/// the plane-first order needs a *single* shared accumulator instead of one
+/// wide register per lane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReductionCosts {
+    /// Additions performed by the plane-first schedule.
+    pub plane_adds: u64,
+    /// Accumulator storage bits of the plane-first schedule.
+    pub plane_register_bits: u64,
+    /// Additions performed by the naive per-element schedule.
+    pub naive_adds: u64,
+    /// Accumulator storage bits of the naive schedule.
+    pub naive_register_bits: u64,
+}
+
+impl ReductionCosts {
+    /// Register-storage saving factor of the plane-first schedule.
+    pub fn register_saving(&self) -> f64 {
+        self.naive_register_bits as f64 / self.plane_register_bits as f64
+    }
+}
+
+/// Computes both schedules' costs for an `lanes`-element group dot at
+/// mantissa length `m` with `weight_bits`-wide weights.
+pub fn reduction_costs(m: u32, lanes: u32, weight_bits: u32) -> ReductionCosts {
+    let m = u64::from(m);
+    let lanes = u64::from(lanes);
+    let wb = u64::from(weight_bits);
+    // Plane partial sums need weight_bits + log2(lanes) bits; the shared
+    // shift-accumulator needs that plus m.
+    let partial_bits = wb + 64 - (lanes - 1).leading_zeros() as u64;
+    ReductionCosts {
+        // Per plane: adder tree (lanes-1) + one shift-add into the shared
+        // accumulator.
+        plane_adds: m * (lanes - 1) + m,
+        plane_register_bits: partial_bits + (partial_bits + m),
+        // Naive: every element keeps a private shift-accumulator updated
+        // every cycle, plus a final cross-element adder tree.
+        naive_adds: m * lanes + (lanes - 1),
+        naive_register_bits: lanes * (wb + m),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::align_group;
+    use anda_fp::{RoundingMode, F16};
+
+    fn group_of(vals: &[f32], m: u32) -> (AlignedGroup, BitPlaneGroup) {
+        let f16s: Vec<F16> = vals.iter().map(|&v| F16::from_f32(v)).collect();
+        let g = align_group(&f16s, m, RoundingMode::Truncate).unwrap();
+        let bp = BitPlaneGroup::from_aligned(&g);
+        (g, bp)
+    }
+
+    #[test]
+    fn bit_serial_equals_reference_simple() {
+        let (g, bp) = group_of(&[1.0, -2.0, 0.5, 4.0], 8);
+        let weights = [3i8, -1, 7, 2];
+        let reference = dot_group_reference(&g, &weights);
+        let (serial, trace) = dot_group_bit_serial(&bp, &weights);
+        assert_eq!(serial, reference);
+        assert_eq!(trace.cycles, 9);
+        assert_eq!(trace.plane_partials.len(), 8);
+    }
+
+    #[test]
+    fn bit_serial_equals_reference_across_mantissa_lengths() {
+        let vals: Vec<f32> = (0..64)
+            .map(|i| ((i * 29) % 63) as f32 * 0.13 - 4.0)
+            .collect();
+        let weights: Vec<i8> = (0..64).map(|i| ((i * 11) % 15) as i8 - 7).collect();
+        for m in 1..=16u32 {
+            let (g, bp) = group_of(&vals, m);
+            assert_eq!(
+                dot_group_bit_serial(&bp, &weights).0,
+                dot_group_reference(&g, &weights),
+                "m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn plane_partials_reconstruct_dot() {
+        let (_, bp) = group_of(&[2.5, -1.25, 8.0], 6);
+        let weights = [5i8, 3, -2];
+        let (dot, trace) = dot_group_bit_serial(&bp, &weights);
+        let m = trace.plane_partials.len() as u32;
+        let manual: i64 = trace
+            .plane_partials
+            .iter()
+            .enumerate()
+            .map(|(b, &p)| p << (m - 1 - b as u32))
+            .sum();
+        assert_eq!(manual, dot);
+    }
+
+    #[test]
+    fn rescaled_dot_approaches_fp_reference_with_wide_mantissa() {
+        let vals: Vec<f32> = (0..64).map(|i| (i as f32 - 30.0) * 0.043).collect();
+        let f16s: Vec<F16> = vals.iter().map(|&v| F16::from_f32(v)).collect();
+        let weights: Vec<i8> = (0..64).map(|i| ((i * 7) % 15) as i8 - 7).collect();
+        let scale = 0.02f32;
+
+        let reference = dot_f16_int_reference(&f16s, &weights, scale);
+        let (_, bp) = group_of(&vals, 16);
+        let anda = dot_group_f32(&bp, &weights, scale);
+        assert!(
+            (anda - reference).abs() <= reference.abs() * 1e-4 + 1e-4,
+            "{anda} vs {reference}"
+        );
+    }
+
+    #[test]
+    fn narrower_mantissa_gives_larger_dot_error() {
+        let vals: Vec<f32> = (0..64)
+            .map(|i| {
+                if i == 0 {
+                    30.0
+                } else {
+                    ((i * 29) % 63) as f32 * 0.01
+                }
+            })
+            .collect();
+        let f16s: Vec<F16> = vals.iter().map(|&v| F16::from_f32(v)).collect();
+        let weights: Vec<i8> = (0..64).map(|i| ((i * 5) % 15) as i8 - 7).collect();
+        let reference = dot_f16_int_reference(&f16s, &weights, 1.0);
+
+        // Individual dot errors are not strictly monotone in M (signed terms
+        // can cancel), but the wide-mantissa error must be far below the
+        // aggressive-truncation error.
+        let err_at = |m: u32| {
+            let (_, bp) = group_of(&vals, m);
+            (dot_group_f32(&bp, &weights, 1.0) - reference).abs()
+        };
+        assert!(
+            err_at(16) < 0.05 * err_at(2).max(1.0),
+            "{} vs {}",
+            err_at(16),
+            err_at(2)
+        );
+        assert!(err_at(11) <= err_at(2));
+    }
+
+    #[test]
+    fn zero_weights_give_zero_dot() {
+        let (_, bp) = group_of(&[1.0, 2.0, 3.0], 8);
+        let (dot, _) = dot_group_bit_serial(&bp, &[0, 0, 0]);
+        assert_eq!(dot, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn weight_length_mismatch_panics() {
+        let (_, bp) = group_of(&[1.0, 2.0], 8);
+        let _ = dot_group_bit_serial(&bp, &[1]);
+    }
+
+    #[test]
+    fn plane_first_reduction_saves_registers() {
+        // Paper §IV-B: one shared accumulator instead of per-element
+        // intermediate results.
+        let c = reduction_costs(8, 64, 4);
+        assert!(c.register_saving() > 20.0, "saving {}", c.register_saving());
+        // Add counts are comparable (same asymptotic work).
+        let ratio = c.plane_adds as f64 / c.naive_adds as f64;
+        assert!(ratio > 0.8 && ratio < 1.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn reduction_costs_scale_with_mantissa() {
+        let narrow = reduction_costs(4, 64, 4);
+        let wide = reduction_costs(12, 64, 4);
+        assert!(wide.plane_adds > 2 * narrow.plane_adds);
+        assert!(wide.naive_register_bits > narrow.naive_register_bits);
+    }
+
+    #[test]
+    fn int4_weight_extremes() {
+        let (g, bp) = group_of(&[65504.0, -65504.0], 16);
+        let weights = [-8i8, 7];
+        assert_eq!(
+            dot_group_bit_serial(&bp, &weights).0,
+            dot_group_reference(&g, &weights)
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Byte-exact serialization of Anda tensors — the memory image a deployment
+//! would persist or DMA.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic  "ANDA"            4 bytes
+//! version                  u8 (currently 1)
+//! group_size               u8
+//! mantissa_bits            u8
+//! reserved                 u8 (zero)
+//! element_count            u64
+//! per group:
+//!   shared_exp             u8
+//!   lane_count             u8
+//!   signs                  u64
+//!   planes[mantissa_bits]  u64 each, MSB plane first
+//! ```
+//!
+//! This mirrors the bit-plane buffer image: the variable mantissa length
+//! changes only each group's record length, exactly as Fig. 10's variable
+//! address depth.
+
+use crate::anda::{AndaConfig, AndaTensor};
+use crate::bitplane::BitPlaneGroup;
+use crate::error::FormatError;
+
+/// Serialization format version.
+pub const FORMAT_VERSION: u8 = 1;
+
+const MAGIC: &[u8; 4] = b"ANDA";
+
+/// Serializes a tensor to its byte image.
+pub fn to_bytes(tensor: &AndaTensor) -> Vec<u8> {
+    let cfg = tensor.config();
+    let mut out = Vec::with_capacity(16 + tensor.groups().len() * (10 + 8 * cfg.mantissa_bits() as usize));
+    out.extend_from_slice(MAGIC);
+    out.push(FORMAT_VERSION);
+    out.push(cfg.group_size() as u8);
+    out.push(cfg.mantissa_bits() as u8);
+    out.push(0);
+    out.extend_from_slice(&(tensor.len() as u64).to_le_bytes());
+    for g in tensor.groups() {
+        out.push(g.shared_exp() as u8);
+        out.push(g.len() as u8);
+        out.extend_from_slice(&g.signs().to_le_bytes());
+        for plane in g.planes() {
+            out.extend_from_slice(&plane.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Deserializes a tensor from its byte image.
+///
+/// # Errors
+///
+/// Returns [`FormatError::LengthMismatch`] on truncated input and
+/// [`FormatError::InvalidMantissaBits`]/[`FormatError::InvalidGroupSize`]
+/// on corrupted headers.
+pub fn from_bytes(bytes: &[u8]) -> Result<AndaTensor, FormatError> {
+    let need = |expected: usize, actual: usize| -> Result<(), FormatError> {
+        if actual < expected {
+            Err(FormatError::LengthMismatch { expected, actual })
+        } else {
+            Ok(())
+        }
+    };
+    need(16, bytes.len())?;
+    if &bytes[0..4] != MAGIC || bytes[4] != FORMAT_VERSION {
+        return Err(FormatError::LengthMismatch {
+            expected: usize::from(FORMAT_VERSION),
+            actual: usize::from(bytes[4]),
+        });
+    }
+    let group_size = usize::from(bytes[5]);
+    let mantissa_bits = u32::from(bytes[6]);
+    let cfg = AndaConfig::new(group_size, mantissa_bits)?;
+    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+
+    let n_groups = len.div_ceil(group_size);
+    let record = 10 + 8 * mantissa_bits as usize;
+    need(16 + n_groups * record, bytes.len())?;
+
+    let mut groups = Vec::with_capacity(n_groups);
+    let mut off = 16;
+    for _ in 0..n_groups {
+        let shared_exp = u16::from(bytes[off]);
+        let lanes = usize::from(bytes[off + 1]);
+        if lanes == 0 || lanes > group_size {
+            return Err(FormatError::InvalidGroupSize {
+                requested: lanes,
+                max: group_size,
+            });
+        }
+        let signs = u64::from_le_bytes(bytes[off + 2..off + 10].try_into().expect("8 bytes"));
+        let mut planes = Vec::with_capacity(mantissa_bits as usize);
+        for p in 0..mantissa_bits as usize {
+            let s = off + 10 + 8 * p;
+            planes.push(u64::from_le_bytes(bytes[s..s + 8].try_into().expect("8 bytes")));
+        }
+        groups.push(BitPlaneGroup::from_raw(lanes, signs, shared_exp, planes));
+        off += record;
+    }
+    Ok(AndaTensor::from_parts(cfg, groups, len))
+}
+
+/// Serialized size in bytes for a tensor of `len` elements at the given
+/// configuration (header + group records).
+pub fn serialized_size(len: usize, cfg: &AndaConfig) -> usize {
+    16 + len.div_ceil(cfg.group_size()) * (10 + 8 * cfg.mantissa_bits() as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor(m: u32, n: usize) -> AndaTensor {
+        let vals: Vec<f32> = (0..n).map(|i| ((i * 31) % 97) as f32 * 0.17 - 8.0).collect();
+        AndaTensor::from_f32(&vals, AndaConfig::hardware(m).unwrap())
+    }
+
+    #[test]
+    fn round_trip_across_mantissas_and_lengths() {
+        for m in [1u32, 5, 11, 16] {
+            for n in [1usize, 63, 64, 65, 500] {
+                let t = tensor(m, n);
+                let bytes = to_bytes(&t);
+                assert_eq!(bytes.len(), serialized_size(n, t.config()), "m={m} n={n}");
+                let back = from_bytes(&bytes).unwrap();
+                assert_eq!(back, t, "m={m} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn header_fields() {
+        let t = tensor(7, 128);
+        let bytes = to_bytes(&t);
+        assert_eq!(&bytes[0..4], b"ANDA");
+        assert_eq!(bytes[4], FORMAT_VERSION);
+        assert_eq!(bytes[5], 64);
+        assert_eq!(bytes[6], 7);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let t = tensor(6, 200);
+        let bytes = to_bytes(&t);
+        for cut in [0usize, 8, 17, bytes.len() - 1] {
+            assert!(
+                from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_magic_rejected() {
+        let t = tensor(6, 64);
+        let mut bytes = to_bytes(&t);
+        bytes[0] = b'X';
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupted_mantissa_header_rejected() {
+        let t = tensor(6, 64);
+        let mut bytes = to_bytes(&t);
+        bytes[6] = 0; // invalid mantissa bits
+        assert!(from_bytes(&bytes).is_err());
+        bytes[6] = 99;
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn size_beats_fp16_at_narrow_mantissas() {
+        let n = 4096;
+        let cfg = AndaConfig::hardware(5).unwrap();
+        let size = serialized_size(n, &cfg);
+        assert!(size * 8 < n * 16, "{} bytes vs fp16 {}", size, n * 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Quantization-error metrics shared by the experiments.
+
+/// Mean squared error between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn mse(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mse length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Maximum absolute elementwise error.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn max_abs_err(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "max_abs_err length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0f32, f32::max)
+}
+
+/// Signal-to-quantization-noise ratio in dB: `10·log10(‖a‖² / ‖a-b‖²)`.
+///
+/// Returns `f64::INFINITY` when the error is exactly zero.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn sqnr_db(signal: &[f32], quantized: &[f32]) -> f64 {
+    assert_eq!(signal.len(), quantized.len(), "sqnr length mismatch");
+    let sig_pow: f64 = signal.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+    let err_pow: f64 = signal
+        .iter()
+        .zip(quantized)
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum();
+    if err_pow == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (sig_pow / err_pow).log10()
+    }
+}
+
+/// Fraction of elements that became exactly zero in `b` while nonzero in `a`
+/// — the "shifted to zero" effect of aggressive mantissa truncation (Fig. 4).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn zeroed_fraction(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "zeroed_fraction length mismatch");
+    let nonzero = a.iter().filter(|&&x| x != 0.0).count();
+    if nonzero == 0 {
+        return 0.0;
+    }
+    let zeroed = a
+        .iter()
+        .zip(b)
+        .filter(|(&x, &y)| x != 0.0 && y == 0.0)
+        .count();
+    zeroed as f64 / nonzero as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_identical_slices_is_zero() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        assert_eq!(mse(&[0.0, 0.0], &[1.0, -1.0]), 1.0);
+    }
+
+    #[test]
+    fn max_abs_err_picks_largest() {
+        assert_eq!(max_abs_err(&[1.0, 5.0], &[1.5, 4.0]), 1.0);
+    }
+
+    #[test]
+    fn sqnr_infinite_for_exact() {
+        assert!(sqnr_db(&[1.0, 2.0], &[1.0, 2.0]).is_infinite());
+    }
+
+    #[test]
+    fn sqnr_drops_with_noise() {
+        let sig = [1.0f32; 100];
+        let small: Vec<f32> = sig.iter().map(|x| x + 0.01).collect();
+        let large: Vec<f32> = sig.iter().map(|x| x + 0.1).collect();
+        assert!(sqnr_db(&sig, &small) > sqnr_db(&sig, &large));
+        assert!((sqnr_db(&sig, &small) - 40.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn zeroed_fraction_counts_only_new_zeros() {
+        let a = [1.0f32, 0.0, 2.0, 3.0];
+        let b = [1.0f32, 0.0, 0.0, 3.0];
+        assert!((zeroed_fraction(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert_eq!(mse(&[], &[]), 0.0);
+        assert_eq!(zeroed_fraction(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the Anda/BFP formats: the invariants that make
+//! the hardware schedule correct.
+
+use anda_format::align::{align_group, truncation_error_bound};
+use anda_format::dot::{dot_group_bit_serial, dot_group_reference};
+use anda_format::{
+    AndaConfig, AndaTensor, BfpConfig, BfpTensor, BitPlaneCompressor, BitPlaneGroup,
+};
+use anda_fp::{RoundingMode, F16};
+use proptest::prelude::*;
+
+/// Strategy: a vector of finite f32 values inside the FP16 range.
+fn finite_vals(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-6.0e4f32..6.0e4, 1..=max_len)
+}
+
+fn to_f16(vals: &[f32]) -> Vec<F16> {
+    vals.iter().map(|&v| F16::from_f32(v)).collect()
+}
+
+proptest! {
+    /// Every element's round-trip error is bounded by one group ULP.
+    #[test]
+    fn bfp_error_bounded_by_ulp(vals in finite_vals(64), m in 1u32..=16) {
+        let f16s = to_f16(&vals);
+        let g = align_group(&f16s, m, RoundingMode::Truncate).unwrap();
+        let bound = truncation_error_bound(g.shared_exp, m);
+        for (i, h) in f16s.iter().enumerate() {
+            let err = (g.dequantize(i) - h.to_f32()).abs();
+            prop_assert!(err <= bound, "i={i} err={err} bound={bound}");
+        }
+    }
+
+    /// Truncation shrinks magnitudes (round-toward-zero on magnitudes).
+    #[test]
+    fn truncation_never_grows_magnitude(vals in finite_vals(64), m in 1u32..=16) {
+        let f16s = to_f16(&vals);
+        let g = align_group(&f16s, m, RoundingMode::Truncate).unwrap();
+        for (i, h) in f16s.iter().enumerate() {
+            prop_assert!(g.dequantize(i).abs() <= h.to_f32().abs());
+            // Sign is preserved (or the value became zero).
+            let d = g.dequantize(i);
+            prop_assert!(d == 0.0 || d.is_sign_negative() == h.is_sign_negative());
+        }
+    }
+
+    /// M = 16 with a single-element group is lossless (no alignment shift,
+    /// 16 ≥ 11 significand bits).
+    #[test]
+    fn single_element_wide_mantissa_lossless(v in -6.0e4f32..6.0e4) {
+        let h = F16::from_f32(v);
+        let g = align_group(&[h], 16, RoundingMode::Truncate).unwrap();
+        prop_assert_eq!(g.dequantize(0), h.to_f32());
+    }
+
+    /// Bit-plane transposition is a lossless permutation of storage.
+    #[test]
+    fn bitplane_round_trip(vals in finite_vals(64), m in 1u32..=16) {
+        let f16s = to_f16(&vals);
+        let g = align_group(&f16s, m, RoundingMode::Truncate).unwrap();
+        let bp = BitPlaneGroup::from_aligned(&g);
+        prop_assert_eq!(bp.to_aligned(), g);
+    }
+
+    /// The bit-serial APU schedule computes exactly the reference integer
+    /// dot product, for every mantissa length and weight pattern.
+    #[test]
+    fn bit_serial_dot_equals_reference(
+        vals in finite_vals(64),
+        m in 1u32..=16,
+        wseed in any::<u64>(),
+    ) {
+        let f16s = to_f16(&vals);
+        let g = align_group(&f16s, m, RoundingMode::Truncate).unwrap();
+        let bp = BitPlaneGroup::from_aligned(&g);
+        // INT4 weights derived deterministically from the seed.
+        let weights: Vec<i8> = (0..vals.len())
+            .map(|i| {
+                let h = wseed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add((i as u64).wrapping_mul(1442695040888963407));
+                ((h >> 33) % 16) as i8 - 8
+            })
+            .collect();
+        let (serial, trace) = dot_group_bit_serial(&bp, &weights);
+        prop_assert_eq!(serial, dot_group_reference(&g, &weights));
+        prop_assert_eq!(trace.cycles, u64::from(m) + 1);
+    }
+
+    /// The cycle-by-cycle BPC serial aligner produces exactly the same
+    /// bit-plane groups as the direct conversion path.
+    #[test]
+    fn compressor_equals_direct_conversion(vals in finite_vals(256), m in 1u32..=16) {
+        let cfg = AndaConfig::hardware(m).unwrap();
+        let (via_bpc, report) = BitPlaneCompressor::new(cfg).compress_f32(&vals);
+        let direct = AndaTensor::from_f32(&vals, cfg);
+        prop_assert_eq!(&via_bpc, &direct);
+        prop_assert_eq!(report.groups, vals.len().div_ceil(64));
+    }
+
+    /// Anda (≤64-lane, bit-plane) and BFP (software) agree numerically at
+    /// identical (group size, mantissa) parameters.
+    #[test]
+    fn anda_matches_bfp(vals in finite_vals(200), m in 1u32..=16, gs in 1usize..=64) {
+        let anda = AndaTensor::from_f32(&vals, AndaConfig::new(gs, m).unwrap());
+        let bfp = BfpTensor::from_f32_saturating(&vals, BfpConfig::new(gs, m).unwrap());
+        prop_assert_eq!(anda.to_f32(), bfp.to_f32());
+    }
+
+    /// Quantizing an already-quantized tensor is idempotent.
+    #[test]
+    fn requantization_is_idempotent(vals in finite_vals(128), m in 1u32..=11) {
+        let cfg = AndaConfig::hardware(m).unwrap();
+        let once = AndaTensor::from_f32(&vals, cfg).to_f32();
+        let twice = AndaTensor::from_f32(&once, cfg).to_f32();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Storage accounting: bits/element is exactly M + 1 + 5/64 for full
+    /// 64-lane groups.
+    #[test]
+    fn storage_bits_formula(m in 1u32..=16, n_groups in 1usize..=8) {
+        let vals = vec![1.0f32; 64 * n_groups];
+        let t = AndaTensor::from_f32(&vals, AndaConfig::hardware(m).unwrap());
+        let expect = (64 + 5 + 64 * m as usize) * n_groups;
+        prop_assert_eq!(t.storage_bits(), expect);
+    }
+}

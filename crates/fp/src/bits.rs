@@ -1,0 +1,99 @@
+//! Small bit-manipulation helpers used across the Anda kernels.
+
+/// Extracts bit `index` (0 = LSB) of `value` as 0 or 1.
+#[inline]
+pub fn bit(value: u64, index: u32) -> u64 {
+    (value >> index) & 1
+}
+
+/// Packs one bit per element of `bits` (LSB of each entry) into a `u64`,
+/// element `i` landing in bit `i`. At most 64 elements.
+///
+/// This is the "bit-plane" packing primitive of the transposed data layout
+/// (paper Fig. 10): bits of equal significance across a 64-element group are
+/// stored contiguously in one memory word.
+///
+/// # Panics
+///
+/// Panics if `bits.len() > 64`.
+pub fn pack_plane(bits: &[u8]) -> u64 {
+    assert!(bits.len() <= 64, "a bit plane holds at most 64 lanes");
+    let mut word = 0u64;
+    for (i, &b) in bits.iter().enumerate() {
+        word |= u64::from(b & 1) << i;
+    }
+    word
+}
+
+/// Unpacks a 64-bit plane word into `len` single-bit elements.
+///
+/// # Panics
+///
+/// Panics if `len > 64`.
+pub fn unpack_plane(word: u64, len: usize) -> Vec<u8> {
+    assert!(len <= 64, "a bit plane holds at most 64 lanes");
+    (0..len).map(|i| ((word >> i) & 1) as u8).collect()
+}
+
+/// Number of bits needed to represent `value` (0 needs 0 bits).
+#[inline]
+pub fn bit_width(value: u64) -> u32 {
+    64 - value.leading_zeros()
+}
+
+/// Sign-magnitude to two's-complement: applies `negative` to `magnitude`.
+#[inline]
+pub fn apply_sign(magnitude: i64, negative: bool) -> i64 {
+    if negative {
+        -magnitude
+    } else {
+        magnitude
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let bits: Vec<u8> = (0..64).map(|i| (i % 3 == 0) as u8).collect();
+        let word = pack_plane(&bits);
+        assert_eq!(unpack_plane(word, 64), bits);
+    }
+
+    #[test]
+    fn pack_partial_group() {
+        let word = pack_plane(&[1, 0, 1]);
+        assert_eq!(word, 0b101);
+        assert_eq!(unpack_plane(word, 3), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn pack_ignores_upper_bits_of_entries() {
+        assert_eq!(pack_plane(&[0xFF, 0x02]), 0b01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn pack_too_many_lanes_panics() {
+        let bits = vec![0u8; 65];
+        let _ = pack_plane(&bits);
+    }
+
+    #[test]
+    fn bit_and_width_helpers() {
+        assert_eq!(bit(0b100, 2), 1);
+        assert_eq!(bit(0b100, 1), 0);
+        assert_eq!(bit_width(0), 0);
+        assert_eq!(bit_width(1), 1);
+        assert_eq!(bit_width(0x400), 11);
+    }
+
+    #[test]
+    fn apply_sign_flips() {
+        assert_eq!(apply_sign(5, false), 5);
+        assert_eq!(apply_sign(5, true), -5);
+        assert_eq!(apply_sign(0, true), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Software IEEE 754 binary16 (half precision) arithmetic and bit utilities.
+//!
+//! The Anda reproduction cannot rely on hardware half-precision support (and
+//! the external `half` crate is outside the allowed dependency set), so this
+//! crate implements the FP16 data type from scratch:
+//!
+//! - [`F16`] — a bit-exact IEEE 754 binary16 value with round-to-nearest-even
+//!   conversions from/to `f32`, full subnormal and special-value handling.
+//! - [`Significand`] — the fixed-point view (hidden bit made explicit) used by
+//!   block-floating-point conversion in the `anda-format` crate.
+//! - [`rounding`] — shift-right-with-rounding primitives shared by the format
+//!   kernels.
+//!
+//! # Example
+//!
+//! ```
+//! use anda_fp::F16;
+//!
+//! let x = F16::from_f32(1.5);
+//! assert_eq!(x.to_f32(), 1.5);
+//! assert_eq!(x.to_bits(), 0x3E00);
+//! ```
+
+pub mod bits;
+pub mod f16;
+pub mod rounding;
+
+pub use f16::{Significand, F16};
+pub use rounding::{shift_right_round, RoundingMode};

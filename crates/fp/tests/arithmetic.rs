@@ -1,0 +1,96 @@
+//! Cross-checks of F16 arithmetic against an f64 reference model.
+
+use anda_fp::F16;
+use proptest::prelude::*;
+
+/// Round an exact f64 result to the nearest representable f16 via f32
+/// (double rounding is safe here because inputs are f16-representable and
+/// products/sums of f16 values round identically through f32).
+fn reference(op: impl Fn(f64, f64) -> f64, a: F16, b: F16) -> F16 {
+    F16::from_f32(op(a.to_f64(), b.to_f64()) as f32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Addition matches the f64-reference rounding for finite operands.
+    #[test]
+    fn add_matches_reference(a in any::<u16>(), b in any::<u16>()) {
+        let (x, y) = (F16::from_bits(a), F16::from_bits(b));
+        prop_assume!(x.is_finite() && y.is_finite());
+        let got = x + y;
+        let want = reference(|p, q| p + q, x, y);
+        if want.is_nan() {
+            prop_assert!(got.is_nan());
+        } else {
+            prop_assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    /// Multiplication matches the f64-reference rounding.
+    #[test]
+    fn mul_matches_reference(a in any::<u16>(), b in any::<u16>()) {
+        let (x, y) = (F16::from_bits(a), F16::from_bits(b));
+        prop_assume!(x.is_finite() && y.is_finite());
+        let got = x * y;
+        let want = reference(|p, q| p * q, x, y);
+        if want.is_nan() {
+            prop_assert!(got.is_nan());
+        } else {
+            prop_assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    /// Subtraction of a value from itself is exactly zero.
+    #[test]
+    fn self_subtraction_is_zero(a in any::<u16>()) {
+        let x = F16::from_bits(a);
+        prop_assume!(x.is_finite());
+        prop_assert!((x - x).is_zero());
+    }
+
+    /// abs() clears exactly the sign bit.
+    #[test]
+    fn abs_clears_sign(a in any::<u16>()) {
+        let x = F16::from_bits(a);
+        prop_assert_eq!(x.abs().to_bits(), a & 0x7FFF);
+    }
+
+    /// Ordering agrees with f32 ordering on numbers.
+    #[test]
+    fn ordering_matches_f32(a in any::<u16>(), b in any::<u16>()) {
+        let (x, y) = (F16::from_bits(a), F16::from_bits(b));
+        prop_assume!(!x.is_nan() && !y.is_nan());
+        prop_assert_eq!(
+            x.partial_cmp(&y),
+            x.to_f32().partial_cmp(&y.to_f32())
+        );
+    }
+}
+
+#[test]
+fn addition_hits_overflow_and_subnormal_boundaries() {
+    assert!((F16::MAX + F16::MAX).is_infinite());
+    assert!((F16::MIN + F16::MIN).is_infinite());
+    let sub = F16::MIN_POSITIVE_SUBNORMAL;
+    assert_eq!((sub + sub).to_bits(), 0x0002);
+    // Crossing from subnormal into normal range.
+    let near = F16::from_bits(0x03FF); // largest subnormal
+    assert_eq!((near + sub).to_bits(), 0x0400); // smallest normal
+}
+
+#[test]
+fn multiplication_flushes_to_signed_zero() {
+    let tiny = F16::MIN_POSITIVE_SUBNORMAL;
+    let r = tiny * tiny;
+    assert!(r.is_zero());
+    let rn = (-tiny) * tiny;
+    assert!(rn.is_zero() && rn.is_sign_negative());
+}
+
+#[test]
+fn division_specials() {
+    assert!((F16::ONE / F16::ZERO).is_infinite());
+    assert!((F16::ZERO / F16::ZERO).is_nan());
+    assert_eq!(F16::ONE / F16::INFINITY, F16::ZERO);
+}

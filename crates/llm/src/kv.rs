@@ -1,0 +1,302 @@
+//! Anda-compressed KV cache (paper §VI, "KV cache optimization").
+//!
+//! The paper keeps the KV cache in FP16 (§V-A) but points out that Anda
+//! "could synergize with KV cache optimizations to significantly accelerate
+//! long-context LLM inference". This module implements that extension: a
+//! KV store whose key/value rows are held in the Anda format, decompressed
+//! on read. Memory shrinks by `16 / (M + 1 + 5/64)`; the attention output
+//! degrades gracefully with M (quantified in the `ablation_kv_cache`
+//! experiment binary).
+
+use anda_format::{AndaConfig, AndaTensor};
+
+/// Storage policy for cached K/V rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KvStorage {
+    /// FP16 rows (the paper's baseline configuration).
+    Fp16,
+    /// Anda-format rows with the given mantissa length.
+    Anda {
+        /// Mantissa length (1..=16).
+        mantissa_bits: u32,
+    },
+}
+
+/// A single-layer KV store with optional Anda compression.
+#[derive(Clone, Debug)]
+pub struct KvStore {
+    storage: KvStorage,
+    dim: usize,
+    keys: Vec<KvRow>,
+    values: Vec<KvRow>,
+}
+
+#[derive(Clone, Debug)]
+enum KvRow {
+    Fp16(Vec<f32>),
+    Anda(AndaTensor),
+}
+
+impl KvRow {
+    fn encode(row: &[f32], storage: KvStorage) -> Self {
+        match storage {
+            KvStorage::Fp16 => KvRow::Fp16(
+                row.iter()
+                    .map(|&v| anda_format::bfp::saturate_to_f16(v).to_f32())
+                    .collect(),
+            ),
+            KvStorage::Anda { mantissa_bits } => {
+                let cfg =
+                    AndaConfig::hardware(mantissa_bits).expect("validated at KvStore construction");
+                KvRow::Anda(AndaTensor::from_f32(row, cfg))
+            }
+        }
+    }
+
+    fn decode(&self) -> Vec<f32> {
+        match self {
+            KvRow::Fp16(v) => v.clone(),
+            KvRow::Anda(t) => t.to_f32(),
+        }
+    }
+
+    fn storage_bits(&self, dim: usize) -> usize {
+        match self {
+            KvRow::Fp16(_) => dim * 16,
+            KvRow::Anda(t) => t.storage_bits(),
+        }
+    }
+}
+
+impl KvStore {
+    /// Creates an empty store for `dim`-wide K/V rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an Anda policy has mantissa bits outside 1..=16.
+    pub fn new(dim: usize, storage: KvStorage) -> Self {
+        if let KvStorage::Anda { mantissa_bits } = storage {
+            AndaConfig::hardware(mantissa_bits).expect("mantissa bits must be 1..=16");
+        }
+        KvStore {
+            storage,
+            dim,
+            keys: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of cached positions.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` when no positions are cached.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Appends one position's key and value rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are not `dim` wide.
+    pub fn push(&mut self, key: &[f32], value: &[f32]) {
+        assert_eq!(key.len(), self.dim, "key width");
+        assert_eq!(value.len(), self.dim, "value width");
+        self.keys.push(KvRow::encode(key, self.storage));
+        self.values.push(KvRow::encode(value, self.storage));
+    }
+
+    /// Decodes the key row at `pos`.
+    pub fn key(&self, pos: usize) -> Vec<f32> {
+        self.keys[pos].decode()
+    }
+
+    /// Decodes the value row at `pos`.
+    pub fn value(&self, pos: usize) -> Vec<f32> {
+        self.values[pos].decode()
+    }
+
+    /// Single-query multi-head attention over the cached positions:
+    /// softmax(q·Kᵀ/√d_head)·V per head, heads concatenated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is empty, `q` is not `dim` wide, or `dim` is not
+    /// divisible by `n_heads`.
+    pub fn attend(&self, q: &[f32], n_heads: usize) -> Vec<f32> {
+        assert!(!self.is_empty(), "attention over an empty cache");
+        assert_eq!(q.len(), self.dim, "query width");
+        assert_eq!(self.dim % n_heads, 0, "head split");
+        let dh = self.dim / n_heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let keys: Vec<Vec<f32>> = (0..self.len()).map(|p| self.key(p)).collect();
+        let values: Vec<Vec<f32>> = (0..self.len()).map(|p| self.value(p)).collect();
+
+        let mut out = vec![0.0f32; self.dim];
+        for h in 0..n_heads {
+            let off = h * dh;
+            let qh = &q[off..off + dh];
+            let mut scores: Vec<f32> = keys
+                .iter()
+                .map(|k| {
+                    qh.iter()
+                        .zip(&k[off..off + dh])
+                        .map(|(&a, &b)| a * b)
+                        .sum::<f32>()
+                        * scale
+                })
+                .collect();
+            let max = scores.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            let mut sum = 0.0f32;
+            for s in scores.iter_mut() {
+                *s = (*s - max).exp();
+                sum += *s;
+            }
+            for (s, v) in scores.iter().zip(&values) {
+                let p = s / sum;
+                for (o, &vv) in out[off..off + dh].iter_mut().zip(&v[off..off + dh]) {
+                    *o += p * vv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Total cache storage in bits.
+    pub fn storage_bits(&self) -> usize {
+        self.keys
+            .iter()
+            .chain(&self.values)
+            .map(|r| r.storage_bits(self.dim))
+            .sum()
+    }
+
+    /// Compression ratio versus an FP16 cache of the same shape.
+    pub fn compression_vs_fp16(&self) -> f64 {
+        let fp16 = (2 * self.len() * self.dim * 16) as f64;
+        if self.storage_bits() == 0 {
+            1.0
+        } else {
+            fp16 / self.storage_bits() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anda_tensor::Rng;
+
+    fn rows(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = Rng::new(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.normal_with(0.0, 1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn fp16_store_round_trips_to_fp16_precision() {
+        let mut store = KvStore::new(64, KvStorage::Fp16);
+        let k = rows(3, 64, 1);
+        for r in &k {
+            store.push(r, r);
+        }
+        assert_eq!(store.len(), 3);
+        for (i, r) in k.iter().enumerate() {
+            for (a, &b) in store.key(i).iter().zip(r) {
+                assert!((a - b).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn anda_store_error_bounded_and_decreasing_in_m() {
+        let data = rows(4, 128, 2);
+        let err_at = |m: u32| {
+            let mut store = KvStore::new(128, KvStorage::Anda { mantissa_bits: m });
+            for r in &data {
+                store.push(r, r);
+            }
+            let mut err = 0.0f64;
+            for (i, r) in data.iter().enumerate() {
+                for (a, &b) in store.key(i).iter().zip(r) {
+                    err += f64::from((a - b).abs());
+                }
+            }
+            err
+        };
+        assert!(err_at(11) < err_at(6));
+        assert!(err_at(6) < err_at(3));
+    }
+
+    #[test]
+    fn compression_ratio_matches_format_accounting() {
+        let mut store = KvStore::new(64, KvStorage::Anda { mantissa_bits: 5 });
+        let data = rows(8, 64, 3);
+        for r in &data {
+            store.push(r, r);
+        }
+        // 5-bit mantissa: ≈ 6.08 bits/element vs 16.
+        let expect = 16.0 / (5.0 + 1.0 + 5.0 / 64.0);
+        assert!((store.compression_vs_fp16() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attention_with_wide_mantissa_matches_fp16() {
+        let dim = 64;
+        let data = rows(10, dim, 4);
+        let q = &rows(1, dim, 5)[0];
+        let mut exact = KvStore::new(dim, KvStorage::Fp16);
+        let mut anda = KvStore::new(dim, KvStorage::Anda { mantissa_bits: 16 });
+        for r in &data {
+            exact.push(r, r);
+            anda.push(r, r);
+        }
+        let a = exact.attend(q, 4);
+        let b = anda.attend(q, 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 2e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn attention_error_grows_as_m_shrinks() {
+        let dim = 64;
+        let data = rows(12, dim, 6);
+        let q = &rows(1, dim, 7)[0];
+        let mut exact = KvStore::new(dim, KvStorage::Fp16);
+        for r in &data {
+            exact.push(r, r);
+        }
+        let reference = exact.attend(q, 4);
+        let err_at = |m: u32| {
+            let mut store = KvStore::new(dim, KvStorage::Anda { mantissa_bits: m });
+            for r in &data {
+                store.push(r, r);
+            }
+            let out = store.attend(q, 4);
+            reference
+                .iter()
+                .zip(&out)
+                .map(|(a, b)| f64::from((a - b).abs()))
+                .sum::<f64>()
+        };
+        assert!(err_at(12) < err_at(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cache")]
+    fn empty_attend_panics() {
+        let store = KvStore::new(64, KvStorage::Fp16);
+        let _ = store.attend(&vec![0.0; 64], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=16")]
+    fn invalid_mantissa_panics() {
+        let _ = KvStore::new(64, KvStorage::Anda { mantissa_bits: 0 });
+    }
+}

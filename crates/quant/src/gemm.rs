@@ -1,0 +1,215 @@
+//! FP-INT GeMM operators (paper Fig. 8).
+//!
+//! All operators compute `x(m×k) · W(k×n)` where `W` is an
+//! [`IntWeightMatrix`]. They differ in how the FP activations are treated:
+//!
+//! - [`gemm_reference`] — exact `f32` activations against dequantized
+//!   weights: the accuracy ceiling of the W4A16 model (Omniquant baseline).
+//! - [`gemm_f16`] — activations rounded to FP16 element-wise, then `f32`
+//!   math: the GPU FP-FP path of Fig. 8(a).
+//! - [`gemm_anda`] — the Anda path of Fig. 8(d): activations converted to
+//!   64-lane Anda groups along k, integer group dots (bit-serial schedule),
+//!   rescale by shared exponent × weight scale, FP32 accumulation across
+//!   groups.
+//! - [`gemm_fake_quant`] — activations passed through any codec
+//!   (quantize→dequantize), then `f32` math; numerically equivalent to the
+//!   integer path for the Anda codec and used by the accuracy sweeps.
+
+use anda_format::align::align_group;
+use anda_format::anda::AndaConfig;
+use anda_format::bfp::saturate_to_f16;
+use anda_format::bitplane::BitPlaneGroup;
+use anda_format::dot::{dot_group_bit_serial, rescale_int_dot};
+use anda_fp::{RoundingMode, F16};
+use anda_tensor::Matrix;
+
+use crate::codec::ActivationCodec;
+use crate::weights::IntWeightMatrix;
+
+/// Exact-activation reference GeMM (the W4A16 accuracy ceiling).
+///
+/// # Panics
+///
+/// Panics if `x.cols() != w.k()`.
+pub fn gemm_reference(x: &Matrix, w: &IntWeightMatrix) -> Matrix {
+    assert_eq!(x.cols(), w.k(), "gemm shape mismatch");
+    x.matmul(&w.dequantize())
+}
+
+/// FP16-activation GeMM: the GPU FP-FP path.
+pub fn gemm_f16(x: &Matrix, w: &IntWeightMatrix) -> Matrix {
+    let x16 = x.map(|v| saturate_to_f16(v).to_f32());
+    gemm_reference(&x16, w)
+}
+
+/// Fake-quantized GeMM: activations pass through `codec`, then `f32` math.
+pub fn gemm_fake_quant(x: &Matrix, w: &IntWeightMatrix, codec: &ActivationCodec) -> Matrix {
+    let xq = codec.apply_matrix(x);
+    gemm_reference(&xq, w)
+}
+
+/// The Anda integer GeMM: bit-serial group dot products with FP32
+/// cross-group accumulation, exactly as the APU array executes it.
+///
+/// Requirements checked at runtime:
+/// - `x.cols() == w.k()`
+/// - the weight group size is a multiple of the 64-lane activation group
+///   (so one weight scale covers each Anda group), unless a group is the
+///   trailing remainder.
+///
+/// # Panics
+///
+/// Panics when the shape or group-compatibility requirements are violated.
+pub fn gemm_anda(x: &Matrix, w: &IntWeightMatrix, mantissa_bits: u32) -> Matrix {
+    assert_eq!(x.cols(), w.k(), "gemm shape mismatch");
+    let lanes = 64usize;
+    assert!(
+        w.config().group_size.is_multiple_of(lanes),
+        "weight group size {} must be a multiple of the {lanes}-lane Anda group",
+        w.config().group_size
+    );
+    let cfg = AndaConfig::new(lanes, mantissa_bits).expect("valid mantissa bits");
+
+    let (m, k) = x.shape();
+    let n = w.n();
+    let mut out = Matrix::zeros(m, n);
+
+    for row in 0..m {
+        // Convert this activation row to Anda groups along k.
+        let acts: Vec<F16> = x.row(row).iter().map(|&v| saturate_to_f16(v)).collect();
+        let groups: Vec<BitPlaneGroup> = acts
+            .chunks(lanes)
+            .map(|chunk| {
+                let aligned = align_group(chunk, cfg.mantissa_bits(), RoundingMode::Truncate)
+                    .expect("saturated activations are finite");
+                BitPlaneGroup::from_aligned(&aligned)
+            })
+            .collect();
+
+        for col in 0..n {
+            let mut acc = 0.0f32;
+            for (g, group) in groups.iter().enumerate() {
+                let k_start = g * lanes;
+                let k_end = (k_start + group.len()).min(k);
+                let weights: Vec<i8> = (k_start..k_end).map(|r| w.value(r, col)).collect();
+                let (int_dot, _) = dot_group_bit_serial(group, &weights);
+                let scale = w.scale_at(k_start, col);
+                acc += rescale_int_dot(int_dot, group.shared_exp(), group.mantissa_bits(), scale);
+            }
+            out[(row, col)] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::WeightQuantConfig;
+    use anda_tensor::Rng;
+
+    fn random_case(m: usize, k: usize, n: usize, seed: u64) -> (Matrix, IntWeightMatrix) {
+        let mut rng = Rng::new(seed);
+        let mut x = Matrix::zeros(m, k);
+        rng.fill_normal(x.as_mut_slice(), 1.0);
+        let mut w = Matrix::zeros(k, n);
+        rng.fill_normal(w.as_mut_slice(), 0.05);
+        let wq = IntWeightMatrix::quantize(&w, WeightQuantConfig::rtn(4, 128));
+        (x, wq)
+    }
+
+    #[test]
+    fn anda_gemm_matches_fake_quant_path() {
+        let (x, w) = random_case(3, 256, 5, 10);
+        for m_bits in [4u32, 7, 11, 16] {
+            let codec = ActivationCodec::anda(m_bits);
+            let fake = gemm_fake_quant(&x, &w, &codec);
+            let int = gemm_anda(&x, &w, m_bits);
+            for i in 0..3 {
+                for j in 0..5 {
+                    let (a, b) = (fake[(i, j)], int[(i, j)]);
+                    assert!(
+                        (a - b).abs() <= a.abs().max(1.0) * 2e-5,
+                        "m={m_bits} ({i},{j}): {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_mantissa_approaches_f16_reference() {
+        let (x, w) = random_case(2, 128, 4, 11);
+        let f16_ref = gemm_f16(&x, &w);
+        let anda = gemm_anda(&x, &w, 16);
+        for i in 0..2 {
+            for j in 0..4 {
+                let (a, b) = (f16_ref[(i, j)], anda[(i, j)]);
+                assert!(
+                    (a - b).abs() <= a.abs().max(1.0) * 1e-2,
+                    "({i},{j}): {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_mantissa_increases_output_error() {
+        let (x, w) = random_case(4, 256, 8, 12);
+        let reference = gemm_reference(&x, &w);
+        let err = |m_bits: u32| {
+            let out = gemm_anda(&x, &w, m_bits);
+            let mut total = 0.0f64;
+            for i in 0..4 {
+                for j in 0..8 {
+                    total += f64::from((out[(i, j)] - reference[(i, j)]).abs());
+                }
+            }
+            total
+        };
+        // Aggregate output error at M=3 must dominate M=11 clearly.
+        assert!(err(3) > 4.0 * err(11), "{} vs {}", err(3), err(11));
+    }
+
+    #[test]
+    fn partial_trailing_group_supported() {
+        let (x, w) = random_case(2, 96, 3, 13); // 96 = 64 + 32 remainder
+        let codec = ActivationCodec::anda(8);
+        let fake = gemm_fake_quant(&x, &w, &codec);
+        let int = gemm_anda(&x, &w, 8);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert!((fake[(i, j)] - int[(i, j)]).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the 64-lane")]
+    fn incompatible_weight_groups_panic() {
+        let (x, w) = {
+            let mut rng = Rng::new(14);
+            let mut x = Matrix::zeros(1, 96);
+            rng.fill_normal(x.as_mut_slice(), 1.0);
+            let mut wm = Matrix::zeros(96, 2);
+            rng.fill_normal(wm.as_mut_slice(), 0.05);
+            (
+                x,
+                IntWeightMatrix::quantize(&wm, WeightQuantConfig::rtn(4, 96)),
+            )
+        };
+        let _ = gemm_anda(&x, &w, 8);
+    }
+
+    #[test]
+    fn f16_path_differs_from_reference_only_by_rounding() {
+        let (x, w) = random_case(2, 128, 2, 15);
+        let a = gemm_reference(&x, &w);
+        let b = gemm_f16(&x, &w);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((a[(i, j)] - b[(i, j)]).abs() < a[(i, j)].abs() * 0.01 + 0.05);
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! BOPs model and the adaptive precision combination search (Algorithm 1).
+//!
+//! - [`bops`] — the bit-operations cost model the paper uses to rank
+//!   precision combinations without running the model: one `FP16×INT4` MAC
+//!   counts 64 BOPs, a BFP/Anda MAC with an M-bit mantissa counts `4·M`.
+//!   This reproduces the paper's own numbers: FIGNA (M=13) saves 1.23×,
+//!   VS-Quant (M=4) saves 4.00×.
+//! - [`search`] — the training-free, one-shot calibration search over the
+//!   4-tuple `[M_qkv, M_o, M_u, M_d]`: a priority queue ordered by BOPs,
+//!   a visited set, and a relaxation step that decrements one module's
+//!   mantissa at a time (paper §III-C, Fig. 9).
+//! - [`surrogate`] — a first-order additive accuracy surrogate fitted from
+//!   per-module sweeps, enabling the brute-force frontier comparison the
+//!   paper references (Fig. 9's >10,000-point space).
+
+pub mod bops;
+pub mod search;
+pub mod surrogate;
+
+pub use bops::{bops_per_token, bops_saving, BOPS_PER_FP16_INT4_MAC};
+pub use search::{
+    adaptive_precision_search, AccuracyEvaluator, PplEvaluator, SearchConfig, SearchOutcome,
+    SearchStep,
+};

@@ -1,0 +1,261 @@
+//! Surrogate accuracy model and brute-force frontier comparison.
+//!
+//! The paper contrasts its 10-iteration search with "conventional
+//! brute-force approaches" over a >10,000-point space (Fig. 9). Exhaustive
+//! evaluation with real forward passes is impractical by design — that is
+//! the algorithm's selling point — so this module provides the comparison
+//! the honest way:
+//!
+//! 1. Fit a cheap **surrogate** of the accuracy landscape from the
+//!    per-module sensitivity sweeps (Fig. 7 data): per-module loss curves
+//!    are measured once (4 modules × mantissa range forward passes) and
+//!    combined additively — accurate to first order because module
+//!    truncation errors are nearly independent perturbations.
+//! 2. **Brute-force** the full 10⁴ combination space on the surrogate to
+//!    find the true frontier, then measure the gap between the search's
+//!    pick and the surrogate optimum.
+
+use std::collections::HashMap;
+
+use anda_llm::config::ModelConfig;
+use anda_llm::eval::perplexity;
+use anda_llm::model::Model;
+use anda_llm::modules::{CodecAssignment, ModuleKind, PrecisionCombo};
+use anda_quant::ActivationCodec;
+
+use crate::bops::bops_per_token;
+use crate::search::AccuracyEvaluator;
+
+/// A first-order additive model of `ppl(combo)` fitted from per-module
+/// sweeps.
+#[derive(Clone, Debug)]
+pub struct SurrogateLandscape {
+    baseline_ppl: f64,
+    /// `module_loss[module][m - lo]` = PPL increase when only that module
+    /// runs at mantissa length `m`.
+    module_loss: [Vec<f64>; 4],
+    /// Mantissa range covered, inclusive.
+    range: (u32, u32),
+    evals_spent: usize,
+}
+
+impl SurrogateLandscape {
+    /// Fits the surrogate by sweeping each module independently (others at
+    /// the top of `range`), costing `4 × |range|` forward passes.
+    pub fn fit(model: &Model, calibration: &[usize], window: usize, range: (u32, u32)) -> Self {
+        let (lo, hi) = range;
+        assert!(lo >= 1 && hi <= 16 && lo <= hi, "invalid mantissa range");
+        let baseline_ppl = perplexity(model, &CodecAssignment::fp16(), calibration, window);
+        let mut evals = 1usize;
+        let reference = CodecAssignment::uniform(ActivationCodec::anda(hi));
+
+        let mut module_loss: [Vec<f64>; 4] = Default::default();
+        for kind in ModuleKind::ALL {
+            let mut losses = Vec::with_capacity((hi - lo + 1) as usize);
+            for m in lo..=hi {
+                let codecs = reference.with_module(kind, ActivationCodec::anda(m));
+                let ppl = perplexity(model, &codecs, calibration, window);
+                evals += 1;
+                losses.push((ppl - baseline_ppl).max(0.0));
+            }
+            module_loss[kind.index()] = losses;
+        }
+        SurrogateLandscape {
+            baseline_ppl,
+            module_loss,
+            range,
+            evals_spent: evals,
+        }
+    }
+
+    /// The FP16 baseline perplexity.
+    pub fn baseline_ppl(&self) -> f64 {
+        self.baseline_ppl
+    }
+
+    /// Forward passes spent fitting.
+    pub fn fit_cost(&self) -> usize {
+        self.evals_spent
+    }
+
+    /// Surrogate perplexity of a combination (additive first-order model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is outside the fitted range.
+    pub fn predict(&self, combo: PrecisionCombo) -> f64 {
+        let (lo, hi) = self.range;
+        let mut ppl = self.baseline_ppl;
+        for kind in ModuleKind::ALL {
+            let m = combo.mantissa_for(kind);
+            assert!(
+                (lo..=hi).contains(&m),
+                "mantissa {m} outside fitted range {lo}..={hi}"
+            );
+            ppl += self.module_loss[kind.index()][(m - lo) as usize];
+        }
+        ppl
+    }
+
+    /// Exhaustively enumerates the fitted space and returns the minimum-BOPs
+    /// combination whose surrogate loss stays within `tolerance`, plus the
+    /// number of points examined.
+    pub fn brute_force_optimum(
+        &self,
+        cfg: &ModelConfig,
+        tolerance: f64,
+    ) -> (Option<PrecisionCombo>, usize) {
+        let (lo, hi) = self.range;
+        let threshold = self.baseline_ppl * (1.0 + tolerance);
+        let mut best: Option<(u64, PrecisionCombo)> = None;
+        let mut examined = 0usize;
+        for a in lo..=hi {
+            for b in lo..=hi {
+                for c in lo..=hi {
+                    for d in lo..=hi {
+                        examined += 1;
+                        let combo = PrecisionCombo([a, b, c, d]);
+                        if self.predict(combo) > threshold {
+                            continue;
+                        }
+                        let bops = bops_per_token(cfg, combo);
+                        if best.is_none_or(|(bb, _)| bops < bb) {
+                            best = Some((bops, combo));
+                        }
+                    }
+                }
+            }
+        }
+        (best.map(|(_, c)| c), examined)
+    }
+}
+
+/// An [`AccuracyEvaluator`] backed by the surrogate, for running
+/// Algorithm 1 on the fitted landscape (fast search-quality studies).
+pub struct SurrogateEvaluator<'a> {
+    landscape: &'a SurrogateLandscape,
+    cache: HashMap<PrecisionCombo, f64>,
+    evals: usize,
+}
+
+impl<'a> SurrogateEvaluator<'a> {
+    /// Wraps a fitted landscape.
+    pub fn new(landscape: &'a SurrogateLandscape) -> Self {
+        SurrogateEvaluator {
+            landscape,
+            cache: HashMap::new(),
+            evals: 0,
+        }
+    }
+}
+
+impl AccuracyEvaluator for SurrogateEvaluator<'_> {
+    fn baseline(&mut self) -> f64 {
+        self.landscape.baseline_ppl()
+    }
+    fn evaluate(&mut self, combo: PrecisionCombo) -> f64 {
+        if let Some(&p) = self.cache.get(&combo) {
+            return p;
+        }
+        self.evals += 1;
+        // The search may relax below the fitted range; such combos are
+        // outside the surrogate's domain and reported as infeasible.
+        let (lo, hi) = self.landscape.range;
+        let in_range = combo.0.iter().all(|m| (lo..=hi).contains(m));
+        let p = if in_range {
+            self.landscape.predict(combo)
+        } else {
+            f64::INFINITY
+        };
+        self.cache.insert(combo, p);
+        p
+    }
+    fn evaluations(&self) -> usize {
+        self.evals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{adaptive_precision_search, SearchConfig};
+    use anda_llm::zoo::real_model;
+
+    /// A hand-built landscape with known per-module losses.
+    fn synthetic() -> SurrogateLandscape {
+        // Losses decrease with m; module 0 (qkv) is most sensitive.
+        let curve = |scale: f64| -> Vec<f64> {
+            (4..=13u32)
+                .map(|m| scale * (2.0f64).powi(-(m as i32)) * 30.0)
+                .collect()
+        };
+        SurrogateLandscape {
+            baseline_ppl: 10.0,
+            module_loss: [curve(8.0), curve(1.0), curve(2.0), curve(0.5)],
+            range: (4, 13),
+            evals_spent: 41,
+        }
+    }
+
+    #[test]
+    fn predict_is_additive_and_monotone() {
+        let land = synthetic();
+        let narrow = land.predict(PrecisionCombo::uniform(4));
+        let wide = land.predict(PrecisionCombo::uniform(13));
+        assert!(narrow > wide);
+        assert!(wide >= land.baseline_ppl());
+        // Additivity: changing one module changes exactly its term.
+        let a = land.predict(PrecisionCombo([8, 8, 8, 8]));
+        let b = land.predict(PrecisionCombo([9, 8, 8, 8]));
+        let da = land.module_loss[0][4] - land.module_loss[0][5];
+        assert!((a - b - da).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brute_force_examines_full_space() {
+        let land = synthetic();
+        let cfg = real_model("OPT-6.7B").unwrap();
+        let (best, examined) = land.brute_force_optimum(&cfg, 0.01);
+        assert_eq!(examined, 10_000);
+        let best = best.expect("feasible");
+        // The optimum must be feasible and at the constraint boundary-ish.
+        assert!(land.predict(best) <= land.baseline_ppl() * 1.01);
+    }
+
+    #[test]
+    fn search_on_surrogate_matches_brute_force_bops_closely() {
+        let land = synthetic();
+        let cfg = real_model("OPT-6.7B").unwrap();
+        let (brute, _) = land.brute_force_optimum(&cfg, 0.01);
+        let brute = brute.unwrap();
+
+        let mut ev = SurrogateEvaluator::new(&land);
+        let mut scfg = SearchConfig::with_tolerance(0.01);
+        scfg.max_iterations = 32;
+        let out = adaptive_precision_search(&cfg, &mut ev, &scfg);
+        let searched = out.best.expect("search must find a combo");
+
+        let gap = bops_per_token(&cfg, searched) as f64 / bops_per_token(&cfg, brute) as f64;
+        // Paper: near-optimal within few iterations; allow ≤25% BOPs gap.
+        assert!((1.0..1.25).contains(&gap), "BOPs gap {gap} ({searched} vs {brute})");
+        assert!(out.trace.len() <= 32);
+    }
+
+    #[test]
+    fn surrogate_evaluator_caches() {
+        let land = synthetic();
+        let mut ev = SurrogateEvaluator::new(&land);
+        let c = PrecisionCombo::uniform(7);
+        let a = ev.evaluate(c);
+        let b = ev.evaluate(c);
+        assert_eq!(a, b);
+        assert_eq!(ev.evaluations(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside fitted range")]
+    fn out_of_range_prediction_panics() {
+        let land = synthetic();
+        let _ = land.predict(PrecisionCombo::uniform(16));
+    }
+}

@@ -1,0 +1,139 @@
+//! Component-level area/power breakdown of the Anda accelerator
+//! (paper Table III) and total-area derivation for every baseline.
+//!
+//! The Anda component values are the paper's synthesis results (16 nm,
+//! 285 MHz, 0.8 V). Baseline totals replace the MXU with an equal-count
+//! array of their PE type (scaled by the Fig. 15 area ratios) while keeping
+//! the same buffers and vector unit — the paper's equal-on-chip-memory
+//! comparison.
+
+use crate::pe::PeKind;
+
+/// One floorplan component.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Component {
+    /// Component name as in Table III.
+    pub name: &'static str,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+}
+
+/// Table III: the Anda accelerator's components.
+pub const ANDA_COMPONENTS: [Component; 6] = [
+    Component {
+        name: "MXU (16x16 APUs)",
+        area_mm2: 0.41,
+        power_mw: 54.34,
+    },
+    Component {
+        name: "BPC (16 lanes)",
+        area_mm2: 0.07,
+        power_mw: 1.06,
+    },
+    Component {
+        name: "Vector Unit (64 FPUs)",
+        area_mm2: 0.05,
+        power_mw: 0.87,
+    },
+    Component {
+        name: "Activation Buffer (1MB+0.125MB)",
+        area_mm2: 0.87,
+        power_mw: 16.94,
+    },
+    Component {
+        name: "Weight Buffer (1MB)",
+        area_mm2: 0.80,
+        power_mw: 7.96,
+    },
+    Component {
+        name: "Others (top controller)",
+        area_mm2: 0.01,
+        power_mw: 0.01,
+    },
+];
+
+/// Total Anda accelerator area (Table III bottom line: 2.17 mm²).
+pub fn anda_total_area_mm2() -> f64 {
+    ANDA_COMPONENTS.iter().map(|c| c.area_mm2).sum()
+}
+
+/// Total Anda accelerator power (Table III bottom line: 81.18 mW).
+pub fn anda_total_power_mw() -> f64 {
+    ANDA_COMPONENTS.iter().map(|c| c.power_mw).sum()
+}
+
+/// Area of the shared non-MXU infrastructure (buffers, vector unit, top
+/// controller) present in every compared accelerator.
+pub fn shared_area_mm2() -> f64 {
+    ANDA_COMPONENTS
+        .iter()
+        .filter(|c| !c.name.starts_with("MXU") && !c.name.starts_with("BPC"))
+        .map(|c| c.area_mm2)
+        .sum()
+}
+
+/// Area of the Anda MXU (256 APUs).
+pub fn anda_mxu_area_mm2() -> f64 {
+    ANDA_COMPONENTS[0].area_mm2
+}
+
+/// Total accelerator area for any PE kind: shared infrastructure plus a
+/// 256-unit array of that PE (scaled by the synthesis area ratios), plus
+/// the BPC for Anda only.
+pub fn total_area_mm2(kind: PeKind) -> f64 {
+    let mxu = anda_mxu_area_mm2() * kind.area_rel() / PeKind::Anda.area_rel();
+    let bpc = if kind == PeKind::Anda {
+        ANDA_COMPONENTS[1].area_mm2
+    } else {
+        0.0
+    };
+    shared_area_mm2() + mxu + bpc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_totals() {
+        assert!((anda_total_area_mm2() - 2.21).abs() < 0.05); // 2.17 ±rounding
+        assert!((anda_total_power_mw() - 81.18).abs() < 0.1);
+    }
+
+    #[test]
+    fn mxu_dominates_power_buffers_dominate_area() {
+        let total_area = anda_total_area_mm2();
+        let total_power = anda_total_power_mw();
+        let mxu = &ANDA_COMPONENTS[0];
+        assert!(mxu.power_mw / total_power > 0.6, "MXU power share");
+        assert!(mxu.area_mm2 / total_area < 0.25, "MXU area share");
+        let buffers: f64 = ANDA_COMPONENTS[3].area_mm2 + ANDA_COMPONENTS[4].area_mm2;
+        assert!(buffers / total_area > 0.7, "buffer area share");
+    }
+
+    #[test]
+    fn bpc_is_cheap() {
+        // Paper: BPC ≈ 3.2% of area, 1.3% of power.
+        let bpc = &ANDA_COMPONENTS[1];
+        assert!(bpc.area_mm2 / anda_total_area_mm2() < 0.04);
+        assert!(bpc.power_mw / anda_total_power_mw() < 0.02);
+    }
+
+    #[test]
+    fn fpfp_total_area_implies_fig16_area_ratios() {
+        // Anda/FP-FP total area ≈ 0.62 → area-efficiency gain ≈ speedup/0.62.
+        let ratio = total_area_mm2(PeKind::Anda) / total_area_mm2(PeKind::FpFp);
+        assert!(ratio > 0.55 && ratio < 0.70, "ratio {ratio}");
+    }
+
+    #[test]
+    fn baseline_areas_are_ordered_by_pe_area() {
+        let areas: Vec<f64> = PeKind::ALL.iter().map(|&k| total_area_mm2(k)).collect();
+        // FP-FP largest; FIGNA-M8 smallest among bit-parallel.
+        assert!(areas[0] > areas[1] && areas[1] > areas[2]);
+        let m8 = total_area_mm2(PeKind::FignaM8);
+        assert!(PeKind::ALL.iter().all(|&k| total_area_mm2(k) >= m8));
+    }
+}

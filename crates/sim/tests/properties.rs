@@ -1,0 +1,109 @@
+//! Property-based tests for the accelerator simulator: physical sanity of
+//! the timing/traffic/energy model across the workload space.
+
+use anda_llm::modules::ModuleKind;
+use anda_sim::arch::Accelerator;
+use anda_sim::engine::{simulate_gemm, simulate_gemm_opts, WEIGHT_BITS_EFF};
+use anda_sim::pe::PeKind;
+use anda_sim::workload::Gemm;
+use proptest::prelude::*;
+
+fn gemm_strategy() -> impl Strategy<Value = Gemm> {
+    (1usize..=512, 1usize..=64, 1usize..=64, 1usize..=4).prop_map(|(m, k64, n, count)| Gemm {
+        module: ModuleKind::Qkv,
+        m,
+        k: k64 * 64,
+        n: n * 16,
+        count,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// DRAM traffic never drops below the compulsory once-through floor and
+    /// outputs are accounted exactly.
+    #[test]
+    fn dram_traffic_floors(g in gemm_strategy(), m_bits in 1u32..=16) {
+        let arch = Accelerator::paper(PeKind::Anda);
+        let r = simulate_gemm(&g, &arch, m_bits);
+        let count = g.count as f64;
+        let w_floor = g.k as f64 * g.n as f64 * WEIGHT_BITS_EFF * count;
+        let a_bits = arch.act_bits_per_element(m_bits);
+        let a_floor = g.m as f64 * g.k as f64 * a_bits * count;
+        prop_assert!(r.dram_bits_weights >= w_floor - 1.0);
+        prop_assert!(r.dram_bits_acts_in >= a_floor - 1.0);
+        let out = g.m as f64 * g.n as f64 * a_bits * count;
+        prop_assert!((r.dram_bits_acts_out - out).abs() < 1.0);
+    }
+
+    /// Anda cycles are strictly monotone in mantissa bits; energies too.
+    #[test]
+    fn anda_cost_monotone_in_mantissa(g in gemm_strategy(), m in 1u32..16) {
+        let arch = Accelerator::paper(PeKind::Anda);
+        let lo = simulate_gemm(&g, &arch, m);
+        let hi = simulate_gemm(&g, &arch, m + 1);
+        prop_assert!(lo.compute_cycles < hi.compute_cycles);
+        prop_assert!(lo.energy_pj() < hi.energy_pj());
+        prop_assert!(lo.dram_bits() <= hi.dram_bits());
+    }
+
+    /// Time is exactly the max of compute time and DRAM streaming time.
+    #[test]
+    fn time_is_max_of_compute_and_memory(g in gemm_strategy(), m_bits in 1u32..=16) {
+        for kind in [PeKind::FpFp, PeKind::Figna, PeKind::Anda] {
+            let arch = Accelerator::paper(kind);
+            let r = simulate_gemm(&g, &arch, m_bits.max(4));
+            let ct = r.compute_cycles / arch.clock_hz;
+            let dt = r.dram_bits() / arch.dram_bits_per_s;
+            prop_assert!((r.time_s - ct.max(dt)).abs() <= r.time_s * 1e-12);
+        }
+    }
+
+    /// Linearity in `count`: N instances cost exactly N times one instance.
+    #[test]
+    fn linear_in_count(g in gemm_strategy(), m_bits in 4u32..=16) {
+        let arch = Accelerator::paper(PeKind::Anda);
+        let single = Gemm { count: 1, ..g };
+        let r1 = simulate_gemm(&single, &arch, m_bits);
+        let rn = simulate_gemm(&g, &arch, m_bits);
+        let n = g.count as f64;
+        prop_assert!((rn.energy_pj() - n * r1.energy_pj()).abs() <= rn.energy_pj() * 1e-9);
+        prop_assert!((rn.compute_cycles - n * r1.compute_cycles).abs() <= rn.compute_cycles * 1e-9);
+    }
+
+    /// Bypassing the BPC affects only output traffic, in the direction the
+    /// storage accounting dictates: compression helps iff the Anda element
+    /// is narrower than FP16 (true for M ≤ 14, false for M ≥ 15 where the
+    /// format carries more bits than it saves).
+    #[test]
+    fn bpc_bypass_only_touches_outputs(g in gemm_strategy(), m_bits in 1u32..=16) {
+        let arch = Accelerator::paper(PeKind::Anda);
+        let on = simulate_gemm_opts(&g, &arch, m_bits, true);
+        let off = simulate_gemm_opts(&g, &arch, m_bits, false);
+        prop_assert_eq!(off.dram_bits_weights, on.dram_bits_weights);
+        prop_assert_eq!(off.dram_bits_acts_in, on.dram_bits_acts_in);
+        if arch.act_bits_per_element(m_bits) <= 16.0 {
+            prop_assert!(off.dram_bits_acts_out >= on.dram_bits_acts_out);
+            prop_assert!(off.energy_pj() >= on.energy_pj() * 0.999);
+        } else {
+            prop_assert!(off.dram_bits_acts_out <= on.dram_bits_acts_out);
+        }
+    }
+
+    /// All baseline architectures see identical memory behaviour (they all
+    /// store FP16 activations) and identical cycle counts at the FP16
+    /// datapath width.
+    #[test]
+    fn baselines_differ_only_in_compute_energy(g in gemm_strategy()) {
+        let reports: Vec<_> = [PeKind::FpFp, PeKind::FpInt, PeKind::Ifpu, PeKind::Figna]
+            .into_iter()
+            .map(|k| simulate_gemm(&g, &Accelerator::paper(k), 16))
+            .collect();
+        for r in &reports[1..] {
+            prop_assert_eq!(r.dram_bits(), reports[0].dram_bits());
+            prop_assert_eq!(r.compute_cycles, reports[0].compute_cycles);
+            prop_assert!(r.energy_compute_pj < reports[0].energy_compute_pj);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Simulate one LLM inference on the Anda accelerator and every baseline:
+//! speedup, energy breakdown and area efficiency versus the GPU-like FP-FP
+//! system.
+//!
+//! Run with: `cargo run --release --example accelerator_sim`
+
+use anda::llm::modules::PrecisionCombo;
+use anda::llm::zoo::real_model;
+use anda::sim::pe::PeKind;
+use anda::sim::system::{simulate_baseline, simulate_model};
+
+fn main() {
+    let cfg = real_model("LLaMA-13B").expect("model in catalog");
+    let seq = 2048;
+    // A representative searched combination at 1% tolerance.
+    let combo = PrecisionCombo([7, 5, 6, 6]);
+
+    println!(
+        "== {} (batch 1, {seq}-token prefill), Anda combo {combo} ==\n",
+        cfg.name
+    );
+    let base = simulate_baseline(&cfg, seq);
+
+    println!(
+        "{:<12} {:>8} {:>9} {:>9} {:>9} {:>22}",
+        "system", "speedup", "area eff", "en. eff", "energy J", "split compute/sram/dram"
+    );
+    println!("{}", "-".repeat(75));
+    for kind in PeKind::ALL {
+        let m = kind.datapath_mantissa_bits().unwrap_or(0);
+        let c = if kind == PeKind::Anda {
+            combo
+        } else {
+            PrecisionCombo::uniform(m.max(4))
+        };
+        let r = simulate_model(&cfg, seq, kind, c);
+        let (cf, sf, df) = r.energy_split();
+        println!(
+            "{:<12} {:>7.2}x {:>8.2}x {:>8.2}x {:>9.3} {:>9.0}%/{:.0}%/{:.0}%",
+            kind.name(),
+            r.speedup_vs(&base),
+            r.area_efficiency_vs(&base),
+            r.energy_efficiency_vs(&base),
+            r.energy_j(),
+            100.0 * cf,
+            100.0 * sf,
+            100.0 * df,
+        );
+    }
+
+    let anda = simulate_model(&cfg, seq, PeKind::Anda, combo);
+    println!(
+        "\nAnda accelerator: {:.2} mm², {:.1} ms, {:.3} J for the FP-INT GeMM portion",
+        anda.area_mm2,
+        anda.time_s() * 1e3,
+        anda.energy_j(),
+    );
+    println!("(paper: 2.4x speedup, 4.0x area efficiency, 3.1x energy efficiency on average)");
+}

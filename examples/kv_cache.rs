@@ -1,0 +1,71 @@
+//! The §VI extension in action: an Anda-compressed KV cache — memory
+//! savings, attention fidelity, and long-context decode gains.
+//!
+//! Run with: `cargo run --release --example kv_cache`
+
+use anda::llm::kv::{KvStorage, KvStore};
+use anda::llm::modules::PrecisionCombo;
+use anda::llm::zoo::real_model;
+use anda::sim::decode::{simulate_decode, simulate_decode_baseline, KvPolicy};
+use anda::sim::pe::PeKind;
+use anda::tensor::Rng;
+
+fn main() {
+    println!("== Anda-compressed KV cache ==\n");
+
+    // Functional: cache fidelity.
+    let dim = 128;
+    let mut rng = Rng::new(99);
+    let rows: Vec<Vec<f32>> = (0..512)
+        .map(|_| (0..dim).map(|_| rng.normal_with(0.0, 1.0)).collect())
+        .collect();
+    let q: Vec<f32> = (0..dim).map(|_| rng.normal_with(0.0, 1.0)).collect();
+
+    let mut exact = KvStore::new(dim, KvStorage::Fp16);
+    for r in &rows {
+        exact.push(r, r);
+    }
+    let reference = exact.attend(&q, 4);
+
+    println!("{:<12} {:>12} {:>14}", "storage", "compression", "attn max|err|");
+    println!("{}", "-".repeat(40));
+    for m in [4u32, 6, 8, 11] {
+        let mut store = KvStore::new(dim, KvStorage::Anda { mantissa_bits: m });
+        for r in &rows {
+            store.push(r, r);
+        }
+        let out = store.attend(&q, 4);
+        let err = reference
+            .iter()
+            .zip(&out)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        println!(
+            "Anda M={m:<4} {:>11.2}x {:>14.5}",
+            store.compression_vs_fp16(),
+            err
+        );
+    }
+
+    // System-level: long-context decode.
+    let cfg = real_model("LLaMA2-13B").unwrap();
+    let combo = PrecisionCombo([7, 6, 6, 6]);
+    println!("\ndecode of 64 tokens on {} (Anda combo {combo}):", cfg.name);
+    for context in [2048usize, 8192, 16384] {
+        let base = simulate_decode_baseline(&cfg, context, 64);
+        let anda = simulate_decode(
+            &cfg,
+            context,
+            64,
+            PeKind::Anda,
+            combo,
+            KvPolicy::Anda { mantissa_bits: 6 },
+        );
+        println!(
+            "  context {context:>6}: {:.2}x faster, {:.2}x energy efficiency",
+            anda.speedup_vs(&base),
+            anda.energy_efficiency_vs(&base),
+        );
+    }
+    println!("\n(the KV stream grows with context; compressing it keeps decode scaling)");
+}

@@ -1,0 +1,73 @@
+//! Run the adaptive precision combination search (Algorithm 1) on a
+//! simulated weight-only quantized LLM and inspect the trace.
+//!
+//! Run with: `cargo run --release --example precision_search`
+
+use anda::llm::corpus::corpus;
+use anda::llm::eval::perplexity;
+use anda::llm::modules::CodecAssignment;
+use anda::llm::zoo::sim_model;
+use anda::quant::WeightQuantConfig;
+use anda::search::bops::bops_saving;
+use anda::search::search::{adaptive_precision_search, PplEvaluator, SearchConfig};
+
+fn main() {
+    let spec = sim_model("OPT-2.7B").expect("model in catalog");
+    println!("== adaptive precision search on {} ==\n", spec.sim.name);
+
+    // Build the FP16 reference, generate calibration data, quantize weights.
+    let mut fp16 = spec.build();
+    let data = corpus("wikitext2-sim").unwrap().generate(&fp16, 256, 512);
+    let mut quant = fp16.quantize_weights(WeightQuantConfig::w4_sim());
+    fp16.calibrate_logit_scale(&data.calibration, 128);
+    quant.calibrate_logit_scale(&data.calibration, 128);
+
+    for tolerance in [0.001, 0.01, 0.05] {
+        let mut evaluator = PplEvaluator::new(&quant, &data.calibration, 128);
+        let outcome = adaptive_precision_search(
+            &spec.sim,
+            &mut evaluator,
+            &SearchConfig::with_tolerance(tolerance),
+        );
+        print!("δ = {:>4.1}%: ", 100.0 * tolerance);
+        match outcome.best {
+            Some(best) => {
+                let val_base = perplexity(&quant, &CodecAssignment::fp16(), &data.validation, 128);
+                let val_ppl = perplexity(
+                    &quant,
+                    &CodecAssignment::from_combo(best),
+                    &data.validation,
+                    128,
+                );
+                println!(
+                    "best {best}  ({} iterations, {:.2}x BOPs saving, validation loss {:+.2}%)",
+                    outcome.trace.len(),
+                    bops_saving(&spec.sim, best),
+                    100.0 * (val_ppl - val_base) / val_base,
+                );
+            }
+            None => println!("no combination met the tolerance"),
+        }
+    }
+
+    println!("\ntrace of the 1% search:");
+    let mut evaluator = PplEvaluator::new(&quant, &data.calibration, 128);
+    let outcome = adaptive_precision_search(
+        &spec.sim,
+        &mut evaluator,
+        &SearchConfig::with_tolerance(0.01),
+    );
+    for step in &outcome.trace {
+        println!(
+            "  #{:<2} {}  ppl {:8.3}  {}",
+            step.iteration,
+            step.combo,
+            step.ppl,
+            if step.accepted {
+                "accepted ✓"
+            } else {
+                "rejected"
+            },
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: convert FP16 activations to the Anda format, inspect the
+//! bit-plane layout, run a bit-serial dot product, and measure round-trip
+//! error versus plain FP16.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use anda::format::compressor::BitPlaneCompressor;
+use anda::format::dot::{dot_f16_int_reference, dot_group_bit_serial, rescale_int_dot};
+use anda::format::stats::{max_abs_err, sqnr_db};
+use anda::format::{AndaConfig, AndaTensor};
+use anda::fp::F16;
+
+fn main() {
+    // Some activations with an outlier, as LLM channels tend to have.
+    let mut acts: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.37).sin() * 0.8).collect();
+    acts[17] = 24.0; // outlier channel
+
+    println!("== Anda quickstart ==\n");
+
+    // 1. Convert at a few mantissa lengths and look at the cost of each.
+    for m in [4u32, 6, 8, 11] {
+        let cfg = AndaConfig::hardware(m).expect("1..=16 mantissa bits");
+        let tensor = AndaTensor::from_f32(&acts, cfg);
+        let restored = tensor.to_f32();
+        let f16_ref: Vec<f32> = acts.iter().map(|&v| F16::from_f32(v).to_f32()).collect();
+        println!(
+            "M={m:2}  bits/elem={:5.2}  compression vs FP16 = {:.2}x  max|err|={:.4}  sqnr={:5.1} dB",
+            tensor.bits_per_element(),
+            tensor.compression_vs_f16(),
+            max_abs_err(&f16_ref, &restored),
+            sqnr_db(&f16_ref, &restored),
+        );
+    }
+
+    // 2. The bit-plane layout: one sign plane + M mantissa planes of 64 bits.
+    let cfg = AndaConfig::hardware(6).unwrap();
+    let tensor = AndaTensor::from_f32(&acts, cfg);
+    let group = &tensor.groups()[0];
+    println!(
+        "\ngroup #0: shared exponent {}, {} mantissa planes, {} memory words",
+        group.shared_exp(),
+        group.mantissa_bits(),
+        group.mantissa_words(),
+    );
+    for (i, plane) in group.planes().iter().enumerate() {
+        println!(
+            "  plane {i} (bit {}): {plane:#018x}",
+            group.mantissa_bits() as usize - 1 - i
+        );
+    }
+
+    // 3. Bit-serial dot product against INT4 weights — exactly what the APU
+    //    executes, plane by plane.
+    let weights: Vec<i8> = (0..64).map(|i| ((i * 5) % 15) as i8 - 7).collect();
+    let (int_dot, trace) = dot_group_bit_serial(group, &weights);
+    let anda_result = rescale_int_dot(int_dot, group.shared_exp(), group.mantissa_bits(), 0.01);
+    let f16_acts: Vec<F16> = acts.iter().map(|&v| F16::from_f32(v)).collect();
+    let reference = dot_f16_int_reference(&f16_acts, &weights, 0.01);
+    println!(
+        "\nbit-serial dot: {anda_result:.4} in {} cycles (FP16 reference {reference:.4})",
+        trace.cycles
+    );
+
+    // 4. The runtime compressor produces identical bit-planes on the fly.
+    let (via_bpc, report) = BitPlaneCompressor::new(cfg).compress_f32(&acts);
+    assert_eq!(via_bpc, tensor);
+    println!(
+        "\nBPC: {} groups in {} cycles, compression {:.2}x — identical to direct conversion",
+        report.groups,
+        report.cycles,
+        report.compression_ratio(),
+    );
+}

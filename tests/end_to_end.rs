@@ -1,0 +1,68 @@
+//! Full-stack smoke test: one pass through every deliverable — format,
+//! quantization, LLM, search, simulator — mirroring the paper's deployment
+//! story (Fig. 1): offline one-shot calibration, then online
+//! variable-precision inference on Anda hardware.
+
+use anda::llm::corpus::corpus;
+use anda::llm::eval::perplexity;
+use anda::llm::modules::CodecAssignment;
+use anda::llm::zoo::sim_model;
+use anda::quant::WeightQuantConfig;
+use anda::search::search::{adaptive_precision_search, PplEvaluator, SearchConfig};
+use anda::sim::pe::PeKind;
+use anda::sim::system::{simulate_baseline, simulate_model};
+
+#[test]
+fn offline_calibration_then_online_inference() {
+    // --- Offline (compile-time) phase ---
+    let spec = sim_model("OPT-1.3B").unwrap();
+    let fp16 = spec.build();
+    let data = corpus("wikitext2-sim").unwrap().generate(&fp16, 256, 256);
+    let mut quant = fp16.quantize_weights(WeightQuantConfig::w4_sim());
+    quant.calibrate_logit_scale(&data.calibration, 128);
+
+    let mut evaluator = PplEvaluator::new(&quant, &data.calibration, 128);
+    let outcome = adaptive_precision_search(
+        &spec.sim,
+        &mut evaluator,
+        &SearchConfig::with_tolerance(0.01),
+    );
+    let combo = outcome.best.expect("1% search must succeed");
+
+    // --- Online phase: accuracy on held-out data ---
+    let base = perplexity(&quant, &CodecAssignment::fp16(), &data.validation, 128);
+    let anda_ppl = perplexity(
+        &quant,
+        &CodecAssignment::from_combo(combo),
+        &data.validation,
+        128,
+    );
+    assert!(
+        (anda_ppl - base) / base < 0.05,
+        "validation ppl {anda_ppl} vs baseline {base} for {combo}"
+    );
+
+    // --- Hardware gains with that combo on the real-dimension model ---
+    let real = &spec.real;
+    let baseline_hw = simulate_baseline(real, 2048);
+    let anda_hw = simulate_model(real, 2048, PeKind::Anda, combo);
+    assert!(anda_hw.speedup_vs(&baseline_hw) > 1.5);
+    assert!(anda_hw.energy_efficiency_vs(&baseline_hw) > 2.0);
+    assert!(anda_hw.area_mm2 < baseline_hw.area_mm2);
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let spec = sim_model("LLaMA2-7B").unwrap();
+        let fp16 = spec.build();
+        let data = corpus("ptb-sim").unwrap().generate(&fp16, 128, 128);
+        let mut quant = fp16.quantize_weights(WeightQuantConfig::w4_sim());
+        quant.calibrate_logit_scale(&data.calibration, 128);
+        let mut ev = PplEvaluator::new(&quant, &data.calibration, 128);
+        let out =
+            adaptive_precision_search(&spec.sim, &mut ev, &SearchConfig::with_tolerance(0.01));
+        (out.best, out.trace.len(), out.baseline_ppl.to_bits())
+    };
+    assert_eq!(run(), run(), "identical seeds must give identical outcomes");
+}

@@ -1,0 +1,111 @@
+//! Cross-crate integration: the full deployment pipeline — synthesize →
+//! generate calibration data → quantize weights → search precisions →
+//! validate — behaves like the paper's Algorithm 1 deployment flow.
+
+use anda::llm::corpus::corpus;
+use anda::llm::eval::perplexity;
+use anda::llm::modules::{CodecAssignment, PrecisionCombo};
+use anda::llm::zoo::{opt_125m_sim, sim_model};
+use anda::quant::WeightQuantConfig;
+use anda::search::bops::{bops_per_token, bops_saving};
+use anda::search::search::{adaptive_precision_search, PplEvaluator, SearchConfig};
+
+struct Pipeline {
+    spec: anda::llm::zoo::SimModelSpec,
+    quant: anda::llm::model::Model,
+    calibration: Vec<usize>,
+    validation: Vec<usize>,
+}
+
+fn pipeline(name: &str) -> Pipeline {
+    let spec = if name == "OPT-125M" {
+        opt_125m_sim()
+    } else {
+        sim_model(name).unwrap()
+    };
+    let fp16 = spec.build();
+    let data = corpus("wikitext2-sim").unwrap().generate(&fp16, 256, 256);
+    let mut quant = fp16.quantize_weights(WeightQuantConfig::w4_sim());
+    quant.calibrate_logit_scale(&data.calibration, 128);
+    Pipeline {
+        spec,
+        quant,
+        calibration: data.calibration,
+        validation: data.validation,
+    }
+}
+
+#[test]
+fn search_finds_combo_within_iteration_budget() {
+    let p = pipeline("OPT-125M");
+    let mut ev = PplEvaluator::new(&p.quant, &p.calibration, 128);
+    let out = adaptive_precision_search(&p.spec.sim, &mut ev, &SearchConfig::with_tolerance(0.01));
+    let best = out.best.expect("1% tolerance must be feasible");
+    assert!(out.trace.len() <= 32);
+    // The search must beat the conservative FIGNA point.
+    assert!(bops_saving(&p.spec.sim, best) > 1.23);
+    // And every module stays in the legal range.
+    assert!(best.0.iter().all(|&m| (1..=13).contains(&m)));
+}
+
+#[test]
+fn tighter_tolerance_never_gives_cheaper_combo() {
+    let p = pipeline("OPT-2.7B");
+    let combo_at = |tol: f64| {
+        let mut ev = PplEvaluator::new(&p.quant, &p.calibration, 128);
+        adaptive_precision_search(&p.spec.sim, &mut ev, &SearchConfig::with_tolerance(tol)).best
+    };
+    let tight = combo_at(0.001);
+    let loose = combo_at(0.02);
+    if let (Some(t), Some(l)) = (tight, loose) {
+        assert!(
+            bops_per_token(&p.spec.sim, t) >= bops_per_token(&p.spec.sim, l),
+            "tight {t} must cost at least as much as loose {l}"
+        );
+    } else {
+        assert!(
+            tight.is_none(),
+            "if anything fails it must be the tight one"
+        );
+    }
+}
+
+#[test]
+fn searched_combo_validates_near_tolerance() {
+    let p = pipeline("OPT-6.7B");
+    let mut ev = PplEvaluator::new(&p.quant, &p.calibration, 128);
+    let out = adaptive_precision_search(&p.spec.sim, &mut ev, &SearchConfig::with_tolerance(0.01));
+    let best = out.best.expect("combo");
+    let base = perplexity(&p.quant, &CodecAssignment::fp16(), &p.validation, 128);
+    let ppl = perplexity(
+        &p.quant,
+        &CodecAssignment::from_combo(best),
+        &p.validation,
+        128,
+    );
+    let loss = (ppl - base) / base;
+    // The paper notes validation can exceed the calibration constraint;
+    // it must still be the right order of magnitude.
+    assert!(loss < 0.06, "validation loss {loss} for {best}");
+}
+
+#[test]
+fn trace_is_internally_consistent() {
+    let p = pipeline("OPT-125M");
+    let mut ev = PplEvaluator::new(&p.quant, &p.calibration, 128);
+    let out = adaptive_precision_search(&p.spec.sim, &mut ev, &SearchConfig::with_tolerance(0.01));
+    // BOPs recorded in the trace match the model.
+    for step in &out.trace {
+        assert_eq!(step.bops, bops_per_token(&p.spec.sim, step.combo));
+    }
+    // Accepted steps are exactly those that became best_after.
+    let mut current_best = None;
+    for step in &out.trace {
+        if step.accepted {
+            current_best = Some(step.combo);
+        }
+        assert_eq!(step.best_after, current_best);
+    }
+    // Uniform ladder comes first: the first evaluated combo is [4,4,4,4].
+    assert_eq!(out.trace[0].combo, PrecisionCombo::uniform(4));
+}

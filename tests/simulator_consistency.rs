@@ -1,0 +1,111 @@
+//! Cross-crate integration: hardware simulator results must be consistent
+//! with the search's BOPs cost model and the paper's headline claims.
+
+use anda::llm::modules::{ModuleKind, PrecisionCombo};
+use anda::llm::zoo::{real_model, real_models};
+use anda::search::bops::{bops_per_token, bops_per_token_fp16};
+use anda::sim::pe::PeKind;
+use anda::sim::system::{geo_mean, simulate_baseline, simulate_model};
+use anda::sim::workload::{llm_gemms, total_macs};
+
+#[test]
+fn compute_cycles_track_bops_for_compute_bound_prefill() {
+    // At batch-1 long prefill the workload is compute-bound, so the
+    // speedup over FP-FP must track the BOPs saving (within the +1
+    // bit-serial setup overhead).
+    let cfg = real_model("OPT-6.7B").unwrap();
+    let base = simulate_baseline(&cfg, 2048);
+    for combo in [PrecisionCombo::uniform(7), PrecisionCombo([8, 6, 5, 5])] {
+        let r = simulate_model(&cfg, 2048, PeKind::Anda, combo);
+        let speedup = r.speedup_vs(&base);
+        let bops_saving = bops_per_token_fp16(&cfg) as f64 / bops_per_token(&cfg, combo) as f64;
+        // Bit-serial setup costs one extra cycle per group: speedup is a
+        // bounded fraction of the BOPs saving.
+        assert!(speedup < bops_saving, "{speedup} vs {bops_saving}");
+        assert!(speedup > 0.7 * bops_saving, "{speedup} vs {bops_saving}");
+    }
+}
+
+#[test]
+fn paper_headline_averages_hold() {
+    // Paper abstract: 2.4x speedup, 4.0x area efficiency, 3.1x energy
+    // efficiency on average (1% loss). Use representative 1%-loss combos.
+    let combo = PrecisionCombo([6, 5, 5, 4]);
+    let mut speedups = Vec::new();
+    let mut area_effs = Vec::new();
+    let mut energy_effs = Vec::new();
+    for cfg in real_models() {
+        let seq = cfg.max_seq.min(2048);
+        let base = simulate_baseline(&cfg, seq);
+        let r = simulate_model(&cfg, seq, PeKind::Anda, combo);
+        speedups.push(r.speedup_vs(&base));
+        area_effs.push(r.area_efficiency_vs(&base));
+        energy_effs.push(r.energy_efficiency_vs(&base));
+    }
+    let (s, a, e) = (
+        geo_mean(&speedups),
+        geo_mean(&area_effs),
+        geo_mean(&energy_effs),
+    );
+    assert!(s > 2.0 && s < 3.2, "speedup geo-mean {s} (paper 2.49)");
+    assert!(a > 3.0 && a < 5.2, "area-eff geo-mean {a} (paper 4.03)");
+    assert!(e > 2.4 && e < 4.2, "energy-eff geo-mean {e} (paper 3.16)");
+}
+
+#[test]
+fn workload_macs_agree_with_opcount_crate() {
+    for cfg in real_models() {
+        let seq = 1024;
+        assert_eq!(
+            total_macs(&cfg, seq),
+            cfg.fp_int_macs_per_token() * seq as u64
+        );
+        // Every GeMM's k dimension is a multiple of 64 (Anda lanes).
+        for g in llm_gemms(&cfg, seq) {
+            assert_eq!(g.k % 64, 0, "{}: {:?}", cfg.name, g.module);
+        }
+    }
+}
+
+#[test]
+fn per_module_mantissa_actually_routes_to_gemms() {
+    // Lowering only A_d must speed up exactly the Down GeMM share.
+    let cfg = real_model("OPT-13B").unwrap();
+    let hi = simulate_model(&cfg, 1024, PeKind::Anda, PrecisionCombo::uniform(8));
+    let lo_d = simulate_model(&cfg, 1024, PeKind::Anda, PrecisionCombo([8, 8, 8, 4]));
+    assert!(lo_d.totals.compute_cycles < hi.totals.compute_cycles);
+    let gemms = llm_gemms(&cfg, 1024);
+    let down_macs: u64 = gemms
+        .iter()
+        .filter(|g| g.module == ModuleKind::Down)
+        .map(|g| g.total_macs())
+        .sum();
+    let all_macs: u64 = gemms.iter().map(|g| g.total_macs()).sum();
+    // Expected cycle ratio from the bit-serial model.
+    let expected = (all_macs - down_macs) as f64 * 9.0 / 16.0 + down_macs as f64 * 5.0 / 16.0;
+    let baseline = all_macs as f64 * 9.0 / 16.0;
+    let measured = lo_d.totals.compute_cycles / hi.totals.compute_cycles;
+    assert!(
+        (measured - expected / baseline).abs() < 1e-6,
+        "measured {measured}, expected {}",
+        expected / baseline
+    );
+}
+
+#[test]
+fn energy_efficiency_improves_as_tolerance_relaxes() {
+    // Fig. 18 monotonicity, using combos of decreasing width.
+    let cfg = real_model("LLaMA-13B").unwrap();
+    let base = simulate_baseline(&cfg, 2048);
+    let mut prev = 0.0f64;
+    for combo in [
+        PrecisionCombo::uniform(11),
+        PrecisionCombo::uniform(8),
+        PrecisionCombo::uniform(6),
+        PrecisionCombo::uniform(4),
+    ] {
+        let e = simulate_model(&cfg, 2048, PeKind::Anda, combo).energy_efficiency_vs(&base);
+        assert!(e > prev, "combo {combo}: {e} vs {prev}");
+        prev = e;
+    }
+}
