@@ -31,7 +31,8 @@ fn main() {
     ]);
     for context in [1024usize, 2048, 4096, 8192, 16384] {
         let base = simulate_decode_baseline(&cfg, context, n_new);
-        let anda_fp16kv = simulate_decode(&cfg, context, n_new, PeKind::Anda, combo, KvPolicy::Fp16);
+        let anda_fp16kv =
+            simulate_decode(&cfg, context, n_new, PeKind::Anda, combo, KvPolicy::Fp16);
         let anda_andakv = simulate_decode(
             &cfg,
             context,

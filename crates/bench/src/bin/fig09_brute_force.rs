@@ -18,12 +18,7 @@ fn main() {
     let prep = Prepared::new(opt_125m_sim(), corpus("wikitext2-sim").expect("corpus"));
     println!("Fig. 9 companion — Algorithm 1 vs brute force on OPT-125M-sim\n");
 
-    let land = SurrogateLandscape::fit(
-        &prep.quant_model,
-        &prep.data.calibration,
-        WINDOW,
-        (4, 13),
-    );
+    let land = SurrogateLandscape::fit(&prep.quant_model, &prep.data.calibration, WINDOW, (4, 13));
     println!(
         "surrogate fitted from {} forward passes (baseline ppl {:.3})\n",
         land.fit_cost(),

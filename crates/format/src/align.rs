@@ -39,6 +39,19 @@ impl SignMag {
             m
         }
     }
+
+    /// Dequantizes this mantissa given its group's mantissa-LSB weight
+    /// (see [`AlignedGroup::ulp`]). The single definition of the
+    /// sign/magnitude dequant rule shared by every conversion path.
+    #[inline]
+    pub fn dequantize(self, ulp: f32) -> f32 {
+        let v = f32::from(self.magnitude) * ulp;
+        if self.negative {
+            -v
+        } else {
+            v
+        }
+    }
 }
 
 /// Result of aligning one group of FP16 values to a shared exponent.
@@ -60,13 +73,7 @@ impl AlignedGroup {
 
     /// Dequantizes element `i` to `f32`.
     pub fn dequantize(&self, i: usize) -> f32 {
-        let e = &self.elements[i];
-        let v = f32::from(e.magnitude) * self.ulp();
-        if e.negative {
-            -v
-        } else {
-            v
-        }
+        self.elements[i].dequantize(self.ulp())
     }
 
     /// Dequantizes the whole group.
@@ -108,23 +115,9 @@ pub fn align_group(
     let sigs: Vec<_> = values.iter().map(|v| v.significand()).collect();
     let shared_exp = sigs.iter().map(|s| s.biased_exp).max().unwrap_or(1);
 
-    let m = mantissa_bits;
-    let max_mag = (1u32 << m) - 1;
     let elements = sigs
         .iter()
-        .map(|s| {
-            // m_exact = sig · 2^(M - 11 - (E - e)); compute as
-            // (sig << M) >> (11 + E - e) with the requested rounding.
-            let shift = 11 + u32::from(shared_exp - s.biased_exp);
-            let shifted = shift_right_round(u64::from(s.magnitude) << m, shift, rounding);
-            // RNE can carry out of the M-bit field for an all-ones
-            // significand: saturate (truncation never overflows).
-            let magnitude = (shifted as u32).min(max_mag) as u16;
-            SignMag {
-                negative: s.negative,
-                magnitude,
-            }
-        })
+        .map(|s| align_element(*s, shared_exp, mantissa_bits, rounding))
         .collect();
 
     Ok(AlignedGroup {
@@ -132,6 +125,32 @@ pub fn align_group(
         mantissa_bits,
         elements,
     })
+}
+
+/// Aligns one significand to a group's shared exponent and truncates its
+/// mantissa to `mantissa_bits`: the per-element step of [`align_group`],
+/// exposed so streaming converters can quantize without building an
+/// [`AlignedGroup`].
+#[inline]
+pub fn align_element(
+    sig: anda_fp::Significand,
+    shared_exp: u16,
+    mantissa_bits: u32,
+    rounding: RoundingMode,
+) -> SignMag {
+    let m = mantissa_bits;
+    let max_mag = (1u32 << m) - 1;
+    // m_exact = sig · 2^(M - 11 - (E - e)); compute as
+    // (sig << M) >> (11 + E - e) with the requested rounding.
+    let shift = 11 + u32::from(shared_exp - sig.biased_exp);
+    let shifted = shift_right_round(u64::from(sig.magnitude) << m, shift, rounding);
+    // RNE can carry out of the M-bit field for an all-ones
+    // significand: saturate (truncation never overflows).
+    let magnitude = (shifted as u32).min(max_mag) as u16;
+    SignMag {
+        negative: sig.negative,
+        magnitude,
+    }
 }
 
 /// Upper bound on the absolute quantization error of any element in a group

@@ -152,11 +152,26 @@ impl BfpTensor {
 
     /// Dequantizes the whole tensor back to `f32`.
     pub fn to_f32(&self) -> Vec<f32> {
-        let mut out = Vec::with_capacity(self.len);
-        for g in &self.groups {
-            out.extend(g.dequantize_all());
-        }
+        let mut out = vec![0.0f32; self.len];
+        self.write_f32(&mut out);
         out
+    }
+
+    /// Dequantizes into a caller-provided buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn write_f32(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.len, "write_f32 length mismatch");
+        let mut offset = 0usize;
+        for g in &self.groups {
+            let ulp = g.ulp();
+            for (e, slot) in g.elements.iter().zip(&mut out[offset..]) {
+                *slot = e.dequantize(ulp);
+            }
+            offset += g.elements.len();
+        }
     }
 
     /// Total storage footprint in bits: per group, one sign bit per element,
@@ -203,6 +218,43 @@ pub fn fake_quantize_f32(values: &[f32], config: BfpConfig) -> Vec<f32> {
     BfpTensor::from_f32_saturating(values, config).to_f32()
 }
 
+/// [`fake_quantize_f32`] writing into a caller-provided buffer, for hot
+/// paths (per-layer activation codecs) that must not reallocate.
+///
+/// This streams group by group with **no heap allocation**: the shared
+/// exponent comes from a first pass over the group, each element is then
+/// aligned and dequantized directly into `out`. The saturating FP16 cast
+/// runs twice per element, trading a little redundant bit math for zero
+/// allocations; results are bit-identical to the [`BfpTensor`] path.
+///
+/// # Panics
+///
+/// Panics if `out.len() != values.len()`.
+pub fn fake_quantize_f32_into(values: &[f32], config: BfpConfig, out: &mut [f32]) {
+    assert_eq!(
+        out.len(),
+        values.len(),
+        "fake_quantize_f32_into length mismatch"
+    );
+    let m = config.mantissa_bits;
+    for (chunk, out_chunk) in values
+        .chunks(config.group_size)
+        .zip(out.chunks_mut(config.group_size))
+    {
+        let shared_exp = chunk
+            .iter()
+            .map(|&v| saturate_to_f16(v).significand().biased_exp)
+            .max()
+            .unwrap_or(1);
+        let ulp = crate::align::exp2f(i32::from(shared_exp) - 14 - m as i32);
+        for (&v, slot) in chunk.iter().zip(out_chunk) {
+            let sig = saturate_to_f16(v).significand();
+            let e = crate::align::align_element(sig, shared_exp, m, config.rounding);
+            *slot = e.dequantize(ulp);
+        }
+    }
+}
+
 /// Re-export for group element access.
 pub use crate::align::SignMag as BfpElement;
 
@@ -212,6 +264,24 @@ mod tests {
 
     fn f16s(vals: &[f32]) -> Vec<F16> {
         vals.iter().map(|&v| F16::from_f32(v)).collect()
+    }
+
+    #[test]
+    fn streaming_fake_quantize_is_bit_identical_to_tensor_path() {
+        // Mix of zeros, signs, subnormals, spread exponents, saturation.
+        let mut vals: Vec<f32> = (0..200)
+            .map(|i| ((i as f32) - 100.0) * ((i as f32 * 0.7).sin() * 37.5))
+            .collect();
+        vals.extend_from_slice(&[0.0, -0.0, 1e-7, -1e-7, 7e4, -7e4, 65504.0]);
+        for (gs, m) in [(64usize, 4u32), (64, 8), (3, 1), (7, 16), (128, 11)] {
+            let cfg = BfpConfig::new(gs, m).unwrap();
+            let via_tensor = fake_quantize_f32(&vals, cfg);
+            let mut streamed = vec![0.0f32; vals.len()];
+            fake_quantize_f32_into(&vals, cfg, &mut streamed);
+            for (i, (&a, &b)) in via_tensor.iter().zip(&streamed).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "gs={gs} m={m} i={i}: {a} vs {b}");
+            }
+        }
     }
 
     #[test]

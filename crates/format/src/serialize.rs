@@ -33,7 +33,8 @@ const MAGIC: &[u8; 4] = b"ANDA";
 /// Serializes a tensor to its byte image.
 pub fn to_bytes(tensor: &AndaTensor) -> Vec<u8> {
     let cfg = tensor.config();
-    let mut out = Vec::with_capacity(16 + tensor.groups().len() * (10 + 8 * cfg.mantissa_bits() as usize));
+    let mut out =
+        Vec::with_capacity(16 + tensor.groups().len() * (10 + 8 * cfg.mantissa_bits() as usize));
     out.extend_from_slice(MAGIC);
     out.push(FORMAT_VERSION);
     out.push(cfg.group_size() as u8);
@@ -97,7 +98,9 @@ pub fn from_bytes(bytes: &[u8]) -> Result<AndaTensor, FormatError> {
         let mut planes = Vec::with_capacity(mantissa_bits as usize);
         for p in 0..mantissa_bits as usize {
             let s = off + 10 + 8 * p;
-            planes.push(u64::from_le_bytes(bytes[s..s + 8].try_into().expect("8 bytes")));
+            planes.push(u64::from_le_bytes(
+                bytes[s..s + 8].try_into().expect("8 bytes"),
+            ));
         }
         groups.push(BitPlaneGroup::from_raw(lanes, signs, shared_exp, planes));
         off += record;
@@ -116,7 +119,9 @@ mod tests {
     use super::*;
 
     fn tensor(m: u32, n: usize) -> AndaTensor {
-        let vals: Vec<f32> = (0..n).map(|i| ((i * 31) % 97) as f32 * 0.17 - 8.0).collect();
+        let vals: Vec<f32> = (0..n)
+            .map(|i| ((i * 31) % 97) as f32 * 0.17 - 8.0)
+            .collect();
         AndaTensor::from_f32(&vals, AndaConfig::hardware(m).unwrap())
     }
 
@@ -148,10 +153,7 @@ mod tests {
         let t = tensor(6, 200);
         let bytes = to_bytes(&t);
         for cut in [0usize, 8, 17, bytes.len() - 1] {
-            assert!(
-                from_bytes(&bytes[..cut]).is_err(),
-                "cut at {cut} must fail"
-            );
+            assert!(from_bytes(&bytes[..cut]).is_err(), "cut at {cut} must fail");
         }
     }
 

@@ -91,7 +91,9 @@ fn compressor_handles_adversarial_groups() {
     let patterns: Vec<Vec<f32>> = vec![
         vec![65504.0; 64],
         vec![-65504.0; 64],
-        (0..64).map(|i| (-1.0f32).powi(i) * 2.0f32.powi(i % 30 - 14)).collect(),
+        (0..64)
+            .map(|i| (-1.0f32).powi(i) * 2.0f32.powi(i % 30 - 14))
+            .collect(),
         vec![2.0f32.powi(-24); 64],
     ];
     for (pi, pattern) in patterns.iter().enumerate() {

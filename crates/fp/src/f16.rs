@@ -541,7 +541,7 @@ mod tests {
 
     #[test]
     fn total_cmp_orders_signed_zeros_and_nans() {
-        let mut v = vec![
+        let mut v = [
             F16::NAN,
             F16::INFINITY,
             F16::ONE,

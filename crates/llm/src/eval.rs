@@ -23,13 +23,17 @@ pub fn perplexity(model: &Model, codecs: &CodecAssignment, tokens: &[usize], win
     assert!(tokens.len() >= 2, "need at least 2 tokens to evaluate");
     let mut total_nll = 0.0f64;
     let mut count = 0usize;
+    // One scratch serves every window: the per-layer buffers inside the
+    // forward pass are allocated once for the whole evaluation.
+    let mut scratch = crate::model::ForwardScratch::new();
+    let mut ls = Vec::new();
     for chunk in tokens.chunks(window) {
         if chunk.len() < 2 {
             continue;
         }
-        let logits = model.forward(chunk, codecs);
+        let logits = model.forward_with_scratch(chunk, codecs, &mut scratch);
         for i in 0..chunk.len() - 1 {
-            let ls = ops::log_softmax(logits.row(i));
+            ops::log_softmax_into(logits.row(i), &mut ls);
             total_nll -= f64::from(ls[chunk[i + 1]]);
             count += 1;
         }

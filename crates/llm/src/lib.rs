@@ -36,6 +36,6 @@ pub mod zoo;
 
 pub use config::{Family, ModelConfig};
 pub use eval::{perplexity, relative_accuracy_loss};
-pub use model::{Model, WeightMode};
+pub use model::{ForwardScratch, Model, WeightMode};
 pub use modules::{CodecAssignment, ModuleKind, PrecisionCombo};
 pub use zoo::SimModelSpec;

@@ -259,11 +259,30 @@ impl Model {
     /// Returns the `T × vocab` logit matrix. The four GeMM-module
     /// activations pass through `codecs`.
     ///
+    /// Allocates a fresh [`ForwardScratch`] per call; callers evaluating
+    /// many sequences (perplexity windows, calibration sweeps) should hold
+    /// one scratch and use [`Model::forward_with_scratch`].
+    ///
     /// # Panics
     ///
     /// Panics if `tokens` is empty, exceeds `max_seq`, or contains an
     /// out-of-vocab id.
     pub fn forward(&self, tokens: &[usize], codecs: &CodecAssignment) -> Matrix {
+        let mut scratch = ForwardScratch::new();
+        self.forward_with_scratch(tokens, codecs, &mut scratch);
+        scratch.logits
+    }
+
+    /// [`Model::forward`] with caller-provided buffers: the whole pass —
+    /// including the `T × vocab` logit matrix — lives in `scratch`, so no
+    /// allocation happens at steady state. Returns a borrow of
+    /// `scratch`'s logits.
+    pub fn forward_with_scratch<'s>(
+        &self,
+        tokens: &[usize],
+        codecs: &CodecAssignment,
+        scratch: &'s mut ForwardScratch,
+    ) -> &'s Matrix {
         let t = tokens.len();
         assert!(t > 0, "empty token sequence");
         assert!(
@@ -272,9 +291,11 @@ impl Model {
             self.config.max_seq
         );
         let d = self.config.d_model;
+        let s = scratch;
 
         // Embedding (+ learned positions for OPT).
-        let mut x = Matrix::zeros(t, d);
+        let x = &mut s.x;
+        x.resize(t, d);
         for (i, &tok) in tokens.iter().enumerate() {
             assert!(tok < self.config.vocab, "token {tok} out of vocab");
             x.row_mut(i).copy_from_slice(self.embed.row(tok));
@@ -287,40 +308,54 @@ impl Model {
 
         for layer in &self.layers {
             // Attention block.
-            let mut h = x.clone();
-            self.apply_norm(&mut h, &layer.attn_gain, &layer.attn_bias);
-            let a_qkv = codecs.qkv.apply_matrix(&h);
-            let qkv = a_qkv.matmul(&layer.wqkv);
-            let attn_out = self.attention(&qkv, t);
-            let a_o = codecs.o.apply_matrix(&attn_out);
-            let o = a_o.matmul(&layer.wo);
-            x = x.zip_with(&o, |a, b| a + b);
+            s.h.copy_from(x);
+            self.apply_norm(&mut s.h, &layer.attn_gain, &layer.attn_bias);
+            codecs.qkv.apply_matrix_into(&s.h, &mut s.act);
+            s.qkv.resize(t, layer.wqkv.cols());
+            s.act.matmul_into(&layer.wqkv, &mut s.qkv);
+            self.attention_into(&s.qkv, t, &mut s.attn);
+            codecs.o.apply_matrix_into(&s.attn.out, &mut s.act);
+            s.proj.resize(t, d);
+            s.act.matmul_into(&layer.wo, &mut s.proj);
+            x.add_inplace(&s.proj);
 
             // FFN block.
-            let mut h2 = x.clone();
-            self.apply_norm(&mut h2, &layer.ffn_gain, &layer.ffn_bias);
-            let a_u = codecs.u.apply_matrix(&h2);
+            s.h.copy_from(x);
+            self.apply_norm(&mut s.h, &layer.ffn_gain, &layer.ffn_bias);
+            codecs.u.apply_matrix_into(&s.h, &mut s.act);
             let hidden = match (&layer.wgate, self.config.family) {
                 (Some(wgate), Family::Llama) => {
-                    let gate = a_u.matmul(wgate).map(ops::silu);
-                    let up = a_u.matmul(&layer.wup);
-                    gate.zip_with(&up, |g, u| g * u)
+                    s.gate.resize(t, wgate.cols());
+                    s.act.matmul_into(wgate, &mut s.gate);
+                    s.hidden.resize(t, layer.wup.cols());
+                    s.act.matmul_into(&layer.wup, &mut s.hidden);
+                    for (u, &g) in s.hidden.as_mut_slice().iter_mut().zip(s.gate.as_slice()) {
+                        *u *= ops::silu(g);
+                    }
+                    &s.hidden
                 }
-                _ => a_u.matmul(&layer.wup).map(ops::relu),
+                _ => {
+                    s.hidden.resize(t, layer.wup.cols());
+                    s.act.matmul_into(&layer.wup, &mut s.hidden);
+                    s.hidden.map_inplace(ops::relu);
+                    &s.hidden
+                }
             };
-            let a_d = codecs.d.apply_matrix(&hidden);
-            let down = a_d.matmul(&layer.wdown);
-            x = x.zip_with(&down, |a, b| a + b);
+            codecs.d.apply_matrix_into(hidden, &mut s.act);
+            s.proj.resize(t, d);
+            s.act.matmul_into(&layer.wdown, &mut s.proj);
+            x.add_inplace(&s.proj);
         }
 
-        self.apply_norm(&mut x, &self.final_gain, &self.final_bias);
+        self.apply_norm(x, &self.final_gain, &self.final_bias);
         // Tied LM head: logits = x · Eᵀ (kept in FP, like the paper's
         // non-GeMM operators).
-        let mut logits = x.matmul_transposed(&self.embed);
+        s.logits.resize(t, self.embed.rows());
+        x.matmul_transposed_into(&self.embed, &mut s.logits);
         if self.logit_scale != 1.0 {
-            logits.scale(self.logit_scale);
+            s.logits.scale(self.logit_scale);
         }
-        logits
+        &s.logits
     }
 
     /// The current logit temperature scale.
@@ -357,48 +392,55 @@ impl Model {
         }
     }
 
-    /// Multi-head causal attention over a fused `T × 3d` QKV matrix.
-    fn attention(&self, qkv: &Matrix, t: usize) -> Matrix {
+    /// Multi-head causal attention over a fused `T × 3d` QKV matrix,
+    /// writing the result to `s.out`. All per-head intermediates reuse the
+    /// scratch buffers.
+    fn attention_into(&self, qkv: &Matrix, t: usize, s: &mut AttnScratch) {
         let d = self.config.d_model;
         let dh = self.config.d_head();
         let scale = 1.0 / (dh as f32).sqrt();
-        let mut out = Matrix::zeros(t, d);
+        s.out.resize(t, d);
+        // Heads normally tile the full width; if a hand-built config has
+        // d_model % n_heads != 0, zero the buffer so the uncovered tail
+        // columns stay deterministically 0.0 instead of holding stale data.
+        if self.config.n_heads * dh != d {
+            s.out.as_mut_slice().fill(0.0);
+        }
 
         for head in 0..self.config.n_heads {
             let off = head * dh;
             // Gather per-head q, k, v (t × dh), applying RoPE if LLaMA.
-            let mut q = Matrix::zeros(t, dh);
-            let mut k = Matrix::zeros(t, dh);
-            let mut v = Matrix::zeros(t, dh);
+            s.q.resize(t, dh);
+            s.k.resize(t, dh);
+            s.v.resize(t, dh);
             for i in 0..t {
                 for c in 0..dh {
-                    q[(i, c)] = qkv[(i, off + c)];
-                    k[(i, c)] = qkv[(i, d + off + c)];
-                    v[(i, c)] = qkv[(i, 2 * d + off + c)];
+                    s.q[(i, c)] = qkv[(i, off + c)];
+                    s.k[(i, c)] = qkv[(i, d + off + c)];
+                    s.v[(i, c)] = qkv[(i, 2 * d + off + c)];
                 }
                 if self.config.family == Family::Llama {
-                    rope_in_place(q.row_mut(i), i);
-                    rope_in_place(k.row_mut(i), i);
+                    rope_in_place(s.q.row_mut(i), i);
+                    rope_in_place(s.k.row_mut(i), i);
                 }
             }
 
             // scores = q·kᵀ with causal mask, softmax, then ·v.
-            let mut scores = q.matmul_transposed(&k);
-            scores.scale(scale);
+            s.scores.resize(t, t);
+            s.q.matmul_transposed_into(&s.k, &mut s.scores);
+            s.scores.scale(scale);
             for i in 0..t {
                 for j in (i + 1)..t {
-                    scores[(i, j)] = f32::NEG_INFINITY;
+                    s.scores[(i, j)] = f32::NEG_INFINITY;
                 }
             }
-            ops::softmax_rows(&mut scores);
-            let head_out = scores.matmul(&v);
+            ops::softmax_rows(&mut s.scores);
+            s.head_out.resize(t, dh);
+            s.scores.matmul_into(&s.v, &mut s.head_out);
             for i in 0..t {
-                for c in 0..dh {
-                    out[(i, off + c)] = head_out[(i, c)];
-                }
+                s.out.row_mut(i)[off..off + dh].copy_from_slice(s.head_out.row(i));
             }
         }
-        out
     }
 
     /// Greedy/temperature sampling generation with a KV cache, always using
@@ -422,35 +464,47 @@ impl Model {
             "generation length exceeds max_seq"
         );
         let mut cache = KvCache::new(self.config.n_layers);
+        let mut scratch = DecodeScratch::default();
         let mut tokens = prompt.to_vec();
-        let mut logits = vec![0.0f32; self.config.vocab];
         for (pos, &tok) in prompt.iter().enumerate() {
-            logits = self.decode_step(tok, pos, &mut cache);
+            self.decode_step(tok, pos, &mut cache, &mut scratch);
         }
         for _ in 0..n_new {
-            let next = sample_logits(&logits, temperature, rng);
+            // Reuse the per-head score/prob buffers for sampling: they are
+            // idle between decode steps and get cleared before reuse.
+            let DecodeScratch {
+                logits,
+                scores,
+                probs,
+                ..
+            } = &mut scratch;
+            let next = sample_logits(logits, temperature, rng, scores, probs);
             tokens.push(next);
-            logits = self.decode_step(next, tokens.len() - 1, &mut cache);
+            self.decode_step(next, tokens.len() - 1, &mut cache, &mut scratch);
         }
         tokens
     }
 
     /// One KV-cached decode step: processes `token` at position `pos` and
-    /// returns the next-token logits. Activations stay in FP16 (reference
-    /// path), matching a full-sequence [`Model::forward`] with FP16 codecs.
-    fn decode_step(&self, token: usize, pos: usize, cache: &mut KvCache) -> Vec<f32> {
+    /// leaves the next-token logits in `s.logits`. Activations stay in FP16
+    /// (reference path), matching a full-sequence [`Model::forward`] with
+    /// FP16 codecs. All per-token intermediates reuse `s`'s buffers; the
+    /// only allocations are the K/V rows the cache must retain.
+    fn decode_step(&self, token: usize, pos: usize, cache: &mut KvCache, s: &mut DecodeScratch) {
         assert!(token < self.config.vocab, "token {token} out of vocab");
         let d = self.config.d_model;
         let dh = self.config.d_head();
         let heads = self.config.n_heads;
         let scale = 1.0 / (dh as f32).sqrt();
-        let f16 = |v: &mut Vec<f32>| {
+        let f16 = |v: &mut [f32]| {
             for x in v.iter_mut() {
                 *x = saturate_to_f16(*x).to_f32();
             }
         };
 
-        let mut x: Vec<f32> = self.embed.row(token).to_vec();
+        let x = &mut s.x;
+        x.clear();
+        x.extend_from_slice(self.embed.row(token));
         if let Some(posm) = &self.pos_embed {
             for (xv, &pv) in x.iter_mut().zip(posm.row(pos)) {
                 *xv += pv;
@@ -459,16 +513,19 @@ impl Model {
 
         for (layer, kv) in self.layers.iter().zip(&mut cache.layers) {
             // Attention block.
-            let mut h = x.clone();
-            self.norm_vec(&mut h, &layer.attn_gain, &layer.attn_bias);
-            f16(&mut h);
-            let qkv = vec_matmul(&h, &layer.wqkv);
-            let mut q = qkv[..d].to_vec();
-            let mut k = qkv[d..2 * d].to_vec();
-            let v = qkv[2 * d..].to_vec();
+            s.h.clear();
+            s.h.extend_from_slice(x);
+            self.norm_vec(&mut s.h, &layer.attn_gain, &layer.attn_bias);
+            f16(&mut s.h);
+            vec_matmul_into(&s.h, &layer.wqkv, &mut s.qkv);
+            s.q.clear();
+            s.q.extend_from_slice(&s.qkv[..d]);
+            // K/V rows are owned by the cache for the rest of the sequence.
+            let mut k = s.qkv[d..2 * d].to_vec();
+            let v = s.qkv[2 * d..].to_vec();
             if self.config.family == Family::Llama {
                 for head in 0..heads {
-                    rope_in_place(&mut q[head * dh..(head + 1) * dh], pos);
+                    rope_in_place(&mut s.q[head * dh..(head + 1) * dh], pos);
                     rope_in_place(&mut k[head * dh..(head + 1) * dh], pos);
                 }
             }
@@ -476,72 +533,73 @@ impl Model {
             kv.v.push(v);
 
             let t = kv.k.len();
-            let mut attn = vec![0.0f32; d];
+            s.attn.clear();
+            s.attn.resize(d, 0.0);
             for head in 0..heads {
                 let off = head * dh;
-                let qh = &q[off..off + dh];
-                let mut scores: Vec<f32> = (0..t)
-                    .map(|j| {
-                        let kj = &kv.k[j][off..off + dh];
-                        qh.iter().zip(kj).map(|(&a, &b)| a * b).sum::<f32>() * scale
-                    })
-                    .collect();
-                let ls = ops::log_softmax(&scores);
-                for (s, &l) in scores.iter_mut().zip(&ls) {
-                    *s = l.exp();
+                let qh = &s.q[off..off + dh];
+                s.scores.clear();
+                s.scores.extend((0..t).map(|j| {
+                    let kj = &kv.k[j][off..off + dh];
+                    qh.iter().zip(kj).map(|(&a, &b)| a * b).sum::<f32>() * scale
+                }));
+                ops::log_softmax_into(&s.scores, &mut s.probs);
+                for (score, &l) in s.scores.iter_mut().zip(&s.probs) {
+                    *score = l.exp();
                 }
-                for (j, &p) in scores.iter().enumerate() {
+                for (j, &p) in s.scores.iter().enumerate() {
                     let vj = &kv.v[j][off..off + dh];
-                    for (a, &vv) in attn[off..off + dh].iter_mut().zip(vj) {
+                    for (a, &vv) in s.attn[off..off + dh].iter_mut().zip(vj) {
                         *a += p * vv;
                     }
                 }
             }
-            f16(&mut attn);
-            let o = vec_matmul(&attn, &layer.wo);
-            for (xv, ov) in x.iter_mut().zip(&o) {
+            f16(&mut s.attn);
+            vec_matmul_into(&s.attn, &layer.wo, &mut s.proj);
+            for (xv, ov) in x.iter_mut().zip(&s.proj) {
                 *xv += ov;
             }
 
             // FFN block.
-            let mut h2 = x.clone();
-            self.norm_vec(&mut h2, &layer.ffn_gain, &layer.ffn_bias);
-            f16(&mut h2);
-            let mut hidden = match (&layer.wgate, self.config.family) {
+            s.h.clear();
+            s.h.extend_from_slice(x);
+            self.norm_vec(&mut s.h, &layer.ffn_gain, &layer.ffn_bias);
+            f16(&mut s.h);
+            match (&layer.wgate, self.config.family) {
                 (Some(wgate), Family::Llama) => {
-                    let gate = vec_matmul(&h2, wgate);
-                    let up = vec_matmul(&h2, &layer.wup);
-                    gate.iter()
-                        .zip(&up)
-                        .map(|(&g, &u)| ops::silu(g) * u)
-                        .collect::<Vec<f32>>()
+                    vec_matmul_into(&s.h, wgate, &mut s.gate);
+                    vec_matmul_into(&s.h, &layer.wup, &mut s.hidden);
+                    for (u, &g) in s.hidden.iter_mut().zip(&s.gate) {
+                        *u *= ops::silu(g);
+                    }
                 }
-                _ => vec_matmul(&h2, &layer.wup)
-                    .into_iter()
-                    .map(ops::relu)
-                    .collect(),
-            };
-            f16(&mut hidden);
-            let down = vec_matmul(&hidden, &layer.wdown);
-            for (xv, dv) in x.iter_mut().zip(&down) {
+                _ => {
+                    vec_matmul_into(&s.h, &layer.wup, &mut s.hidden);
+                    for u in s.hidden.iter_mut() {
+                        *u = ops::relu(*u);
+                    }
+                }
+            }
+            f16(&mut s.hidden);
+            vec_matmul_into(&s.hidden, &layer.wdown, &mut s.proj);
+            for (xv, dv) in x.iter_mut().zip(&s.proj) {
                 *xv += dv;
             }
         }
 
-        self.norm_vec(&mut x, &self.final_gain, &self.final_bias);
+        self.norm_vec(x, &self.final_gain, &self.final_bias);
         // logits = x · Eᵀ
-        (0..self.config.vocab)
-            .map(|tok| {
-                let dot: f32 = self
-                    .embed
-                    .row(tok)
-                    .iter()
-                    .zip(&x)
-                    .map(|(&e, &xv)| e * xv)
-                    .sum();
-                dot * self.logit_scale
-            })
-            .collect()
+        s.logits.clear();
+        s.logits.extend((0..self.config.vocab).map(|tok| {
+            let dot: f32 = self
+                .embed
+                .row(tok)
+                .iter()
+                .zip(x.iter())
+                .map(|(&e, &xv)| e * xv)
+                .sum();
+            dot * self.logit_scale
+        }));
     }
 
     fn norm_vec(&self, v: &mut [f32], gain: &[f32], bias: &[f32]) {
@@ -566,6 +624,52 @@ impl Model {
     }
 }
 
+/// Reusable buffers for [`Model::forward_with_scratch`].
+///
+/// Holding one scratch across calls (perplexity windows, calibration
+/// sweeps, codec comparisons) removes every per-layer allocation from the
+/// forward pass; buffers are resized in place as sequence length and layer
+/// widths require.
+#[derive(Clone, Debug, Default)]
+pub struct ForwardScratch {
+    /// Residual stream (`t × d`).
+    x: Matrix,
+    /// Normalized residual input to a GeMM block.
+    h: Matrix,
+    /// Codec-processed activations.
+    act: Matrix,
+    /// Fused QKV projection output (`t × 3d`).
+    qkv: Matrix,
+    /// Attention/FFN output projection (`t × d`).
+    proj: Matrix,
+    /// SwiGLU gate projection (`t × ffn`), LLaMA family only.
+    gate: Matrix,
+    /// FFN hidden activations (`t × ffn`).
+    hidden: Matrix,
+    /// Attention working set.
+    attn: AttnScratch,
+    /// Output logits (`t × vocab`), the pass's return value.
+    logits: Matrix,
+}
+
+impl ForwardScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Per-head attention buffers (part of [`ForwardScratch`]).
+#[derive(Clone, Debug, Default)]
+struct AttnScratch {
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    scores: Matrix,
+    head_out: Matrix,
+    /// Concatenated head outputs (`t × d`).
+    out: Matrix,
+}
+
 /// Per-layer KV cache for incremental decoding.
 #[derive(Clone, Debug)]
 struct KvCache {
@@ -586,10 +690,40 @@ impl KvCache {
     }
 }
 
-/// `v(1×k) · m(k×n)` row-vector matmul.
-fn vec_matmul(v: &[f32], m: &Matrix) -> Vec<f32> {
+/// Reusable buffers for KV-cached decode steps; one instance serves a
+/// whole generation loop, so per-token work allocates only the K/V rows
+/// the cache retains.
+#[derive(Clone, Debug, Default)]
+struct DecodeScratch {
+    /// Residual stream (`d`).
+    x: Vec<f32>,
+    /// Normalized GeMM input.
+    h: Vec<f32>,
+    /// Fused QKV output (`3d`).
+    qkv: Vec<f32>,
+    /// Current-position query (`d`).
+    q: Vec<f32>,
+    /// Attention mix output (`d`).
+    attn: Vec<f32>,
+    /// Per-head attention scores over cached positions.
+    scores: Vec<f32>,
+    /// Per-head log-softmax output.
+    probs: Vec<f32>,
+    /// Output/down projection result (`d`).
+    proj: Vec<f32>,
+    /// SwiGLU gate (`ffn`).
+    gate: Vec<f32>,
+    /// FFN hidden activations (`ffn`).
+    hidden: Vec<f32>,
+    /// Next-token logits (`vocab`).
+    logits: Vec<f32>,
+}
+
+/// `v(1×k) · m(k×n)` row-vector matmul into a reused buffer.
+fn vec_matmul_into(v: &[f32], m: &Matrix, out: &mut Vec<f32>) {
     assert_eq!(v.len(), m.rows(), "vec_matmul shape mismatch");
-    let mut out = vec![0.0f32; m.cols()];
+    out.clear();
+    out.resize(m.cols(), 0.0);
     for (kidx, &a) in v.iter().enumerate() {
         if a == 0.0 {
             continue;
@@ -598,7 +732,6 @@ fn vec_matmul(v: &[f32], m: &Matrix) -> Vec<f32> {
             *o += a * b;
         }
     }
-    out
 }
 
 /// Applies rotary position embedding to one head row at position `pos`.
@@ -614,15 +747,25 @@ fn rope_in_place(row: &mut [f32], pos: usize) {
     }
 }
 
-/// Samples a token from `logits / temperature`.
-fn sample_logits(logits: &[f32], temperature: f32, rng: &mut Rng) -> usize {
+/// Samples a token from `logits / temperature`, staging the scaled logits
+/// and probabilities in caller-provided buffers (cleared and refilled).
+fn sample_logits(
+    logits: &[f32],
+    temperature: f32,
+    rng: &mut Rng,
+    scaled: &mut Vec<f32>,
+    probs: &mut Vec<f32>,
+) -> usize {
     if temperature <= 0.0 {
         return ops::argmax(logits);
     }
-    let scaled: Vec<f32> = logits.iter().map(|&l| l / temperature).collect();
-    let ls = ops::log_softmax(&scaled);
-    let probs: Vec<f32> = ls.iter().map(|&l| l.exp()).collect();
-    rng.categorical(&probs)
+    scaled.clear();
+    scaled.extend(logits.iter().map(|&l| l / temperature));
+    ops::log_softmax_into(scaled, probs);
+    for p in probs.iter_mut() {
+        *p = p.exp();
+    }
+    rng.categorical(probs)
 }
 
 #[cfg(test)]

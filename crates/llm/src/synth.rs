@@ -113,7 +113,7 @@ mod tests {
         let mut v = vec![1.0f32; 100];
         apply_outliers(&mut v, OutlierSpec::new(3, 10.0), &mut rng);
         let boosted = v.iter().filter(|&&x| x > 5.0).count();
-        assert!(boosted >= 1 && boosted <= 3);
+        assert!((1..=3).contains(&boosted));
     }
 
     #[test]

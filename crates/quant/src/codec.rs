@@ -6,7 +6,7 @@
 //! hardware datapath computes.
 
 use anda_format::anda::AndaConfig;
-use anda_format::bfp::{fake_quantize_f32, saturate_to_f16, BfpConfig};
+use anda_format::bfp::{fake_quantize_f32, fake_quantize_f32_into, saturate_to_f16, BfpConfig};
 use anda_tensor::Matrix;
 
 /// Hardware group size shared by all grouped codecs (paper §V-A sets the
@@ -101,20 +101,55 @@ impl ActivationCodec {
         }
     }
 
+    /// [`ActivationCodec::apply`] into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != values.len()`.
+    pub fn apply_into(&self, values: &[f32], out: &mut [f32]) {
+        assert_eq!(out.len(), values.len(), "apply_into length mismatch");
+        match self {
+            ActivationCodec::Exact => out.copy_from_slice(values),
+            ActivationCodec::Fp16 => {
+                for (slot, &v) in out.iter_mut().zip(values) {
+                    *slot = saturate_to_f16(v).to_f32();
+                }
+            }
+            ActivationCodec::Grouped {
+                mantissa_bits,
+                group_size,
+            } => {
+                let cfg = BfpConfig::new(*group_size, *mantissa_bits)
+                    .expect("codec parameters validated at construction");
+                fake_quantize_f32_into(values, cfg, out);
+            }
+        }
+    }
+
     /// Applies the codec independently to every row of a matrix (groups
     /// never straddle rows: activation rows are separate dot-product
     /// operands).
     pub fn apply_matrix(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), x.cols());
+        self.apply_matrix_into(x, &mut out);
+        out
+    }
+
+    /// [`ActivationCodec::apply_matrix`] into a caller-provided matrix,
+    /// resizing it to `x`'s shape while reusing its allocation.
+    pub fn apply_matrix_into(&self, x: &Matrix, out: &mut Matrix) {
+        out.resize(x.rows(), x.cols());
         match self {
-            ActivationCodec::Exact => x.clone(),
-            ActivationCodec::Fp16 => x.map(|v| saturate_to_f16(v).to_f32()),
+            // Elementwise codecs are row-agnostic: one flat pass.
+            ActivationCodec::Exact | ActivationCodec::Fp16 => {
+                self.apply_into(x.as_slice(), out.as_mut_slice());
+            }
+            // Grouped codecs quantize per row so shared exponents never
+            // straddle activation rows.
             ActivationCodec::Grouped { .. } => {
-                let mut out = Matrix::zeros(x.rows(), x.cols());
                 for r in 0..x.rows() {
-                    let q = self.apply(x.row(r));
-                    out.row_mut(r).copy_from_slice(&q);
+                    self.apply_into(x.row(r), out.row_mut(r));
                 }
-                out
             }
         }
     }

@@ -26,26 +26,85 @@ use anda_tensor::Matrix;
 use crate::codec::ActivationCodec;
 use crate::weights::IntWeightMatrix;
 
+/// Reusable buffers for the FP-INT GeMM operators.
+///
+/// One scratch serves any sequence of GeMM calls of any shape: buffers are
+/// resized (allocation reused) per call. A per-token transformer forward
+/// pass holds one scratch and stops reallocating per layer.
+#[derive(Clone, Debug, Default)]
+pub struct GemmScratch {
+    /// Codec-processed (or FP16-rounded) activations.
+    act: Matrix,
+    /// Dequantized weight panel.
+    dequant: Matrix,
+}
+
+impl GemmScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Exact-activation reference GeMM (the W4A16 accuracy ceiling).
 ///
 /// # Panics
 ///
 /// Panics if `x.cols() != w.k()`.
 pub fn gemm_reference(x: &Matrix, w: &IntWeightMatrix) -> Matrix {
+    let mut out = Matrix::zeros(x.rows(), w.n());
+    gemm_reference_into(x, w, &mut GemmScratch::new(), &mut out);
+    out
+}
+
+/// [`gemm_reference`] writing into a preallocated output via `scratch`.
+///
+/// # Panics
+///
+/// Panics if `x.cols() != w.k()` or `out` is not `x.rows() × w.n()`.
+pub fn gemm_reference_into(
+    x: &Matrix,
+    w: &IntWeightMatrix,
+    scratch: &mut GemmScratch,
+    out: &mut Matrix,
+) {
     assert_eq!(x.cols(), w.k(), "gemm shape mismatch");
-    x.matmul(&w.dequantize())
+    w.dequantize_into(&mut scratch.dequant);
+    x.matmul_into(&scratch.dequant, out);
 }
 
 /// FP16-activation GeMM: the GPU FP-FP path.
 pub fn gemm_f16(x: &Matrix, w: &IntWeightMatrix) -> Matrix {
-    let x16 = x.map(|v| saturate_to_f16(v).to_f32());
-    gemm_reference(&x16, w)
+    let mut out = Matrix::zeros(x.rows(), w.n());
+    gemm_f16_into(x, w, &mut GemmScratch::new(), &mut out);
+    out
+}
+
+/// [`gemm_f16`] writing into a preallocated output via `scratch`. The FP16
+/// path is the fake-quant path with the FP16 codec — one definition of the
+/// element-wise rounding lives in [`ActivationCodec`].
+pub fn gemm_f16_into(x: &Matrix, w: &IntWeightMatrix, scratch: &mut GemmScratch, out: &mut Matrix) {
+    gemm_fake_quant_into(x, w, &ActivationCodec::Fp16, scratch, out);
 }
 
 /// Fake-quantized GeMM: activations pass through `codec`, then `f32` math.
 pub fn gemm_fake_quant(x: &Matrix, w: &IntWeightMatrix, codec: &ActivationCodec) -> Matrix {
-    let xq = codec.apply_matrix(x);
-    gemm_reference(&xq, w)
+    let mut out = Matrix::zeros(x.rows(), w.n());
+    gemm_fake_quant_into(x, w, codec, &mut GemmScratch::new(), &mut out);
+    out
+}
+
+/// [`gemm_fake_quant`] writing into a preallocated output via `scratch`.
+pub fn gemm_fake_quant_into(
+    x: &Matrix,
+    w: &IntWeightMatrix,
+    codec: &ActivationCodec,
+    scratch: &mut GemmScratch,
+    out: &mut Matrix,
+) {
+    assert_eq!(x.cols(), w.k(), "gemm shape mismatch");
+    codec.apply_matrix_into(x, &mut scratch.act);
+    w.dequantize_into(&mut scratch.dequant);
+    scratch.act.matmul_into(&scratch.dequant, out);
 }
 
 /// The Anda integer GeMM: bit-serial group dot products with FP32
@@ -74,24 +133,30 @@ pub fn gemm_anda(x: &Matrix, w: &IntWeightMatrix, mantissa_bits: u32) -> Matrix 
     let n = w.n();
     let mut out = Matrix::zeros(m, n);
 
+    // Buffers hoisted out of the row/column loops: conversion and weight
+    // gathering reuse the same allocations for the whole GeMM.
+    let mut acts: Vec<F16> = Vec::with_capacity(k);
+    let mut groups: Vec<BitPlaneGroup> = Vec::with_capacity(k.div_ceil(lanes));
+    let mut weights: Vec<i8> = Vec::with_capacity(lanes);
+
     for row in 0..m {
         // Convert this activation row to Anda groups along k.
-        let acts: Vec<F16> = x.row(row).iter().map(|&v| saturate_to_f16(v)).collect();
-        let groups: Vec<BitPlaneGroup> = acts
-            .chunks(lanes)
-            .map(|chunk| {
-                let aligned = align_group(chunk, cfg.mantissa_bits(), RoundingMode::Truncate)
-                    .expect("saturated activations are finite");
-                BitPlaneGroup::from_aligned(&aligned)
-            })
-            .collect();
+        acts.clear();
+        acts.extend(x.row(row).iter().map(|&v| saturate_to_f16(v)));
+        groups.clear();
+        groups.extend(acts.chunks(lanes).map(|chunk| {
+            let aligned = align_group(chunk, cfg.mantissa_bits(), RoundingMode::Truncate)
+                .expect("saturated activations are finite");
+            BitPlaneGroup::from_aligned(&aligned)
+        }));
 
         for col in 0..n {
             let mut acc = 0.0f32;
             for (g, group) in groups.iter().enumerate() {
                 let k_start = g * lanes;
                 let k_end = (k_start + group.len()).min(k);
-                let weights: Vec<i8> = (k_start..k_end).map(|r| w.value(r, col)).collect();
+                weights.clear();
+                weights.extend((k_start..k_end).map(|r| w.value(r, col)));
                 let (int_dot, _) = dot_group_bit_serial(group, &weights);
                 let scale = w.scale_at(k_start, col);
                 acc += rescale_int_dot(int_dot, group.shared_exp(), group.mantissa_bits(), scale);
@@ -199,6 +264,30 @@ mod tests {
             )
         };
         let _ = gemm_anda(&x, &w, 8);
+    }
+
+    #[test]
+    fn into_variants_are_bit_identical_across_reused_scratch() {
+        // One scratch drives GeMMs of different shapes back-to-back, the
+        // way a layer loop does; every result must equal the allocating
+        // path bit-for-bit.
+        let mut scratch = GemmScratch::new();
+        let codec = ActivationCodec::anda(8);
+        for (shape_seed, (m, k, n)) in
+            [(20u64, (3, 256, 5)), (21, (2, 128, 9)), (22, (5, 64, 2))].into_iter()
+        {
+            let (x, w) = random_case(m, k, n, shape_seed);
+            let mut out = Matrix::zeros(m, n);
+
+            gemm_reference_into(&x, &w, &mut scratch, &mut out);
+            assert_eq!(out, gemm_reference(&x, &w));
+
+            gemm_f16_into(&x, &w, &mut scratch, &mut out);
+            assert_eq!(out, gemm_f16(&x, &w));
+
+            gemm_fake_quant_into(&x, &w, &codec, &mut scratch, &mut out);
+            assert_eq!(out, gemm_fake_quant(&x, &w, &codec));
+        }
     }
 
     #[test]

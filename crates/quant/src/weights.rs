@@ -198,12 +198,23 @@ impl IntWeightMatrix {
     /// Dequantizes back to a dense `f32` matrix.
     pub fn dequantize(&self) -> Matrix {
         let mut m = Matrix::zeros(self.k, self.n);
+        self.dequantize_into(&mut m);
+        m
+    }
+
+    /// Dequantizes into a caller-provided matrix, resizing it to `k × n`
+    /// while reusing its allocation. Hot GeMM paths use this to avoid a
+    /// fresh `k × n` buffer per call.
+    pub fn dequantize_into(&self, out: &mut Matrix) {
+        out.resize(self.k, self.n);
+        let group_size = self.config.group_size;
         for r in 0..self.k {
-            for c in 0..self.n {
-                m[(r, c)] = f32::from(self.value(r, c)) * self.scale_at(r, c);
+            let scales = &self.scales[(r / group_size) * self.n..(r / group_size + 1) * self.n];
+            let values = &self.values[r * self.n..(r + 1) * self.n];
+            for ((slot, &v), &s) in out.row_mut(r).iter_mut().zip(values).zip(scales) {
+                *slot = f32::from(v) * s;
             }
         }
-        m
     }
 
     /// Storage footprint in bits: values at `bits` each plus FP16 scales.
@@ -328,8 +339,8 @@ mod tests {
         let w = random_weights(64, 3, 6);
         let q = IntWeightMatrix::quantize(&w, WeightQuantConfig::rtn(4, 64));
         let col = q.col_values(1);
-        for r in 0..64 {
-            assert_eq!(col[r], q.value(r, 1));
+        for (r, &cv) in col.iter().enumerate() {
+            assert_eq!(cv, q.value(r, 1));
         }
     }
 }

@@ -237,7 +237,10 @@ mod tests {
 
         let gap = bops_per_token(&cfg, searched) as f64 / bops_per_token(&cfg, brute) as f64;
         // Paper: near-optimal within few iterations; allow ≤25% BOPs gap.
-        assert!((1.0..1.25).contains(&gap), "BOPs gap {gap} ({searched} vs {brute})");
+        assert!(
+            (1.0..1.25).contains(&gap),
+            "BOPs gap {gap} ({searched} vs {brute})"
+        );
         assert!(out.trace.len() <= 32);
     }
 

@@ -14,7 +14,7 @@ use core::ops::{Index, IndexMut};
 /// let b = Matrix::identity(2);
 /// assert_eq!(a.matmul(&b), a);
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(Clone, Default, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -176,7 +176,11 @@ impl Matrix {
 
     /// Matrix multiplication writing into a preallocated output.
     ///
-    /// Uses an ikj loop order for cache-friendly access.
+    /// Blocked ikj loop order: `rhs` row panels stay cache-resident across
+    /// an i-tile instead of being re-streamed for every output row. The
+    /// per-element accumulation order over k is unchanged from the naive
+    /// ikj kernel, so results are bit-identical to [`Matrix::matmul`] on
+    /// any input.
     ///
     /// # Panics
     ///
@@ -192,17 +196,33 @@ impl Matrix {
             (self.rows, rhs.cols),
             "matmul output shape mismatch"
         );
+        // Tile sizes: an i-tile of output rows shares one pass over a
+        // KB-row panel of rhs (≈ KB·cols f32 ≤ a few hundred KiB, L2-sized).
+        const IB: usize = 32;
+        const KB: usize = 256;
+        let n = rhs.cols;
         out.data.fill(0.0);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        if n == 0 {
+            // Degenerate m×0 output: nothing to accumulate (and
+            // chunks_exact below requires a non-zero width).
+            return;
+        }
+        for i0 in (0..self.rows).step_by(IB) {
+            let i1 = (i0 + IB).min(self.rows);
+            for k0 in (0..self.cols).step_by(KB) {
+                let k1 = (k0 + KB).min(self.cols);
+                for i in i0..i1 {
+                    let a_row = &self.data[i * self.cols + k0..i * self.cols + k1];
+                    let out_row = &mut out.data[i * n..(i + 1) * n];
+                    let b_panel = rhs.data[k0 * n..k1 * n].chunks_exact(n);
+                    for (&a, b_row) in a_row.iter().zip(b_panel) {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
                 }
             }
         }
@@ -213,24 +233,113 @@ impl Matrix {
     /// Useful for weight matrices stored output-major, and for attention
     /// scores `Q · Kᵀ`.
     pub fn matmul_transposed(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_transposed_into(rhs, &mut out);
+        out
+    }
+
+    /// `self · rhsᵀ` writing into a preallocated output.
+    ///
+    /// Blocked dot-product kernel: output is computed in 4×4 register
+    /// tiles so each loaded `self`/`rhs` row participates in four dots per
+    /// pass. Every output element keeps its own accumulator walked over k
+    /// in order, so results match the naive per-element dot product
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_transposed_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_transposed shape mismatch: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, rhs.rows),
+            "matmul_transposed output shape mismatch"
+        );
+        const T: usize = 4;
+        let k = self.cols;
+        let (m, n) = (self.rows, rhs.rows);
+        let mi = m - m % T;
+        let nj = n - n % T;
+        for i0 in (0..mi).step_by(T) {
+            for j0 in (0..nj).step_by(T) {
+                let mut acc = [[0.0f32; T]; T];
+                let a = [
+                    self.row(i0),
+                    self.row(i0 + 1),
+                    self.row(i0 + 2),
+                    self.row(i0 + 3),
+                ];
+                let b = [
+                    rhs.row(j0),
+                    rhs.row(j0 + 1),
+                    rhs.row(j0 + 2),
+                    rhs.row(j0 + 3),
+                ];
+                for kk in 0..k {
+                    let av = [a[0][kk], a[1][kk], a[2][kk], a[3][kk]];
+                    let bv = [b[0][kk], b[1][kk], b[2][kk], b[3][kk]];
+                    for (accr, &ai) in acc.iter_mut().zip(&av) {
+                        for (accv, &bj) in accr.iter_mut().zip(&bv) {
+                            *accv += ai * bj;
+                        }
+                    }
                 }
-                out[(i, j)] = acc;
+                for (di, accr) in acc.iter().enumerate() {
+                    out.row_mut(i0 + di)[j0..j0 + T].copy_from_slice(accr);
+                }
             }
         }
-        out
+        // Edge rows/columns fall back to plain sequential dots (same
+        // accumulation order as the tiles).
+        let edge_dot = |i: usize, j: usize| -> f32 {
+            let mut acc = 0.0f32;
+            for (&x, &y) in self.row(i).iter().zip(rhs.row(j)) {
+                acc += x * y;
+            }
+            acc
+        };
+        for i in 0..m {
+            let j_start = if i < mi { nj } else { 0 };
+            for j in j_start..n {
+                out[(i, j)] = edge_dot(i, j);
+            }
+        }
+    }
+
+    /// Reshapes in place to `rows × cols`, reusing the existing allocation
+    /// when capacity allows. Contents are unspecified afterwards — callers
+    /// must overwrite every element, which every kernel `_into` method
+    /// does.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies `src` into `self`, adopting its shape and reusing the
+    /// existing allocation when capacity allows.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Element-wise `self += rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_inplace(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_inplace shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
     }
 
     /// Returns the transposed matrix.
@@ -481,6 +590,81 @@ mod tests {
     fn col_extraction() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         assert_eq!(a.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn matmul_transposed_blocked_matches_naive_all_shapes() {
+        // Cover tile interiors plus both edge cases (m % 4, n % 4 ≠ 0).
+        for (m, k, n) in [(1, 3, 1), (4, 8, 4), (5, 7, 6), (9, 16, 11)] {
+            let a = Matrix::from_vec(m, k, (0..m * k).map(|i| (i as f32).sin()).collect());
+            let b = Matrix::from_vec(n, k, (0..n * k).map(|i| (i as f32).cos()).collect());
+            let blocked = a.matmul_transposed(&b);
+            let naive = a.matmul(&b.transposed());
+            assert_eq!(blocked, naive, "shape {m}x{k}·({n}x{k})ᵀ");
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_output_and_matches() {
+        let a = Matrix::from_vec(5, 6, (0..30).map(|i| i as f32 * 0.3 - 4.0).collect());
+        let b = Matrix::from_vec(6, 7, (0..42).map(|i| 2.0 - i as f32 * 0.1).collect());
+        let mut out = Matrix::zeros(5, 7);
+        out.as_mut_slice().fill(99.0); // stale contents must be overwritten
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn resize_reuses_allocation() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let cap = m.data.capacity();
+        // Shrinking and same-count reshapes stay within the allocation
+        // (contents are unspecified; callers overwrite).
+        m.resize(1, 3);
+        assert_eq!(m.shape(), (1, 3));
+        assert_eq!(m.data.capacity(), cap);
+        m.resize(3, 1);
+        assert_eq!(m.shape(), (3, 1));
+        assert_eq!(m.data.capacity(), cap);
+        // Growing within capacity also avoids reallocation.
+        m.resize(2, 2);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.data.capacity(), cap);
+    }
+
+    #[test]
+    fn zero_dimension_matmuls_are_valid() {
+        // Degenerate shapes must produce empty results, not panic.
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(a.matmul(&Matrix::zeros(3, 0)).shape(), (2, 0));
+        assert_eq!(
+            Matrix::zeros(0, 3).matmul(&Matrix::zeros(3, 4)).shape(),
+            (0, 4)
+        );
+        assert_eq!(a.matmul_transposed(&Matrix::zeros(0, 3)).shape(), (2, 0));
+        let empty_k = Matrix::zeros(2, 0);
+        assert_eq!(empty_k.matmul(&Matrix::zeros(0, 4)), Matrix::zeros(2, 4));
+        assert_eq!(
+            empty_k.matmul_transposed(&Matrix::zeros(5, 0)),
+            Matrix::zeros(2, 5)
+        );
+    }
+
+    #[test]
+    fn copy_from_adopts_shape_and_contents() {
+        let src = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let mut dst = Matrix::zeros(4, 4);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn add_inplace_matches_zip_with() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]);
+        let b = Matrix::from_rows(&[&[4.0, 1.0], &[-1.5, 2.0]]);
+        let mut c = a.clone();
+        c.add_inplace(&b);
+        assert_eq!(c, a.zip_with(&b, |x, y| x + y));
     }
 
     #[test]

@@ -25,9 +25,18 @@ pub fn softmax_rows(m: &mut Matrix) {
 
 /// Numerically-stable log-softmax of a single row, into a new vector.
 pub fn log_softmax(row: &[f32]) -> Vec<f32> {
+    let mut out = Vec::new();
+    log_softmax_into(row, &mut out);
+    out
+}
+
+/// [`log_softmax`] into a caller-provided buffer (cleared and refilled),
+/// for per-token hot paths that must not reallocate.
+pub fn log_softmax_into(row: &[f32], out: &mut Vec<f32>) {
     let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
     let log_sum: f32 = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
-    row.iter().map(|&x| x - max - log_sum).collect()
+    out.clear();
+    out.extend(row.iter().map(|&x| x - max - log_sum));
 }
 
 /// LayerNorm over each row: `gain ⊙ (x - mean)/sqrt(var + eps) + bias`.

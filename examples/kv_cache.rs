@@ -27,7 +27,10 @@ fn main() {
     }
     let reference = exact.attend(&q, 4);
 
-    println!("{:<12} {:>12} {:>14}", "storage", "compression", "attn max|err|");
+    println!(
+        "{:<12} {:>12} {:>14}",
+        "storage", "compression", "attn max|err|"
+    );
     println!("{}", "-".repeat(40));
     for m in [4u32, 6, 8, 11] {
         let mut store = KvStore::new(dim, KvStorage::Anda { mantissa_bits: m });
@@ -50,7 +53,10 @@ fn main() {
     // System-level: long-context decode.
     let cfg = real_model("LLaMA2-13B").unwrap();
     let combo = PrecisionCombo([7, 6, 6, 6]);
-    println!("\ndecode of 64 tokens on {} (Anda combo {combo}):", cfg.name);
+    println!(
+        "\ndecode of 64 tokens on {} (Anda combo {combo}):",
+        cfg.name
+    );
     for context in [2048usize, 8192, 16384] {
         let base = simulate_decode_baseline(&cfg, context, 64);
         let anda = simulate_decode(

@@ -19,7 +19,10 @@ fn case(m: usize, k: usize, n: usize, seed: u64) -> (Matrix, IntWeightMatrix) {
     }
     let mut w = Matrix::zeros(k, n);
     rng.fill_normal(w.as_mut_slice(), 0.04);
-    (x, IntWeightMatrix::quantize(&w, WeightQuantConfig::rtn(4, 64)))
+    (
+        x,
+        IntWeightMatrix::quantize(&w, WeightQuantConfig::rtn(4, 64)),
+    )
 }
 
 #[test]
@@ -60,8 +63,8 @@ fn functional_cycles_consistent_with_analytical_model() {
         // total divided by the array width.
         let group_dots = 32.0 * 32.0 * 4.0;
         let analytical = group_dots * arch.cycles_per_group(mbits) / 256.0;
-        let functional_array_cycles = stats.mxu_cycles as f64 / 16.0 / row_tiles / col_tiles
-            * (row_tiles * col_tiles);
+        let functional_array_cycles =
+            stats.mxu_cycles as f64 / 16.0 / row_tiles / col_tiles * (row_tiles * col_tiles);
         assert!(
             (functional_array_cycles / 16.0 - analytical).abs() / analytical < 0.01,
             "m={mbits}: functional {functional_array_cycles} vs analytical {analytical}"

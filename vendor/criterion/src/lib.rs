@@ -1,0 +1,250 @@
+//! Minimal offline subset of the `criterion` benchmarking API (see
+//! README.md). Times each benchmark with a fixed warm-up plus adaptive
+//! batching and prints the median ns/iter; no statistical engine, no
+//! HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's historical name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch-size hint for `iter_batched`; the stub treats all variants alike.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation; recorded and echoed in the report line.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs closures under measurement.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by `iter`.
+    measured_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: run until ~10ms of work or 5 iterations, whichever is later.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_iters < 5 || warmup_start.elapsed() < Duration::from_millis(10) {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64;
+        // Size batches to ~5ms, take the median of several batches.
+        let batch = ((5_000_000.0 / per_iter.max(1.0)) as u64).clamp(1, 1_000_000);
+        let mut samples: Vec<f64> = (0..7)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                t.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.measured_ns = samples[samples.len() / 2];
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Setup cost is excluded per batch element by timing only the routine.
+        let mut samples: Vec<f64> = (0..15)
+            .map(|_| {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                t.elapsed().as_nanos() as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.measured_ns = samples[samples.len() / 2];
+    }
+}
+
+fn report(group: Option<&str>, id: &str, throughput: Option<Throughput>, ns: f64) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.1} Melem/s)", n as f64 / ns * 1e3)
+        }
+        Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) => {
+            format!("  ({:.1} MB/s)", n as f64 / ns * 1e3)
+        }
+        None => String::new(),
+    };
+    println!("{full:<56} {ns:>14.1} ns/iter{rate}");
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Reads the benchmark-name filter from argv; other flags are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        if self.matches(&id.id) {
+            let mut f = f;
+            let mut b = Bencher { measured_ns: 0.0 };
+            f(&mut b);
+            report(None, &id.id, None, b.measured_ns);
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        if self.criterion.matches(&format!("{}/{}", self.name, id.id)) {
+            let mut f = f;
+            let mut b = Bencher { measured_ns: 0.0 };
+            f(&mut b);
+            report(Some(&self.name), &id.id, self.throughput, b.measured_ns);
+        }
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        if self.criterion.matches(&format!("{}/{}", self.name, id.id)) {
+            let mut f = f;
+            let mut b = Bencher { measured_ns: 0.0 };
+            f(&mut b, input);
+            report(Some(&self.name), &id.id, self.throughput, b.measured_ns);
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a group function that runs each target benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
