@@ -1,0 +1,139 @@
+//! Serial vs parallel GEMM throughput across shapes and thread counts.
+//!
+//! The parallel kernels shard output rows across a `rayon-lite` pool while
+//! keeping every output element bit-identical to the serial kernel (see the
+//! README threading section), so this bench is pure throughput: GFLOP/s per
+//! kernel, per shape, per thread count, plus the speedup over serial.
+//!
+//! The acceptance bar for the threading work is >1.5× on `matmul` at
+//! 4 threads on 512×512×512 (needs ≥4 physical cores, of course).
+//!
+//! Usage: `gemm_threads [--quick] [--threads A,B,…]`
+
+use std::time::Instant;
+
+use anda_bench::Table;
+use anda_quant::{gemm_anda_into_pool, IntWeightMatrix, WeightQuantConfig};
+use anda_tensor::{Matrix, Rng};
+use rayon_lite::ThreadPool;
+
+/// Best-of-N wall time of `f`, in seconds.
+fn best_of(n: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..n {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn random(rows: usize, cols: usize, seed: u64, std: f32) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    Rng::new(seed).fill_normal(m.as_mut_slice(), std);
+    m
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let threads: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.split(',').filter_map(|t| t.parse().ok()).collect())
+        .unwrap_or_else(|| vec![2, 4]);
+    let reps = if quick { 2 } else { 4 };
+
+    println!(
+        "GEMM threading bench — serial vs rayon-lite pool \
+         (machine parallelism: {})\n",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    );
+
+    // (m, k, n): square hot-path shape, the acceptance shape, a wide
+    // activation panel (prefill-like), and a tall skinny one (LM head).
+    let shapes: &[(usize, usize, usize)] = if quick {
+        &[(256, 256, 256), (512, 512, 512)]
+    } else {
+        &[
+            (256, 256, 256),
+            (512, 512, 512),
+            (128, 1024, 768),
+            (1024, 256, 64),
+        ]
+    };
+
+    let mut header = vec!["kernel / shape".to_string(), "serial GF/s".to_string()];
+    for &t in &threads {
+        header.push(format!("{t}t GF/s"));
+        header.push(format!("{t}t speedup"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    for &(m, k, n) in shapes {
+        let a = random(m, k, 1, 1.0);
+        let b = random(k, n, 2, 1.0);
+        let bt = random(n, k, 3, 1.0);
+        let mut out = Matrix::zeros(m, n);
+        let flops = 2.0 * (m * k * n) as f64;
+
+        // Dense matmul.
+        let serial = best_of(reps, || a.matmul_into_serial(&b, &mut out));
+        let mut cells = vec![
+            format!("matmul {m}x{k}x{n}"),
+            format!("{:.2}", flops / serial / 1e9),
+        ];
+        for &t in &threads {
+            let pool = ThreadPool::new(t);
+            let par = best_of(reps, || a.matmul_into_pool(&b, &mut out, &pool));
+            cells.push(format!("{:.2}", flops / par / 1e9));
+            cells.push(format!("{:.2}x", serial / par));
+        }
+        table.row_owned(cells);
+
+        // Transposed matmul (attention scores / LM head shape).
+        let serial = best_of(reps, || a.matmul_transposed_into_serial(&bt, &mut out));
+        let mut cells = vec![
+            format!("matmul_t {m}x{k}x{n}"),
+            format!("{:.2}", flops / serial / 1e9),
+        ];
+        for &t in &threads {
+            let pool = ThreadPool::new(t);
+            let par = best_of(reps, || a.matmul_transposed_into_pool(&bt, &mut out, &pool));
+            cells.push(format!("{:.2}", flops / par / 1e9));
+            cells.push(format!("{:.2}x", serial / par));
+        }
+        table.row_owned(cells);
+    }
+
+    // The integer Anda GeMM (bit-serial group dots) on a smaller shape —
+    // its per-element cost is orders of magnitude above an FP mul-add.
+    let (m, k, n) = if quick { (16, 256, 64) } else { (32, 512, 128) };
+    let x = random(m, k, 4, 1.0);
+    let wq = IntWeightMatrix::quantize(&random(k, n, 5, 0.05), WeightQuantConfig::rtn(4, 128));
+    let mut out = Matrix::zeros(m, n);
+    let flops = 2.0 * (m * k * n) as f64;
+    let serial = best_of(reps, || {
+        gemm_anda_into_pool(&x, &wq, 8, &mut out, &ThreadPool::new(1))
+    });
+    let mut cells = vec![
+        format!("gemm_anda {m}x{k}x{n} M8"),
+        format!("{:.2}", flops / serial / 1e9),
+    ];
+    for &t in &threads {
+        let pool = ThreadPool::new(t);
+        let par = best_of(reps, || gemm_anda_into_pool(&x, &wq, 8, &mut out, &pool));
+        cells.push(format!("{:.2}", flops / par / 1e9));
+        cells.push(format!("{:.2}x", serial / par));
+    }
+    table.row_owned(cells);
+
+    table.print();
+    println!(
+        "\n(every parallel result above is bit-identical to the serial kernel; \
+         the cross-thread-count suites in crates/tensor/tests and \
+         crates/quant/tests enforce it)"
+    );
+}

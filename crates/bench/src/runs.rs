@@ -37,6 +37,11 @@ pub struct Prepared {
 
 impl Prepared {
     /// Builds the context for one (model, corpus) pair.
+    ///
+    /// No step here calls the allocating `Model::forward`: logit-scale
+    /// calibration holds one `ForwardScratch` across its whole grid, and
+    /// [`Prepared::search`]'s `PplEvaluator` holds one across the whole
+    /// search, so steady-state evaluation reuses every forward buffer.
     pub fn new(spec: SimModelSpec, corpus: CorpusSpec) -> Self {
         let mut fp16_model = spec.build();
         let data = corpus.generate(&fp16_model, CALIBRATION_LEN, VALIDATION_LEN);

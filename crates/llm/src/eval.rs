@@ -2,7 +2,7 @@
 
 use anda_tensor::ops;
 
-use crate::model::Model;
+use crate::model::{ForwardScratch, Model};
 use crate::modules::CodecAssignment;
 
 /// Default evaluation window (the paper uses 2048 for real models; sim
@@ -19,19 +19,37 @@ pub const DEFAULT_WINDOW: usize = 256;
 ///
 /// Panics if `window < 2` or fewer than 2 tokens are supplied.
 pub fn perplexity(model: &Model, codecs: &CodecAssignment, tokens: &[usize], window: usize) -> f64 {
+    // One scratch serves every window; callers evaluating many
+    // perplexities (calibration grids, search loops, surrogate sweeps)
+    // should hold their own scratch and use [`perplexity_with_scratch`].
+    perplexity_with_scratch(model, codecs, tokens, window, &mut ForwardScratch::new())
+}
+
+/// [`perplexity`] with a caller-provided [`ForwardScratch`]: across many
+/// evaluations (a calibration grid, a precision search, a surrogate fit)
+/// every per-layer forward buffer — including the `T × vocab` logits — is
+/// allocated once and reused.
+///
+/// # Panics
+///
+/// Same conditions as [`perplexity`].
+pub fn perplexity_with_scratch(
+    model: &Model,
+    codecs: &CodecAssignment,
+    tokens: &[usize],
+    window: usize,
+    scratch: &mut ForwardScratch,
+) -> f64 {
     assert!(window >= 2, "need a window of at least 2 tokens");
     assert!(tokens.len() >= 2, "need at least 2 tokens to evaluate");
     let mut total_nll = 0.0f64;
     let mut count = 0usize;
-    // One scratch serves every window: the per-layer buffers inside the
-    // forward pass are allocated once for the whole evaluation.
-    let mut scratch = crate::model::ForwardScratch::new();
     let mut ls = Vec::new();
     for chunk in tokens.chunks(window) {
         if chunk.len() < 2 {
             continue;
         }
-        let logits = model.forward_with_scratch(chunk, codecs, &mut scratch);
+        let logits = model.forward_with_scratch(chunk, codecs, scratch);
         for i in 0..chunk.len() - 1 {
             ops::log_softmax_into(logits.row(i), &mut ls);
             total_nll -= f64::from(ls[chunk[i + 1]]);

@@ -35,7 +35,7 @@ pub mod synth;
 pub mod zoo;
 
 pub use config::{Family, ModelConfig};
-pub use eval::{perplexity, relative_accuracy_loss};
+pub use eval::{perplexity, perplexity_with_scratch, relative_accuracy_loss};
 pub use model::{ForwardScratch, Model, WeightMode};
 pub use modules::{CodecAssignment, ModuleKind, PrecisionCombo};
 pub use zoo::SimModelSpec;

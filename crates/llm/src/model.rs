@@ -371,11 +371,15 @@ impl Model {
     /// codec, so relative comparisons between codecs remain untouched.
     pub fn calibrate_logit_scale(&mut self, tokens: &[usize], window: usize) -> f32 {
         let codecs = CodecAssignment::fp16();
+        // One scratch serves the whole grid: 21 perplexity sweeps reuse
+        // the same forward buffers instead of reallocating per scale.
+        let mut scratch = ForwardScratch::new();
         let mut best = (f64::INFINITY, 1.0f32);
         let mut scale = 0.5f32;
         while scale <= 1.501 {
             self.logit_scale = scale;
-            let ppl = crate::eval::perplexity(self, &codecs, tokens, window);
+            let ppl =
+                crate::eval::perplexity_with_scratch(self, &codecs, tokens, window, &mut scratch);
             if ppl < best.0 {
                 best = (ppl, scale);
             }
@@ -588,9 +592,16 @@ impl Model {
         }
 
         self.norm_vec(x, &self.final_gain, &self.final_bias);
-        // logits = x · Eᵀ
-        s.logits.clear();
-        s.logits.extend((0..self.config.vocab).map(|tok| {
+        self.lm_head_into(x, &mut s.logits);
+    }
+
+    /// Tied LM head for one position: `logits[tok] = embed[tok] · x` times
+    /// the logit scale. Vocab rows are sharded across the global pool when
+    /// large enough; each logit is one sequential dot either way, so the
+    /// parallel result is bit-identical to the serial one.
+    fn lm_head_into(&self, x: &[f32], logits: &mut Vec<f32>) {
+        let vocab = self.config.vocab;
+        let row_logit = |tok: usize| -> f32 {
             let dot: f32 = self
                 .embed
                 .row(tok)
@@ -599,7 +610,20 @@ impl Model {
                 .map(|(&e, &xv)| e * xv)
                 .sum();
             dot * self.logit_scale
-        }));
+        };
+        logits.clear();
+        let pool = rayon_lite::global();
+        if pool.threads() > 1 && vocab * x.len() >= VEC_PAR_MIN_MULADDS && vocab > 1 {
+            logits.resize(vocab, 0.0);
+            let toks_per_chunk = vocab.div_ceil(pool.threads()).max(1);
+            pool.par_chunks_mut(&mut logits[..], toks_per_chunk, |idx, chunk| {
+                for (off, l) in chunk.iter_mut().enumerate() {
+                    *l = row_logit(idx * toks_per_chunk + off);
+                }
+            });
+        } else {
+            logits.extend((0..vocab).map(row_logit));
+        }
     }
 
     fn norm_vec(&self, v: &mut [f32], gain: &[f32], bias: &[f32]) {
@@ -719,17 +743,48 @@ struct DecodeScratch {
     logits: Vec<f32>,
 }
 
+/// Below this many multiply-adds the decode-path vector kernels run
+/// serially even when the global pool has threads (dispatch overhead
+/// would dominate). Unlike the prefill GeMMs, which shard output rows,
+/// decode works on a single token, so these kernels shard output
+/// *columns*; each element still accumulates over k in ascending order,
+/// keeping results bit-identical at every thread count.
+const VEC_PAR_MIN_MULADDS: usize = 256 * 1024;
+
 /// `v(1×k) · m(k×n)` row-vector matmul into a reused buffer.
+///
+/// Output columns are sharded across the global pool when the product is
+/// large enough; each chunk walks k in the same ascending order (with the
+/// same `a == 0` skip) as the serial loop, so the parallel result is
+/// bit-identical.
 fn vec_matmul_into(v: &[f32], m: &Matrix, out: &mut Vec<f32>) {
     assert_eq!(v.len(), m.rows(), "vec_matmul shape mismatch");
+    let n = m.cols();
     out.clear();
-    out.resize(m.cols(), 0.0);
-    for (kidx, &a) in v.iter().enumerate() {
-        if a == 0.0 {
-            continue;
-        }
-        for (o, &b) in out.iter_mut().zip(m.row(kidx)) {
-            *o += a * b;
+    out.resize(n, 0.0);
+    let pool = rayon_lite::global();
+    if pool.threads() > 1 && v.len() * n >= VEC_PAR_MIN_MULADDS && n > 1 {
+        let cols_per_chunk = n.div_ceil(pool.threads()).max(1);
+        pool.par_chunks_mut(&mut out[..], cols_per_chunk, |idx, chunk| {
+            let c0 = idx * cols_per_chunk;
+            for (kidx, &a) in v.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_cols = &m.row(kidx)[c0..c0 + chunk.len()];
+                for (o, &b) in chunk.iter_mut().zip(b_cols) {
+                    *o += a * b;
+                }
+            }
+        });
+    } else {
+        for (kidx, &a) in v.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            for (o, &b) in out.iter_mut().zip(m.row(kidx)) {
+                *o += a * b;
+            }
         }
     }
 }

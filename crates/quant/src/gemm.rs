@@ -22,9 +22,16 @@ use anda_format::bitplane::BitPlaneGroup;
 use anda_format::dot::{dot_group_bit_serial, rescale_int_dot};
 use anda_fp::{RoundingMode, F16};
 use anda_tensor::Matrix;
+use rayon_lite::ThreadPool;
 
 use crate::codec::ActivationCodec;
 use crate::weights::IntWeightMatrix;
+
+/// Below this many output-element group-dots the Anda GeMM runs serially
+/// even when the global pool has threads. The bit-serial dot is far more
+/// expensive per element than an FP mul-add, so the bar is much lower
+/// than the dense-matmul threshold in `anda-tensor`.
+const ANDA_PAR_MIN_WORK: usize = 16 * 1024;
 
 /// Reusable buffers for the FP-INT GeMM operators.
 ///
@@ -120,26 +127,98 @@ pub fn gemm_fake_quant_into(
 ///
 /// Panics when the shape or group-compatibility requirements are violated.
 pub fn gemm_anda(x: &Matrix, w: &IntWeightMatrix, mantissa_bits: u32) -> Matrix {
+    let mut out = Matrix::zeros(x.rows(), w.n());
+    gemm_anda_into(x, w, mantissa_bits, &mut out);
+    out
+}
+
+/// [`gemm_anda`] writing into a preallocated output.
+///
+/// Large GeMMs are sharded by output rows across the global
+/// [`rayon_lite`] pool (sized by `ANDA_THREADS`); each thread converts
+/// and accumulates its own rows with private buffers. Because every
+/// output element is produced by the identical per-row group-dot walk,
+/// results are bit-identical to the serial path at every thread count.
+///
+/// # Panics
+///
+/// Panics on shape/group-compatibility violations (see [`gemm_anda`]) or
+/// if `out` is not `x.rows() × w.n()`.
+pub fn gemm_anda_into(x: &Matrix, w: &IntWeightMatrix, mantissa_bits: u32, out: &mut Matrix) {
+    let pool = rayon_lite::global();
+    let work = x.rows() * x.cols() * w.n();
+    if pool.threads() > 1 && x.rows() > 1 && work >= ANDA_PAR_MIN_WORK {
+        gemm_anda_into_pool(x, w, mantissa_bits, out, pool);
+    } else {
+        anda_check_shapes(x, w, out);
+        let cfg = AndaConfig::new(ANDA_LANES, mantissa_bits).expect("valid mantissa bits");
+        anda_rows(x, w, &cfg, out.as_mut_slice(), 0);
+    }
+}
+
+/// [`gemm_anda_into`] on an explicit pool, always sharding the output
+/// rows across its threads (used by the cross-thread-count bit-exactness
+/// tests; production code calls [`gemm_anda_into`], which picks the
+/// global pool).
+///
+/// # Panics
+///
+/// Same conditions as [`gemm_anda_into`].
+pub fn gemm_anda_into_pool(
+    x: &Matrix,
+    w: &IntWeightMatrix,
+    mantissa_bits: u32,
+    out: &mut Matrix,
+    pool: &ThreadPool,
+) {
+    anda_check_shapes(x, w, out);
+    let cfg = AndaConfig::new(ANDA_LANES, mantissa_bits).expect("valid mantissa bits");
+    let n = w.n();
+    if n == 0 {
+        return;
+    }
+    let rows_per_chunk = x.rows().div_ceil(pool.threads()).max(1);
+    pool.par_chunks_mut(out.as_mut_slice(), rows_per_chunk * n, |idx, chunk| {
+        anda_rows(x, w, &cfg, chunk, idx * rows_per_chunk);
+    });
+}
+
+/// The 64-lane Anda activation group width.
+const ANDA_LANES: usize = 64;
+
+fn anda_check_shapes(x: &Matrix, w: &IntWeightMatrix, out: &Matrix) {
     assert_eq!(x.cols(), w.k(), "gemm shape mismatch");
-    let lanes = 64usize;
+    assert_eq!(out.shape(), (x.rows(), w.n()), "gemm output shape mismatch");
     assert!(
-        w.config().group_size.is_multiple_of(lanes),
-        "weight group size {} must be a multiple of the {lanes}-lane Anda group",
+        w.config().group_size.is_multiple_of(ANDA_LANES),
+        "weight group size {} must be a multiple of the {ANDA_LANES}-lane Anda group",
         w.config().group_size
     );
-    let cfg = AndaConfig::new(lanes, mantissa_bits).expect("valid mantissa bits");
+}
 
-    let (m, k) = x.shape();
+/// The Anda GeMM kernel over output rows `[row0, row0 + rows_here)`,
+/// where `rows_here = out_rows.len() / w.n()`. Conversion and weight
+/// gathering buffers are private to the call, so concurrent shards never
+/// share state; the per-element accumulation (FP32 across groups, groups
+/// in ascending k order) is independent of the sharding, which keeps the
+/// parallel result bit-identical to the serial one.
+fn anda_rows(x: &Matrix, w: &IntWeightMatrix, cfg: &AndaConfig, out_rows: &mut [f32], row0: usize) {
+    let lanes = ANDA_LANES;
+    let k = x.cols();
     let n = w.n();
-    let mut out = Matrix::zeros(m, n);
+    if n == 0 {
+        return;
+    }
+    let rows_here = out_rows.len() / n;
 
     // Buffers hoisted out of the row/column loops: conversion and weight
-    // gathering reuse the same allocations for the whole GeMM.
+    // gathering reuse the same allocations for the whole shard.
     let mut acts: Vec<F16> = Vec::with_capacity(k);
     let mut groups: Vec<BitPlaneGroup> = Vec::with_capacity(k.div_ceil(lanes));
     let mut weights: Vec<i8> = Vec::with_capacity(lanes);
 
-    for row in 0..m {
+    for li in 0..rows_here {
+        let row = row0 + li;
         // Convert this activation row to Anda groups along k.
         acts.clear();
         acts.extend(x.row(row).iter().map(|&v| saturate_to_f16(v)));
@@ -150,7 +229,8 @@ pub fn gemm_anda(x: &Matrix, w: &IntWeightMatrix, mantissa_bits: u32) -> Matrix 
             BitPlaneGroup::from_aligned(&aligned)
         }));
 
-        for col in 0..n {
+        let out_row = &mut out_rows[li * n..(li + 1) * n];
+        for (col, out_val) in out_row.iter_mut().enumerate() {
             let mut acc = 0.0f32;
             for (g, group) in groups.iter().enumerate() {
                 let k_start = g * lanes;
@@ -161,10 +241,9 @@ pub fn gemm_anda(x: &Matrix, w: &IntWeightMatrix, mantissa_bits: u32) -> Matrix 
                 let scale = w.scale_at(k_start, col);
                 acc += rescale_int_dot(int_dot, group.shared_exp(), group.mantissa_bits(), scale);
             }
-            out[(row, col)] = acc;
+            *out_val = acc;
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -25,7 +25,7 @@ pub mod weights;
 
 pub use codec::ActivationCodec;
 pub use gemm::{
-    gemm_anda, gemm_f16, gemm_f16_into, gemm_fake_quant, gemm_fake_quant_into, gemm_reference,
-    gemm_reference_into, GemmScratch,
+    gemm_anda, gemm_anda_into, gemm_anda_into_pool, gemm_f16, gemm_f16_into, gemm_fake_quant,
+    gemm_fake_quant_into, gemm_reference, gemm_reference_into, GemmScratch,
 };
 pub use weights::{IntWeightMatrix, WeightQuantConfig};

@@ -17,8 +17,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use anda_llm::config::ModelConfig;
-use anda_llm::eval::perplexity;
-use anda_llm::model::Model;
+use anda_llm::eval::perplexity_with_scratch;
+use anda_llm::model::{ForwardScratch, Model};
 use anda_llm::modules::{CodecAssignment, PrecisionCombo};
 
 use crate::bops::bops_per_token;
@@ -111,6 +111,8 @@ pub struct PplEvaluator<'a> {
     cache: HashMap<PrecisionCombo, f64>,
     baseline: Option<f64>,
     evaluations: usize,
+    /// One forward scratch reused across every evaluation of the search.
+    scratch: ForwardScratch,
 }
 
 impl<'a> PplEvaluator<'a> {
@@ -124,6 +126,7 @@ impl<'a> PplEvaluator<'a> {
             cache: HashMap::new(),
             baseline: None,
             evaluations: 0,
+            scratch: ForwardScratch::new(),
         }
     }
 }
@@ -133,11 +136,12 @@ impl AccuracyEvaluator for PplEvaluator<'_> {
         if let Some(b) = self.baseline {
             return b;
         }
-        let b = perplexity(
+        let b = perplexity_with_scratch(
             self.model,
             &CodecAssignment::fp16(),
             self.calibration,
             self.window,
+            &mut self.scratch,
         );
         self.baseline = Some(b);
         b
@@ -147,11 +151,12 @@ impl AccuracyEvaluator for PplEvaluator<'_> {
         if let Some(&p) = self.cache.get(&combo) {
             return p;
         }
-        let p = perplexity(
+        let p = perplexity_with_scratch(
             self.model,
             &CodecAssignment::from_combo(combo),
             self.calibration,
             self.window,
+            &mut self.scratch,
         );
         self.cache.insert(combo, p);
         self.evaluations += 1;

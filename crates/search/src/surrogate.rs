@@ -18,8 +18,8 @@
 use std::collections::HashMap;
 
 use anda_llm::config::ModelConfig;
-use anda_llm::eval::perplexity;
-use anda_llm::model::Model;
+use anda_llm::eval::perplexity_with_scratch;
+use anda_llm::model::{ForwardScratch, Model};
 use anda_llm::modules::{CodecAssignment, ModuleKind, PrecisionCombo};
 use anda_quant::ActivationCodec;
 
@@ -45,7 +45,16 @@ impl SurrogateLandscape {
     pub fn fit(model: &Model, calibration: &[usize], window: usize, range: (u32, u32)) -> Self {
         let (lo, hi) = range;
         assert!(lo >= 1 && hi <= 16 && lo <= hi, "invalid mantissa range");
-        let baseline_ppl = perplexity(model, &CodecAssignment::fp16(), calibration, window);
+        // One forward scratch serves the whole fit: `4 × |range| + 1`
+        // perplexity sweeps reuse the same buffers.
+        let mut scratch = ForwardScratch::new();
+        let baseline_ppl = perplexity_with_scratch(
+            model,
+            &CodecAssignment::fp16(),
+            calibration,
+            window,
+            &mut scratch,
+        );
         let mut evals = 1usize;
         let reference = CodecAssignment::uniform(ActivationCodec::anda(hi));
 
@@ -54,7 +63,8 @@ impl SurrogateLandscape {
             let mut losses = Vec::with_capacity((hi - lo + 1) as usize);
             for m in lo..=hi {
                 let codecs = reference.with_module(kind, ActivationCodec::anda(m));
-                let ppl = perplexity(model, &codecs, calibration, window);
+                let ppl =
+                    perplexity_with_scratch(model, &codecs, calibration, window, &mut scratch);
                 evals += 1;
                 losses.push((ppl - baseline_ppl).max(0.0));
             }

@@ -3,6 +3,14 @@
 use core::fmt;
 use core::ops::{Index, IndexMut};
 
+use rayon_lite::ThreadPool;
+
+/// Below this many multiply-adds a GeMM runs serially even when the
+/// global pool has threads: dispatch overhead (a mutex push plus a condvar
+/// wakeup per chunk) would exceed the compute. Results are unaffected —
+/// the parallel kernels are bit-identical to the serial ones.
+const PAR_MIN_MULADDS: usize = 128 * 1024;
+
 /// A dense, row-major `f32` matrix.
 ///
 /// # Example
@@ -176,6 +184,27 @@ impl Matrix {
 
     /// Matrix multiplication writing into a preallocated output.
     ///
+    /// Large products are sharded by output rows across the global
+    /// [`rayon_lite`] pool (sized by `ANDA_THREADS`); small ones run the
+    /// serial kernel directly. Both paths execute the identical blocked
+    /// kernel per output row, so results are bit-identical to
+    /// [`Matrix::matmul_into_serial`] at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        let pool = rayon_lite::global();
+        let muladds = self.rows * self.cols * rhs.cols;
+        if pool.threads() > 1 && self.rows > 1 && muladds >= PAR_MIN_MULADDS {
+            self.matmul_into_pool(rhs, out, pool);
+        } else {
+            self.matmul_into_serial(rhs, out);
+        }
+    }
+
+    /// The serial blocked GeMM kernel behind [`Matrix::matmul_into`].
+    ///
     /// Blocked ikj loop order: `rhs` row panels stay cache-resident across
     /// an i-tile instead of being re-streamed for every output row. The
     /// per-element accumulation order over k is unchanged from the naive
@@ -185,7 +214,37 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics on any shape mismatch.
-    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+    pub fn matmul_into_serial(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_check_shapes(rhs, out);
+        if rhs.cols == 0 {
+            // Degenerate m×0 output: nothing to accumulate (and the
+            // kernel's chunks_exact requires a non-zero width).
+            return;
+        }
+        self.matmul_rows(rhs, &mut out.data, 0);
+    }
+
+    /// [`Matrix::matmul_into`] on an explicit pool, always sharding the
+    /// output rows across its threads (used by the cross-thread-count
+    /// bit-exactness tests and the threading bench; production code calls
+    /// [`Matrix::matmul_into`], which picks the global pool).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_into_pool(&self, rhs: &Matrix, out: &mut Matrix, pool: &ThreadPool) {
+        self.matmul_check_shapes(rhs, out);
+        let n = rhs.cols;
+        if n == 0 {
+            return;
+        }
+        let rows_per_chunk = self.rows.div_ceil(pool.threads()).max(1);
+        pool.par_chunks_mut(&mut out.data, rows_per_chunk * n, |idx, chunk| {
+            self.matmul_rows(rhs, chunk, idx * rows_per_chunk);
+        });
+    }
+
+    fn matmul_check_shapes(&self, rhs: &Matrix, out: &Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} · {}x{}",
@@ -196,24 +255,29 @@ impl Matrix {
             (self.rows, rhs.cols),
             "matmul output shape mismatch"
         );
+    }
+
+    /// The blocked ikj kernel over output rows `[row0, row0 + rows_here)`,
+    /// where `rows_here = out_rows.len() / rhs.cols`. Each output element
+    /// accumulates over k in ascending order regardless of `row0` or the
+    /// tile boundaries, which is what makes any row sharding bit-identical
+    /// to the full-range serial call.
+    fn matmul_rows(&self, rhs: &Matrix, out_rows: &mut [f32], row0: usize) {
         // Tile sizes: an i-tile of output rows shares one pass over a
         // KB-row panel of rhs (≈ KB·cols f32 ≤ a few hundred KiB, L2-sized).
         const IB: usize = 32;
         const KB: usize = 256;
         let n = rhs.cols;
-        out.data.fill(0.0);
-        if n == 0 {
-            // Degenerate m×0 output: nothing to accumulate (and
-            // chunks_exact below requires a non-zero width).
-            return;
-        }
-        for i0 in (0..self.rows).step_by(IB) {
-            let i1 = (i0 + IB).min(self.rows);
+        let rows_here = out_rows.len() / n;
+        out_rows.fill(0.0);
+        for li0 in (0..rows_here).step_by(IB) {
+            let li1 = (li0 + IB).min(rows_here);
             for k0 in (0..self.cols).step_by(KB) {
                 let k1 = (k0 + KB).min(self.cols);
-                for i in i0..i1 {
+                for li in li0..li1 {
+                    let i = row0 + li;
                     let a_row = &self.data[i * self.cols + k0..i * self.cols + k1];
-                    let out_row = &mut out.data[i * n..(i + 1) * n];
+                    let out_row = &mut out_rows[li * n..(li + 1) * n];
                     let b_panel = rhs.data[k0 * n..k1 * n].chunks_exact(n);
                     for (&a, b_row) in a_row.iter().zip(b_panel) {
                         if a == 0.0 {
@@ -240,6 +304,27 @@ impl Matrix {
 
     /// `self · rhsᵀ` writing into a preallocated output.
     ///
+    /// Large products are sharded by output rows across the global
+    /// [`rayon_lite`] pool; small ones run serially. Both paths are
+    /// bit-identical to [`Matrix::matmul_transposed_into_serial`] because
+    /// every output element is a plain sequential dot over k whichever
+    /// rows a thread owns.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_transposed_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        let pool = rayon_lite::global();
+        let muladds = self.rows * self.cols * rhs.rows;
+        if pool.threads() > 1 && self.rows > 1 && muladds >= PAR_MIN_MULADDS {
+            self.matmul_transposed_into_pool(rhs, out, pool);
+        } else {
+            self.matmul_transposed_into_serial(rhs, out);
+        }
+    }
+
+    /// The serial kernel behind [`Matrix::matmul_transposed_into`].
+    ///
     /// Blocked dot-product kernel: output is computed in 4×4 register
     /// tiles so each loaded `self`/`rhs` row participates in four dots per
     /// pass. Every output element keeps its own accumulator walked over k
@@ -249,7 +334,34 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics on any shape mismatch.
-    pub fn matmul_transposed_into(&self, rhs: &Matrix, out: &mut Matrix) {
+    pub fn matmul_transposed_into_serial(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_transposed_check_shapes(rhs, out);
+        if rhs.rows == 0 {
+            return;
+        }
+        self.matmul_transposed_rows(rhs, &mut out.data, 0);
+    }
+
+    /// [`Matrix::matmul_transposed_into`] on an explicit pool, always
+    /// sharding the output rows across its threads (bit-exactness tests
+    /// and the threading bench).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_transposed_into_pool(&self, rhs: &Matrix, out: &mut Matrix, pool: &ThreadPool) {
+        self.matmul_transposed_check_shapes(rhs, out);
+        let n = rhs.rows;
+        if n == 0 {
+            return;
+        }
+        let rows_per_chunk = self.rows.div_ceil(pool.threads()).max(1);
+        pool.par_chunks_mut(&mut out.data, rows_per_chunk * n, |idx, chunk| {
+            self.matmul_transposed_rows(rhs, chunk, idx * rows_per_chunk);
+        });
+    }
+
+    fn matmul_transposed_check_shapes(&self, rhs: &Matrix, out: &Matrix) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_transposed shape mismatch: {}x{} · ({}x{})ᵀ",
@@ -260,12 +372,23 @@ impl Matrix {
             (self.rows, rhs.rows),
             "matmul_transposed output shape mismatch"
         );
+    }
+
+    /// The 4×4-tiled dot-product kernel over output rows
+    /// `[row0, row0 + out_rows.len() / rhs.rows)`. Each output element is
+    /// one accumulator walked over k in ascending order — in the tiles and
+    /// in the edge fallback alike — so where the 4×4 tile boundaries fall
+    /// within a shard cannot change any value, and row sharding is
+    /// bit-identical to the full-range serial call.
+    fn matmul_transposed_rows(&self, rhs: &Matrix, out_rows: &mut [f32], row0: usize) {
         const T: usize = 4;
         let k = self.cols;
-        let (m, n) = (self.rows, rhs.rows);
-        let mi = m - m % T;
+        let n = rhs.rows;
+        let rows_here = out_rows.len() / n;
+        let mi = rows_here - rows_here % T;
         let nj = n - n % T;
-        for i0 in (0..mi).step_by(T) {
+        for li0 in (0..mi).step_by(T) {
+            let i0 = row0 + li0;
             for j0 in (0..nj).step_by(T) {
                 let mut acc = [[0.0f32; T]; T];
                 let a = [
@@ -290,7 +413,7 @@ impl Matrix {
                     }
                 }
                 for (di, accr) in acc.iter().enumerate() {
-                    out.row_mut(i0 + di)[j0..j0 + T].copy_from_slice(accr);
+                    out_rows[(li0 + di) * n + j0..(li0 + di) * n + j0 + T].copy_from_slice(accr);
                 }
             }
         }
@@ -303,10 +426,10 @@ impl Matrix {
             }
             acc
         };
-        for i in 0..m {
-            let j_start = if i < mi { nj } else { 0 };
+        for li in 0..rows_here {
+            let j_start = if li < mi { nj } else { 0 };
             for j in j_start..n {
-                out[(i, j)] = edge_dot(i, j);
+                out_rows[li * n + j] = edge_dot(row0 + li, j);
             }
         }
     }

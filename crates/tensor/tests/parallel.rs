@@ -1,0 +1,185 @@
+//! Cross-thread-count bit-exactness suite for the parallel GeMM kernels.
+//!
+//! The threading contract (see the repo README and vendor/rayon-lite):
+//! sharding output rows across any number of threads must leave every
+//! `f32` output bit identical to the serial kernel, because each output
+//! element keeps its own accumulator walked over k in a fixed order.
+//! These tests compare raw bits (`f32::to_bits`), not `==`, so even a
+//! `-0.0` vs `+0.0` divergence fails.
+
+use anda_tensor::Matrix;
+use proptest::prelude::*;
+use rayon_lite::ThreadPool;
+
+/// Thread counts exercised everywhere: serial, even, odd, and more
+/// threads than most test shapes have rows.
+const THREADS: [usize; 4] = [1, 2, 3, 7];
+
+/// Adversarial shapes `(m, k, n)`: single row, single column, single
+/// element, sizes around the i-tile (32) and k-tile (256) boundaries, and
+/// sizes not divisible by any tested thread count.
+const SHAPES: [(usize, usize, usize); 10] = [
+    (1, 64, 5),
+    (5, 64, 1),
+    (1, 1, 1),
+    (3, 300, 7),
+    (33, 17, 9),
+    (32, 256, 4),
+    (31, 257, 13),
+    (7, 7, 7),
+    (2, 513, 3),
+    (64, 5, 29),
+];
+
+fn deterministic(rows: usize, cols: usize, seed: u32) -> Matrix {
+    // Mix of magnitudes, signs, and exact zeros (the kernel skips a == 0).
+    let data = (0..rows * cols)
+        .map(|i| {
+            let x = ((i as u32).wrapping_mul(2654435761).wrapping_add(seed) >> 8) as f32;
+            let v = (x / 1e6).sin() * 10.0f32.powi((i % 7) as i32 - 3);
+            if i % 11 == 0 {
+                0.0
+            } else if i % 5 == 0 {
+                -v
+            } else {
+                v
+            }
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn assert_bits_eq(a: &Matrix, b: &Matrix, ctx: &str) {
+    assert_eq!(a.shape(), b.shape(), "{ctx}: shape");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{ctx}: element {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn matmul_pool_is_bit_identical_to_serial_on_adversarial_shapes() {
+    for (m, k, n) in SHAPES {
+        let a = deterministic(m, k, 1);
+        let b = deterministic(k, n, 2);
+        let mut serial = Matrix::zeros(m, n);
+        a.matmul_into_serial(&b, &mut serial);
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+            let mut par = Matrix::zeros(m, n);
+            par.as_mut_slice().fill(f32::NAN); // stale contents must be overwritten
+            a.matmul_into_pool(&b, &mut par, &pool);
+            assert_bits_eq(&par, &serial, &format!("matmul {m}x{k}x{n} @ {threads}t"));
+        }
+    }
+}
+
+#[test]
+fn matmul_transposed_pool_is_bit_identical_to_serial_on_adversarial_shapes() {
+    for (m, k, n) in SHAPES {
+        let a = deterministic(m, k, 3);
+        let b = deterministic(n, k, 4);
+        let mut serial = Matrix::zeros(m, n);
+        a.matmul_transposed_into_serial(&b, &mut serial);
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+            let mut par = Matrix::zeros(m, n);
+            par.as_mut_slice().fill(f32::NAN);
+            a.matmul_transposed_into_pool(&b, &mut par, &pool);
+            assert_bits_eq(
+                &par,
+                &serial,
+                &format!("matmul_transposed {m}x{k}x{n} @ {threads}t"),
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_dispatch_matches_serial_above_and_below_the_threshold() {
+    // 160×160×160 = 4.1M mul-adds clears the parallel threshold;
+    // 8×8×8 stays under it. Either way the public entry point must
+    // equal the serial kernel bit-for-bit.
+    for (m, k, n) in [(160, 160, 160), (8, 8, 8)] {
+        let a = deterministic(m, k, 5);
+        let b = deterministic(k, n, 6);
+        let mut auto = Matrix::zeros(m, n);
+        a.matmul_into(&b, &mut auto);
+        let mut serial = Matrix::zeros(m, n);
+        a.matmul_into_serial(&b, &mut serial);
+        assert_bits_eq(&auto, &serial, &format!("auto matmul {m}x{k}x{n}"));
+
+        let bt = deterministic(n, k, 7);
+        let mut auto_t = Matrix::zeros(m, n);
+        a.matmul_transposed_into(&bt, &mut auto_t);
+        let mut serial_t = Matrix::zeros(m, n);
+        a.matmul_transposed_into_serial(&bt, &mut serial_t);
+        assert_bits_eq(&auto_t, &serial_t, &format!("auto matmul_t {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn degenerate_zero_dimension_shapes_survive_every_thread_count() {
+    for threads in THREADS {
+        let pool = ThreadPool::new(threads);
+        let a = Matrix::zeros(2, 3);
+        let mut out = Matrix::zeros(2, 0);
+        a.matmul_into_pool(&Matrix::zeros(3, 0), &mut out, &pool);
+        let mut out = Matrix::zeros(0, 4);
+        Matrix::zeros(0, 3).matmul_into_pool(&Matrix::zeros(3, 4), &mut out, &pool);
+        let mut out = Matrix::zeros(2, 0);
+        a.matmul_transposed_into_pool(&Matrix::zeros(0, 3), &mut out, &pool);
+        let empty_k = Matrix::zeros(2, 0);
+        let mut out = Matrix::zeros(2, 4);
+        empty_k.matmul_into_pool(&Matrix::zeros(0, 4), &mut out, &pool);
+        assert_eq!(out, Matrix::zeros(2, 4), "threads {threads}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random shapes and values: the pool kernels are bit-identical to
+    /// the serial kernels at every thread count.
+    #[test]
+    fn random_matmul_bit_identical(
+        m in 1usize..24,
+        k in 1usize..80,
+        n in 1usize..24,
+        seed in any::<u32>(),
+    ) {
+        let a = deterministic(m, k, seed);
+        let b = deterministic(k, n, seed.wrapping_add(1));
+        let mut serial = Matrix::zeros(m, n);
+        a.matmul_into_serial(&b, &mut serial);
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+            let mut par = Matrix::zeros(m, n);
+            a.matmul_into_pool(&b, &mut par, &pool);
+            assert_bits_eq(&par, &serial, &format!("random {m}x{k}x{n} @ {threads}t"));
+        }
+    }
+
+    /// Same property for the transposed kernel.
+    #[test]
+    fn random_matmul_transposed_bit_identical(
+        m in 1usize..24,
+        k in 1usize..80,
+        n in 1usize..24,
+        seed in any::<u32>(),
+    ) {
+        let a = deterministic(m, k, seed);
+        let b = deterministic(n, k, seed.wrapping_add(2));
+        let mut serial = Matrix::zeros(m, n);
+        a.matmul_transposed_into_serial(&b, &mut serial);
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+            let mut par = Matrix::zeros(m, n);
+            a.matmul_transposed_into_pool(&b, &mut par, &pool);
+            assert_bits_eq(&par, &serial, &format!("random_t {m}x{k}x{n} @ {threads}t"));
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! Minimal scoped thread pool for the Anda workspace (see README.md).
+//!
+//! The build environment has no registry access, so instead of `rayon`
+//! this vendored crate provides the small subset the GeMM hot paths need:
+//!
+//! - [`ThreadPool::new`] / [`global`] — a fixed-size pool of persistent
+//!   worker threads; the global pool is sized by the `ANDA_THREADS`
+//!   environment variable (default: available parallelism).
+//! - [`ThreadPool::scope`] + [`Scope::spawn`] — structured fork/join over
+//!   borrowed data, in the style of `rayon::scope`.
+//! - [`ThreadPool::par_chunks_mut`] — the one parallel iterator shape the
+//!   kernels use: disjoint contiguous chunks of a mutable slice (output
+//!   row ranges), each handed to a closure with its chunk index.
+//!
+//! Design notes:
+//!
+//! - A pool of `n` threads runs `n - 1` workers; the thread calling
+//!   [`ThreadPool::scope`] participates by draining the job queue while it
+//!   waits, so all `n` threads compute and nested scopes cannot deadlock.
+//! - A 1-thread pool spawns no workers and runs every job inline at
+//!   [`Scope::spawn`], making `ANDA_THREADS=1` exactly the serial code
+//!   path.
+//! - Panics inside spawned jobs are caught, the scope still waits for all
+//!   siblings (so borrowed data stays alive), and the first payload is
+//!   re-thrown from [`ThreadPool::scope`] on the calling thread.
+//!
+//! Determinism contract: the pool only ever hands a closure a chunk the
+//! caller carved out; it never splits, reorders, or merges floating-point
+//! work itself. Kernels built on [`ThreadPool::par_chunks_mut`] are
+//! bit-identical at every thread count as long as each chunk's computation
+//! is independent of the sharding — which the Anda GeMM kernels guarantee
+//! by keeping one accumulator per output element, walked over `k` in a
+//! fixed order.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A type-erased unit of work queued on the pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared worker state: the job queue plus its wakeup signal.
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signalled when a job is pushed or shutdown begins.
+    available: Condvar,
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl Shared {
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().unwrap().jobs.pop_front()
+    }
+
+    fn push(&self, job: Job) {
+        self.queue.lock().unwrap().jobs.push_back(job);
+        self.available.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.available.wait(q).unwrap();
+            }
+        };
+        job();
+    }
+}
+
+/// A fixed-size pool of persistent worker threads with scoped fork/join.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    threads: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool that computes with `threads` threads (minimum 1).
+    ///
+    /// `threads - 1` workers are spawned; the caller of [`Self::scope`]
+    /// is the remaining computing thread. `new(1)` spawns nothing and
+    /// runs every job inline.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rayon-lite-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            threads,
+            workers,
+        }
+    }
+
+    /// The number of computing threads (workers + the scoping caller).
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with a [`Scope`] on which jobs borrowing the environment
+    /// can be spawned, and returns only after every spawned job finished.
+    ///
+    /// The calling thread executes queued jobs while it waits. If a
+    /// spawned job panicked, the first payload is re-thrown here after all
+    /// siblings completed; if `f` itself panics, the scope still drains
+    /// before unwinding.
+    pub fn scope<'scope, R>(&self, f: impl FnOnce(&Scope<'_, 'scope>) -> R) -> R {
+        let scope = Scope {
+            pool: self,
+            latch: Arc::new(Latch::default()),
+            marker: std::marker::PhantomData,
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        scope.latch.wait_helping(&self.shared);
+        if let Some(payload) = scope.latch.take_panic() {
+            panic::resume_unwind(payload);
+        }
+        match result {
+            Ok(r) => r,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+
+    /// Splits `data` into contiguous chunks of `chunk_len` elements and
+    /// runs `f(chunk_index, chunk)` on the pool, returning when all chunks
+    /// are done. Chunk `i` covers `data[i * chunk_len ..]`; the final
+    /// chunk may be shorter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len == 0` while `data` is non-empty, or if `f`
+    /// panics for any chunk (first payload propagated).
+    pub fn par_chunks_mut<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if data.is_empty() {
+            return;
+        }
+        assert!(chunk_len > 0, "par_chunks_mut chunk_len must be > 0");
+        self.scope(|s| {
+            for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                let f = &f;
+                s.spawn(move || f(idx, chunk));
+            }
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.queue.lock().unwrap().shutdown = true;
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Tracks outstanding jobs of one scope and the first panic among them.
+#[derive(Default)]
+struct Latch {
+    state: Mutex<LatchState>,
+    /// Signalled when the last outstanding job completes.
+    done: Condvar,
+}
+
+#[derive(Default)]
+struct LatchState {
+    pending: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Latch {
+    fn add(&self) {
+        self.state.lock().unwrap().pending += 1;
+    }
+
+    fn complete(&self, payload: Option<Box<dyn Any + Send>>) {
+        let mut state = self.state.lock().unwrap();
+        state.pending -= 1;
+        if state.panic.is_none() {
+            state.panic = payload;
+        }
+        if state.pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until `pending == 0`, executing queued jobs (of any scope)
+    /// while there are some. When the queue is empty and jobs are still
+    /// pending, they are in flight on other threads and we sleep on
+    /// `done`. Jobs of this scope can no longer be pushed (spawning ended
+    /// before the wait), so draining the queue before sleeping cannot miss
+    /// one.
+    fn wait_helping(&self, shared: &Shared) {
+        loop {
+            while let Some(job) = shared.try_pop() {
+                job();
+            }
+            let state = self.state.lock().unwrap();
+            if state.pending == 0 {
+                return;
+            }
+            drop(self.done.wait(state).unwrap());
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.state.lock().unwrap().panic.take()
+    }
+}
+
+/// A fork/join scope created by [`ThreadPool::scope`].
+///
+/// The `'scope` lifetime is invariant (as in `std::thread::scope`), which
+/// is what makes lending borrowed data to [`Scope::spawn`] sound: no job
+/// can outlive the `scope` call that waits for it.
+pub struct Scope<'pool, 'scope> {
+    pool: &'pool ThreadPool,
+    latch: Arc<Latch>,
+    marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'pool, 'scope> Scope<'pool, 'scope> {
+    /// Queues `f` on the pool (or runs it inline on a 1-thread pool).
+    /// The job may borrow anything that outlives the enclosing `scope`
+    /// call; panics are caught and re-thrown from [`ThreadPool::scope`].
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.latch.add();
+        let latch = Arc::clone(&self.latch);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let result = panic::catch_unwind(AssertUnwindSafe(f));
+            latch.complete(result.err());
+        });
+        // SAFETY: the job is erased to 'static so it can sit in the shared
+        // queue, but `ThreadPool::scope` does not return (or unwind) until
+        // the latch counts this job complete, so every borrow with
+        // lifetime 'scope in `f` outlives the job's execution. The
+        // invariant 'scope marker prevents the scope (and thus spawn) from
+        // being smuggled somewhere longer-lived.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        if self.pool.threads == 1 {
+            job();
+        } else {
+            self.pool.shared.push(job);
+        }
+    }
+}
+
+/// The number of threads the global pool uses: `ANDA_THREADS` when set to
+/// a positive integer, otherwise the machine's available parallelism.
+/// An unparsable or zero `ANDA_THREADS` falls back to the default too —
+/// a typo must not silently serialize the whole process.
+pub fn default_threads() -> usize {
+    let fallback = || std::thread::available_parallelism().map_or(1, usize::from);
+    match std::env::var("ANDA_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => fallback(),
+        },
+        Err(_) => fallback(),
+    }
+}
+
+/// The process-wide pool the kernels use, created on first use with
+/// [`default_threads`] threads. `ANDA_THREADS` is read once; set it before
+/// the first parallel kernel runs.
+pub fn global() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_reports_thread_count() {
+        for n in [1, 2, 7] {
+            assert_eq!(ThreadPool::new(n).threads(), n);
+        }
+        assert_eq!(ThreadPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn scope_runs_all_jobs_and_returns_value() {
+        for n in [1, 2, 3, 7] {
+            let pool = ThreadPool::new(n);
+            let counter = AtomicUsize::new(0);
+            let out = pool.scope(|s| {
+                for _ in 0..100 {
+                    s.spawn(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                41 + 1
+            });
+            assert_eq!(out, 42);
+            assert_eq!(counter.load(Ordering::Relaxed), 100);
+        }
+    }
+
+    #[test]
+    fn jobs_borrow_the_environment_mutably_and_disjointly() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0usize; 64];
+        let (left, right) = data.split_at_mut(32);
+        pool.scope(|s| {
+            s.spawn(|| left.iter_mut().for_each(|x| *x = 1));
+            s.spawn(|| right.iter_mut().for_each(|x| *x = 2));
+        });
+        assert!(data[..32].iter().all(|&x| x == 1));
+        assert!(data[32..].iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_chunk_once() {
+        for threads in [1, 2, 3, 7] {
+            let pool = ThreadPool::new(threads);
+            for (len, chunk) in [(100, 7), (12, 12), (13, 25), (96, 1)] {
+                let mut data = vec![0usize; len];
+                pool.par_chunks_mut(&mut data, chunk, |idx, part| {
+                    for (off, x) in part.iter_mut().enumerate() {
+                        *x = idx * chunk + off + 1;
+                    }
+                });
+                let expect: Vec<usize> = (1..=len).collect();
+                assert_eq!(data, expect, "threads {threads} len {len} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_on_empty_slice_is_a_no_op() {
+        let pool = ThreadPool::new(3);
+        let mut data: Vec<u8> = Vec::new();
+        // chunk_len 0 is tolerated only because there is nothing to chunk.
+        pool.par_chunks_mut(&mut data, 0, |_, _| unreachable!());
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = ThreadPool::new(2);
+        let total = AtomicUsize::new(0);
+        pool.scope(|outer| {
+            for _ in 0..4 {
+                outer.spawn(|| {
+                    pool.scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(|| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn job_panic_propagates_after_siblings_finish() {
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let finished = Arc::new(AtomicUsize::new(0));
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.scope(|s| {
+                    for i in 0..8 {
+                        let finished = Arc::clone(&finished);
+                        s.spawn(move || {
+                            if i == 3 {
+                                panic!("boom");
+                            }
+                            finished.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }));
+            assert!(result.is_err(), "threads {threads}");
+            assert_eq!(finished.load(Ordering::Relaxed), 7, "threads {threads}");
+            // The pool stays usable after a panicked scope.
+            let ok = pool.scope(|s| {
+                s.spawn(|| ());
+                true
+            });
+            assert!(ok);
+        }
+    }
+
+    #[test]
+    fn global_pool_is_reused() {
+        let a = global() as *const ThreadPool;
+        let b = global() as *const ThreadPool;
+        assert_eq!(a, b);
+        assert!(global().threads() >= 1);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}
