@@ -1,0 +1,150 @@
+//! Serving throughput: aggregate decode tokens/s vs batch width.
+//!
+//! Continuous batching rides the `rayon-lite` pool: each engine iteration
+//! shards the per-stream hidden-state work across one scope for the whole
+//! batch and runs the LM head as one batched dispatch, so wider batches
+//! amortize both the pool dispatch and the per-iteration bookkeeping.
+//! Every stream's tokens are bit-identical to its solo `Model::generate`
+//! (enforced by `crates/serve/tests/batched_exact.rs`), so this bench is
+//! pure throughput.
+//!
+//! The acceptance bar for the serving work is higher aggregate tokens/s
+//! at `--batch 4` than at `--batch 1` on the default synth model (needs
+//! >1 pool thread, of course; the pool is sized by `ANDA_THREADS`).
+//!
+//! Usage: `serve_throughput [--smoke] [--enforce] [--batch A,B,…]
+//!         [--requests N] [--new T] [--prompt P]`
+//!
+//! `--enforce` turns the batch-4-beats-batch-1 bar into the exit code
+//! (skipped on a single-threaded pool, where no speedup is possible).
+
+use std::time::Instant;
+
+use anda_bench::Table;
+use anda_llm::zoo::opt_125m_sim;
+use anda_llm::Model;
+use anda_serve::{Request, SamplingParams, Scheduler, SchedulerConfig};
+
+fn arg_val(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// The benchmark workload: `n` requests with staggered prompts and seeds.
+fn workload(model: &Model, n: usize, prompt_len: usize, max_new: usize) -> Vec<Request> {
+    let vocab = model.config().vocab;
+    (0..n)
+        .map(|i| Request {
+            prompt: (0..prompt_len)
+                .map(|j| (i * 131 + j * 17 + 1) % vocab)
+                .collect(),
+            max_new,
+            eos: None,
+            sampling: SamplingParams {
+                temperature: 0.8,
+                seed: i as u64,
+            },
+        })
+        .collect()
+}
+
+/// Wall time and sampled-token count of serving `reqs` at `max_batch`.
+fn serve_once(model: &Model, reqs: &[Request], max_batch: usize) -> (f64, u64) {
+    let mut sched = Scheduler::new(
+        model,
+        SchedulerConfig {
+            max_batch,
+            token_budget: usize::MAX,
+        },
+    );
+    for r in reqs {
+        sched.submit(r.clone()).expect("bench workload is servable");
+    }
+    let t = Instant::now();
+    let done = sched.run_to_completion();
+    let elapsed = t.elapsed().as_secs_f64();
+    assert_eq!(done.len(), reqs.len());
+    (elapsed, sched.stats().sampled_tokens)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let enforce = args.iter().any(|a| a == "--enforce");
+    let batches: Vec<usize> = arg_val(&args, "--batch")
+        .map(|v| v.split(',').filter_map(|t| t.parse().ok()).collect())
+        .unwrap_or_else(|| if smoke { vec![1, 4] } else { vec![1, 2, 4, 8] });
+    let requests: usize = arg_val(&args, "--requests")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 4 } else { 8 });
+    let max_new: usize = arg_val(&args, "--new")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 8 } else { 48 });
+    let prompt_len: usize = arg_val(&args, "--prompt")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 8 } else { 24 });
+    let reps = 3;
+
+    let model = opt_125m_sim().build();
+    let reqs = workload(&model, requests, prompt_len, max_new);
+    println!(
+        "Serving throughput — {} requests × (prompt {prompt_len} + {max_new} new) on {}, \
+         pool threads: {}\n",
+        requests,
+        model.config().name,
+        rayon_lite::global().threads()
+    );
+
+    let mut measured = Vec::new();
+    for &b in &batches {
+        let mut best = f64::INFINITY;
+        let mut tokens = 0;
+        for _ in 0..reps {
+            let (elapsed, sampled) = serve_once(&model, &reqs, b);
+            best = best.min(elapsed);
+            tokens = sampled;
+        }
+        measured.push((b, tokens, best, tokens as f64 / best));
+    }
+
+    // Normalize against the batch-1 row when present (the batch list is
+    // caller-chosen and need not start at 1), else the first row.
+    let base_tps = measured
+        .iter()
+        .find(|(b, ..)| *b == 1)
+        .or_else(|| measured.first())
+        .map_or(1.0, |&(.., tps)| tps);
+    let mut table = Table::new(&["batch", "decode tok", "best s", "tok/s", "vs batch 1"]);
+    for &(b, tokens, best, tps) in &measured {
+        table.row_owned(vec![
+            b.to_string(),
+            tokens.to_string(),
+            format!("{best:.4}"),
+            format!("{tps:.0}"),
+            format!("{:.2}x", tps / base_tps),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let b1 = measured.iter().find(|(b, ..)| *b == 1);
+    let b4 = measured.iter().find(|(b, ..)| *b == 4);
+    if let (Some(&(.., t1)), Some(&(.., t4))) = (b1, b4) {
+        println!(
+            "batch 4 vs batch 1: {:.2}x aggregate tokens/s{}",
+            t4 / t1,
+            if t4 > t1 {
+                ""
+            } else {
+                " (no speedup — is the pool single-threaded?)"
+            }
+        );
+        // With a multi-threaded pool the batched scope must win; under
+        // --enforce (CI's multi-core leg) a regression fails the run.
+        if enforce && rayon_lite::global().threads() > 1 && t4 <= t1 {
+            eprintln!("FAIL: batch 4 must beat batch 1 on a multi-threaded pool");
+            std::process::exit(1);
+        }
+    }
+}

@@ -36,6 +36,6 @@ pub mod zoo;
 
 pub use config::{Family, ModelConfig};
 pub use eval::{perplexity, perplexity_with_scratch, relative_accuracy_loss};
-pub use model::{ForwardScratch, Model, WeightMode};
+pub use model::{BatchOutput, DecodeScratch, ForwardScratch, KvCache, LayerKv, Model, WeightMode};
 pub use modules::{CodecAssignment, ModuleKind, PrecisionCombo};
 pub use zoo::SimModelSpec;

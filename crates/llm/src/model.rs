@@ -11,6 +11,7 @@
 use anda_format::bfp::saturate_to_f16;
 use anda_quant::{IntWeightMatrix, WeightQuantConfig};
 use anda_tensor::{ops, Matrix, Rng};
+use rayon_lite::ThreadPool;
 
 use crate::config::{Family, ModelConfig};
 use crate::modules::CodecAssignment;
@@ -452,6 +453,11 @@ impl Model {
     ///
     /// Returns `prompt.len() + n_new` tokens (prompt included).
     ///
+    /// This is the sequential (one-stream) reference the serving layer's
+    /// batched decode is bit-exact against: it is built from the same
+    /// public pieces ([`Model::prefill`], [`DecodeScratch::sample_last`],
+    /// [`Model::decode_step`]) a scheduler composes per stream.
+    ///
     /// # Panics
     ///
     /// Panics if the total length exceeds `max_seq` or the prompt is empty.
@@ -462,7 +468,6 @@ impl Model {
         temperature: f32,
         rng: &mut Rng,
     ) -> Vec<usize> {
-        assert!(!prompt.is_empty(), "prompt must not be empty");
         assert!(
             prompt.len() + n_new <= self.config.max_seq,
             "generation length exceeds max_seq"
@@ -470,32 +475,104 @@ impl Model {
         let mut cache = KvCache::new(self.config.n_layers);
         let mut scratch = DecodeScratch::default();
         let mut tokens = prompt.to_vec();
-        for (pos, &tok) in prompt.iter().enumerate() {
-            self.decode_step(tok, pos, &mut cache, &mut scratch);
-        }
+        self.prefill(prompt, &mut cache, &mut scratch);
         for _ in 0..n_new {
-            // Reuse the per-head score/prob buffers for sampling: they are
-            // idle between decode steps and get cleared before reuse.
-            let DecodeScratch {
-                logits,
-                scores,
-                probs,
-                ..
-            } = &mut scratch;
-            let next = sample_logits(logits, temperature, rng, scores, probs);
+            let next = scratch.sample_last(temperature, rng);
             tokens.push(next);
             self.decode_step(next, tokens.len() - 1, &mut cache, &mut scratch);
         }
         tokens
     }
 
+    /// Runs KV-cached prefill: one [`Model::decode_step`] per token,
+    /// starting at the cache's current length. After the call `s` holds the
+    /// last position's next-token logits ([`DecodeScratch::logits`]), ready
+    /// for the first sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or the cache would grow past `max_seq`.
+    pub fn prefill(&self, tokens: &[usize], cache: &mut KvCache, s: &mut DecodeScratch) {
+        assert!(!tokens.is_empty(), "prompt must not be empty");
+        let start = cache.len();
+        for (i, &tok) in tokens.iter().enumerate() {
+            self.decode_step(tok, start + i, cache, s);
+        }
+    }
+
     /// One KV-cached decode step: processes `token` at position `pos` and
-    /// leaves the next-token logits in `s.logits`. Activations stay in FP16
-    /// (reference path), matching a full-sequence [`Model::forward`] with
-    /// FP16 codecs. All per-token intermediates reuse `s`'s buffers; the
-    /// only allocations are the K/V rows the cache must retain.
-    fn decode_step(&self, token: usize, pos: usize, cache: &mut KvCache, s: &mut DecodeScratch) {
+    /// leaves the next-token logits in `s` ([`DecodeScratch::logits`]).
+    /// Activations stay in FP16 (reference path), matching a full-sequence
+    /// [`Model::forward`] with FP16 codecs. All per-token intermediates
+    /// reuse `s`'s buffers; the only allocations are the K/V rows the cache
+    /// must retain.
+    ///
+    /// Kernels auto-dispatch on the global pool (attention heads, the big
+    /// vector matmuls and the LM head shard when the work is large enough);
+    /// results are bit-identical to the serial path at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is out of vocab, `pos` does not equal the cache's
+    /// current length, or `pos` reaches `max_seq`.
+    pub fn decode_step(
+        &self,
+        token: usize,
+        pos: usize,
+        cache: &mut KvCache,
+        s: &mut DecodeScratch,
+    ) {
+        self.decode_hidden_impl(token, pos, cache, s, true);
+        self.lm_head_into(&s.x, &mut s.logits);
+    }
+
+    /// The hidden-state half of [`Model::decode_step`]: identical through
+    /// the final norm, but stops before the LM head, leaving the
+    /// final-normed residual in `s` ([`DecodeScratch::hidden_state`]) so a
+    /// serving layer can run the LM head over a whole batch of streams with
+    /// one GEMM ([`Model::lm_head_batch`]).
+    ///
+    /// Kernels run serially: batch schedulers call this from worker jobs
+    /// inside **one pool scope per batch** (one job per stream), which
+    /// amortizes dispatch better than nested per-kernel scopes. Serial and
+    /// pooled kernels are bit-identical, so
+    /// `decode_hidden` + [`Model::lm_head_batch`] reproduces
+    /// [`Model::decode_step`]'s logits bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// As [`Model::decode_step`].
+    pub fn decode_hidden(
+        &self,
+        token: usize,
+        pos: usize,
+        cache: &mut KvCache,
+        s: &mut DecodeScratch,
+    ) {
+        self.decode_hidden_impl(token, pos, cache, s, false);
+    }
+
+    /// Shared decode body; `par` gates every pool dispatch (the serving
+    /// layer runs with `par = false` inside its own batch-level scope).
+    fn decode_hidden_impl(
+        &self,
+        token: usize,
+        pos: usize,
+        cache: &mut KvCache,
+        s: &mut DecodeScratch,
+        par: bool,
+    ) {
         assert!(token < self.config.vocab, "token {token} out of vocab");
+        assert_eq!(
+            pos,
+            cache.len(),
+            "decode position must match the cached length"
+        );
+        assert!(
+            pos < self.config.max_seq,
+            "decode position {pos} reaches max_seq {}",
+            self.config.max_seq
+        );
         let d = self.config.d_model;
         let dh = self.config.d_head();
         let heads = self.config.n_heads;
@@ -521,7 +598,7 @@ impl Model {
             s.h.extend_from_slice(x);
             self.norm_vec(&mut s.h, &layer.attn_gain, &layer.attn_bias);
             f16(&mut s.h);
-            vec_matmul_into(&s.h, &layer.wqkv, &mut s.qkv);
+            vec_matmul_into(&s.h, &layer.wqkv, &mut s.qkv, par);
             s.q.clear();
             s.q.extend_from_slice(&s.qkv[..d]);
             // K/V rows are owned by the cache for the rest of the sequence.
@@ -539,27 +616,36 @@ impl Model {
             let t = kv.k.len();
             s.attn.clear();
             s.attn.resize(d, 0.0);
-            for head in 0..heads {
-                let off = head * dh;
-                let qh = &s.q[off..off + dh];
-                s.scores.clear();
-                s.scores.extend((0..t).map(|j| {
-                    let kj = &kv.k[j][off..off + dh];
-                    qh.iter().zip(kj).map(|(&a, &b)| a * b).sum::<f32>() * scale
-                }));
-                ops::log_softmax_into(&s.scores, &mut s.probs);
-                for (score, &l) in s.scores.iter_mut().zip(&s.probs) {
-                    *score = l.exp();
-                }
-                for (j, &p) in s.scores.iter().enumerate() {
-                    let vj = &kv.v[j][off..off + dh];
-                    for (a, &vv) in s.attn[off..off + dh].iter_mut().zip(vj) {
-                        *a += p * vv;
+            // Flat per-head score/prob lanes so heads can run concurrently:
+            // head `h` owns `attn[h·dh..]`, `scores[h·t..]`, `probs[h·t..]`.
+            s.scores.clear();
+            s.scores.resize(heads * t, 0.0);
+            s.probs.clear();
+            s.probs.resize(heads * t, 0.0);
+            let kv_ref: &LayerKv = kv;
+            let q = &s.q;
+            let head_lanes = s
+                .attn
+                .chunks_mut(dh)
+                .zip(s.scores.chunks_mut(t).zip(s.probs.chunks_mut(t)))
+                .enumerate();
+            let pool = rayon_lite::global();
+            if par && pool.threads() > 1 && heads > 1 && 2 * heads * t * dh >= ATTN_PAR_MIN_MULADDS
+            {
+                pool.scope(|sc| {
+                    for (head, (attn_h, (scores_h, probs_h))) in head_lanes {
+                        sc.spawn(move || {
+                            attend_head(q, kv_ref, head, dh, scale, attn_h, scores_h, probs_h);
+                        });
                     }
+                });
+            } else {
+                for (head, (attn_h, (scores_h, probs_h))) in head_lanes {
+                    attend_head(q, kv_ref, head, dh, scale, attn_h, scores_h, probs_h);
                 }
             }
             f16(&mut s.attn);
-            vec_matmul_into(&s.attn, &layer.wo, &mut s.proj);
+            vec_matmul_into(&s.attn, &layer.wo, &mut s.proj, par);
             for (xv, ov) in x.iter_mut().zip(&s.proj) {
                 *xv += ov;
             }
@@ -571,28 +657,87 @@ impl Model {
             f16(&mut s.h);
             match (&layer.wgate, self.config.family) {
                 (Some(wgate), Family::Llama) => {
-                    vec_matmul_into(&s.h, wgate, &mut s.gate);
-                    vec_matmul_into(&s.h, &layer.wup, &mut s.hidden);
+                    vec_matmul_into(&s.h, wgate, &mut s.gate, par);
+                    vec_matmul_into(&s.h, &layer.wup, &mut s.hidden, par);
                     for (u, &g) in s.hidden.iter_mut().zip(&s.gate) {
                         *u *= ops::silu(g);
                     }
                 }
                 _ => {
-                    vec_matmul_into(&s.h, &layer.wup, &mut s.hidden);
+                    vec_matmul_into(&s.h, &layer.wup, &mut s.hidden, par);
                     for u in s.hidden.iter_mut() {
                         *u = ops::relu(*u);
                     }
                 }
             }
             f16(&mut s.hidden);
-            vec_matmul_into(&s.hidden, &layer.wdown, &mut s.proj);
+            vec_matmul_into(&s.hidden, &layer.wdown, &mut s.proj, par);
             for (xv, dv) in x.iter_mut().zip(&s.proj) {
                 *xv += dv;
             }
         }
 
         self.norm_vec(x, &self.final_gain, &self.final_bias);
-        self.lm_head_into(x, &mut s.logits);
+    }
+
+    /// Runs the tied LM head over a whole batch of decode hidden states
+    /// with one GEMM-shaped dispatch: every `B × vocab` output element is
+    /// the same ascending-`k` dot [`Model::decode_step`] computes, so row
+    /// `i` of [`BatchOutput::logits_row`] is bit-identical to the logits a
+    /// solo `decode_step` would have produced for stream `i` — batching
+    /// only amortizes the pool dispatch, it never changes a value.
+    ///
+    /// Uses the global pool; see [`Model::lm_head_batch_pool`] for an
+    /// explicit pool (tests pin thread counts with it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pushed hidden row is not `d_model` wide.
+    pub fn lm_head_batch(&self, batch: &mut BatchOutput) {
+        self.lm_head_batch_pool(batch, rayon_lite::global());
+    }
+
+    /// [`Model::lm_head_batch`] on an explicit pool.
+    pub fn lm_head_batch_pool(&self, batch: &mut BatchOutput, pool: &ThreadPool) {
+        let d = self.config.d_model;
+        let vocab = self.config.vocab;
+        let b = batch.len();
+        if b > 0 {
+            assert_eq!(batch.dim, d, "hidden width must be d_model");
+        }
+        batch.logits.resize(b, vocab);
+        if b == 0 {
+            return;
+        }
+        let hidden = &batch.hidden;
+        // Element f of the flat B × vocab output, computed exactly like
+        // `lm_head_into`'s per-token dot (ascending k, one accumulator).
+        let elem = |f: usize| -> f32 {
+            let (row, tok) = (f / vocab, f % vocab);
+            let x = &hidden[row * d..(row + 1) * d];
+            let dot: f32 = self
+                .embed
+                .row(tok)
+                .iter()
+                .zip(x.iter())
+                .map(|(&e, &xv)| e * xv)
+                .sum();
+            dot * self.logit_scale
+        };
+        let total = b * vocab;
+        let out = &mut batch.logits.as_mut_slice()[..total];
+        if pool.threads() > 1 && total * d >= VEC_PAR_MIN_MULADDS && total > 1 {
+            let chunk = total.div_ceil(pool.threads()).max(1);
+            pool.par_chunks_mut(out, chunk, |idx, part| {
+                for (off, o) in part.iter_mut().enumerate() {
+                    *o = elem(idx * chunk + off);
+                }
+            });
+        } else {
+            for (f, o) in out.iter_mut().enumerate() {
+                *o = elem(f);
+            }
+        }
     }
 
     /// Tied LM head for one position: `logits[tok] = embed[tok] · x` times
@@ -694,32 +839,98 @@ struct AttnScratch {
     out: Matrix,
 }
 
-/// Per-layer KV cache for incremental decoding.
+/// Per-layer KV cache for incremental decoding, owned by the caller so a
+/// serving layer can keep one per request and multiplex many requests over
+/// one [`Model`].
+///
+/// Rows are appended by [`Model::decode_step`] / [`Model::decode_hidden`];
+/// [`KvCache::reset`] clears every position (keeping the layer structure
+/// and outer allocations) so the cache can be reused by the next request
+/// with no stale state.
 #[derive(Clone, Debug)]
-struct KvCache {
+pub struct KvCache {
     layers: Vec<LayerKv>,
 }
 
+/// One layer's cached key/value rows (post-RoPE for LLaMA-family models).
 #[derive(Clone, Debug, Default)]
-struct LayerKv {
+pub struct LayerKv {
     k: Vec<Vec<f32>>,
     v: Vec<Vec<f32>>,
 }
 
+impl LayerKv {
+    /// Number of cached positions in this layer.
+    pub fn len(&self) -> usize {
+        self.k.len()
+    }
+
+    /// `true` when no positions are cached.
+    pub fn is_empty(&self) -> bool {
+        self.k.is_empty()
+    }
+
+    /// The cached key row at `pos` (`d_model` wide).
+    pub fn key(&self, pos: usize) -> &[f32] {
+        &self.k[pos]
+    }
+
+    /// The cached value row at `pos` (`d_model` wide).
+    pub fn value(&self, pos: usize) -> &[f32] {
+        &self.v[pos]
+    }
+}
+
 impl KvCache {
-    fn new(n_layers: usize) -> Self {
+    /// An empty cache with one [`LayerKv`] per transformer block.
+    pub fn new(n_layers: usize) -> Self {
         KvCache {
             layers: vec![LayerKv::default(); n_layers],
+        }
+    }
+
+    /// Number of transformer layers the cache covers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of cached positions (every layer holds the same count).
+    pub fn len(&self) -> usize {
+        self.layers.first().map_or(0, LayerKv::len)
+    }
+
+    /// `true` when no positions are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The per-layer store for block `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= n_layers`.
+    pub fn layer(&self, layer: usize) -> &LayerKv {
+        &self.layers[layer]
+    }
+
+    /// Drops every cached position while keeping the layer structure, so
+    /// the cache can be handed to a new request. A decode after `reset`
+    /// is bit-identical to one on a freshly constructed cache.
+    pub fn reset(&mut self) {
+        for layer in &mut self.layers {
+            layer.k.clear();
+            layer.v.clear();
         }
     }
 }
 
 /// Reusable buffers for KV-cached decode steps; one instance serves a
-/// whole generation loop, so per-token work allocates only the K/V rows
-/// the cache retains.
+/// whole generation loop (or one serving-layer stream), so per-token work
+/// allocates only the K/V rows the cache retains.
 #[derive(Clone, Debug, Default)]
-struct DecodeScratch {
-    /// Residual stream (`d`).
+pub struct DecodeScratch {
+    /// Residual stream (`d`); after a decode pass, the final-normed hidden
+    /// state ([`DecodeScratch::hidden_state`]).
     x: Vec<f32>,
     /// Normalized GeMM input.
     h: Vec<f32>,
@@ -729,9 +940,10 @@ struct DecodeScratch {
     q: Vec<f32>,
     /// Attention mix output (`d`).
     attn: Vec<f32>,
-    /// Per-head attention scores over cached positions.
+    /// Per-head attention scores over cached positions (`heads × t`,
+    /// head-major lanes).
     scores: Vec<f32>,
-    /// Per-head log-softmax output.
+    /// Per-head log-softmax output (`heads × t`, head-major lanes).
     probs: Vec<f32>,
     /// Output/down projection result (`d`).
     proj: Vec<f32>,
@@ -743,6 +955,105 @@ struct DecodeScratch {
     logits: Vec<f32>,
 }
 
+impl DecodeScratch {
+    /// Empty scratch; buffers grow to steady-state sizes on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The next-token logits left by the last [`Model::decode_step`] /
+    /// [`Model::prefill`] (empty before the first step).
+    pub fn logits(&self) -> &[f32] {
+        &self.logits
+    }
+
+    /// The final-normed hidden state left by the last decode pass
+    /// (`d_model` wide), the row [`BatchOutput::push_hidden`] gathers.
+    /// (This is the residual-stream buffer, distinct from the FFN's
+    /// internal `hidden` activations.)
+    pub fn hidden_state(&self) -> &[f32] {
+        &self.x
+    }
+
+    /// Samples from the scratch's own logits (the last decoded position),
+    /// staging in the idle score/prob buffers. Greedy argmax when
+    /// `temperature <= 0` (no RNG draw).
+    pub fn sample_last(&mut self, temperature: f32, rng: &mut Rng) -> usize {
+        let DecodeScratch {
+            logits,
+            scores,
+            probs,
+            ..
+        } = self;
+        sample_logits(logits, temperature, rng, scores, probs)
+    }
+
+    /// Samples from caller-provided logits (a [`BatchOutput`] row), with
+    /// the same staging reuse as [`DecodeScratch::sample_last`].
+    pub fn sample(&mut self, logits: &[f32], temperature: f32, rng: &mut Rng) -> usize {
+        sample_logits(logits, temperature, rng, &mut self.scores, &mut self.probs)
+    }
+}
+
+/// Batched LM-head staging for a serving layer: hidden rows gathered from
+/// per-stream [`DecodeScratch`]es, logits produced for the whole batch by
+/// one [`Model::lm_head_batch`] dispatch.
+///
+/// The buffers persist across engine iterations; [`BatchOutput::clear`]
+/// empties the batch without releasing capacity.
+#[derive(Clone, Debug, Default)]
+pub struct BatchOutput {
+    /// Gathered hidden rows, row-major (`B × d`).
+    hidden: Vec<f32>,
+    /// Hidden row width (set by the first push after a clear).
+    dim: usize,
+    /// Batch logits (`B × vocab`).
+    logits: Matrix,
+}
+
+impl BatchOutput {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rows currently gathered.
+    pub fn len(&self) -> usize {
+        self.hidden.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    /// `true` when no rows are gathered.
+    pub fn is_empty(&self) -> bool {
+        self.hidden.is_empty()
+    }
+
+    /// Empties the batch, keeping allocations for the next iteration.
+    pub fn clear(&mut self) {
+        self.hidden.clear();
+        self.dim = 0;
+    }
+
+    /// Appends one stream's hidden state ([`DecodeScratch::hidden_state`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is empty or its width differs from earlier rows.
+    pub fn push_hidden(&mut self, h: &[f32]) {
+        assert!(!h.is_empty(), "hidden row must not be empty");
+        if self.hidden.is_empty() {
+            self.dim = h.len();
+        } else {
+            assert_eq!(h.len(), self.dim, "hidden rows must share one width");
+        }
+        self.hidden.extend_from_slice(h);
+    }
+
+    /// Row `i` of the batch logits computed by [`Model::lm_head_batch`].
+    pub fn logits_row(&self, i: usize) -> &[f32] {
+        self.logits.row(i)
+    }
+}
+
 /// Below this many multiply-adds the decode-path vector kernels run
 /// serially even when the global pool has threads (dispatch overhead
 /// would dominate). Unlike the prefill GeMMs, which shard output rows,
@@ -751,19 +1062,64 @@ struct DecodeScratch {
 /// keeping results bit-identical at every thread count.
 const VEC_PAR_MIN_MULADDS: usize = 256 * 1024;
 
+/// Below this many multiply-adds (`2 · heads · t · d_head`, the score and
+/// mix loops together) the decode attention runs its heads serially.
+/// Head sharding never changes a value: each head owns disjoint
+/// `attn`/`scores`/`probs` lanes and its math is independent of the
+/// sharding, so results stay bit-identical at every thread count.
+const ATTN_PAR_MIN_MULADDS: usize = 16 * 1024;
+
+/// One attention head of a KV-cached decode step: scores over the cached
+/// positions, a log-softmax staged in `probs_h`, then the value mix into
+/// `attn_h` (this head's `d_head`-wide output lane). Exactly the serial
+/// per-head math, factored out so heads can run on pool workers.
+#[allow(clippy::too_many_arguments)]
+fn attend_head(
+    q: &[f32],
+    kv: &LayerKv,
+    head: usize,
+    dh: usize,
+    scale: f32,
+    attn_h: &mut [f32],
+    scores_h: &mut [f32],
+    probs_h: &mut [f32],
+) {
+    let off = head * dh;
+    let qh = &q[off..off + dh];
+    for (j, score) in scores_h.iter_mut().enumerate() {
+        let kj = &kv.k[j][off..off + dh];
+        *score = qh.iter().zip(kj).map(|(&a, &b)| a * b).sum::<f32>() * scale;
+    }
+    // Same max-shifted log-softmax as `ops::log_softmax_into`, on slices.
+    let max = scores_h.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let log_sum: f32 = scores_h.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+    for (p, &score) in probs_h.iter_mut().zip(scores_h.iter()) {
+        *p = score - max - log_sum;
+    }
+    for (score, &l) in scores_h.iter_mut().zip(probs_h.iter()) {
+        *score = l.exp();
+    }
+    for (j, &p) in scores_h.iter().enumerate() {
+        let vj = &kv.v[j][off..off + dh];
+        for (a, &vv) in attn_h.iter_mut().zip(vj) {
+            *a += p * vv;
+        }
+    }
+}
+
 /// `v(1×k) · m(k×n)` row-vector matmul into a reused buffer.
 ///
-/// Output columns are sharded across the global pool when the product is
-/// large enough; each chunk walks k in the same ascending order (with the
-/// same `a == 0` skip) as the serial loop, so the parallel result is
-/// bit-identical.
-fn vec_matmul_into(v: &[f32], m: &Matrix, out: &mut Vec<f32>) {
+/// With `par`, output columns are sharded across the global pool when the
+/// product is large enough; each chunk walks k in the same ascending order
+/// (with the same `a == 0` skip) as the serial loop, so the parallel
+/// result is bit-identical.
+fn vec_matmul_into(v: &[f32], m: &Matrix, out: &mut Vec<f32>, par: bool) {
     assert_eq!(v.len(), m.rows(), "vec_matmul shape mismatch");
     let n = m.cols();
     out.clear();
     out.resize(n, 0.0);
     let pool = rayon_lite::global();
-    if pool.threads() > 1 && v.len() * n >= VEC_PAR_MIN_MULADDS && n > 1 {
+    if par && pool.threads() > 1 && v.len() * n >= VEC_PAR_MIN_MULADDS && n > 1 {
         let cols_per_chunk = n.div_ceil(pool.threads()).max(1);
         pool.par_chunks_mut(&mut out[..], cols_per_chunk, |idx, chunk| {
             let c0 = idx * cols_per_chunk;

@@ -1,0 +1,264 @@
+//! API tests for the externally-owned KV cache and the split decode
+//! entry points ([`Model::prefill`] / [`Model::decode_step`] /
+//! [`Model::decode_hidden`] + [`Model::lm_head_batch`]).
+//!
+//! The serving layer's determinism guarantee reduces to three facts
+//! checked here at the `f32::to_bits` level:
+//!
+//! 1. `decode_hidden` (serial kernels) leaves the same hidden state and
+//!    KV rows as `decode_step` (auto-dispatching kernels), at any thread
+//!    count and on both sides of the head-sharding work threshold;
+//! 2. the batched LM head reproduces the solo LM head row by row, at any
+//!    pool size;
+//! 3. a `reset` cache behaves exactly like a fresh one.
+
+use std::sync::OnceLock;
+
+use anda_llm::model::BatchOutput;
+use anda_llm::zoo::{opt_125m_sim, sim_model};
+use anda_llm::{DecodeScratch, KvCache, Model};
+use rayon_lite::ThreadPool;
+
+fn model() -> &'static Model {
+    static MODEL: OnceLock<Model> = OnceLock::new();
+    MODEL.get_or_init(|| opt_125m_sim().build())
+}
+
+fn llama() -> &'static Model {
+    static MODEL: OnceLock<Model> = OnceLock::new();
+    MODEL.get_or_init(|| sim_model("LLaMA-7B").unwrap().build())
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn cache_growth_and_per_layer_indexing() {
+    let model = model();
+    let d = model.config().d_model;
+    let n_layers = model.config().n_layers;
+
+    let mut cache = KvCache::new(n_layers);
+    assert_eq!(cache.n_layers(), n_layers);
+    assert_eq!(cache.len(), 0);
+    assert!(cache.is_empty());
+
+    let mut scratch = DecodeScratch::new();
+    let tokens = [3usize, 141, 59, 26, 5];
+    model.prefill(&tokens, &mut cache, &mut scratch);
+    assert_eq!(cache.len(), tokens.len());
+    assert!(!cache.is_empty());
+    for l in 0..n_layers {
+        let layer = cache.layer(l);
+        assert_eq!(layer.len(), tokens.len());
+        for pos in 0..tokens.len() {
+            assert_eq!(layer.key(pos).len(), d);
+            assert_eq!(layer.value(pos).len(), d);
+        }
+    }
+
+    // Incremental growth: one decode step appends exactly one position.
+    model.decode_step(7, cache.len(), &mut cache, &mut scratch);
+    assert_eq!(cache.len(), tokens.len() + 1);
+    assert_eq!(scratch.logits().len(), model.config().vocab);
+    assert_eq!(scratch.hidden_state().len(), d);
+}
+
+#[test]
+fn reset_cache_matches_fresh_cache_bit_for_bit() {
+    let model = model();
+    let n_layers = model.config().n_layers;
+
+    // Fill the cache with one sequence, reset, decode another; a reused
+    // scratch rides along to prove it carries no stale state either.
+    let mut cache = KvCache::new(n_layers);
+    let mut scratch = DecodeScratch::new();
+    model.prefill(&[9, 8, 7, 6, 5, 4], &mut cache, &mut scratch);
+    cache.reset();
+    assert_eq!(cache.len(), 0);
+    assert!(cache.is_empty());
+    let second = [17usize, 400, 3, 77];
+    model.prefill(&second, &mut cache, &mut scratch);
+
+    let mut fresh_cache = KvCache::new(n_layers);
+    let mut fresh_scratch = DecodeScratch::new();
+    model.prefill(&second, &mut fresh_cache, &mut fresh_scratch);
+
+    assert_eq!(bits(scratch.logits()), bits(fresh_scratch.logits()));
+    assert_eq!(
+        bits(scratch.hidden_state()),
+        bits(fresh_scratch.hidden_state())
+    );
+    assert_eq!(cache.len(), fresh_cache.len());
+    for l in 0..n_layers {
+        for pos in 0..cache.len() {
+            assert_eq!(
+                bits(cache.layer(l).key(pos)),
+                bits(fresh_cache.layer(l).key(pos))
+            );
+            assert_eq!(
+                bits(cache.layer(l).value(pos)),
+                bits(fresh_cache.layer(l).value(pos))
+            );
+        }
+    }
+}
+
+#[test]
+fn prefill_equals_manual_decode_step_loop() {
+    let model = model();
+    let tokens = [1usize, 2, 3, 4, 5, 6, 7];
+
+    let mut c1 = KvCache::new(model.config().n_layers);
+    let mut s1 = DecodeScratch::new();
+    model.prefill(&tokens, &mut c1, &mut s1);
+
+    let mut c2 = KvCache::new(model.config().n_layers);
+    let mut s2 = DecodeScratch::new();
+    for (pos, &tok) in tokens.iter().enumerate() {
+        model.decode_step(tok, pos, &mut c2, &mut s2);
+    }
+    assert_eq!(bits(s1.logits()), bits(s2.logits()));
+}
+
+/// `decode_hidden` (serial kernels) + the batched LM head must reproduce
+/// `decode_step`'s logits bit-for-bit for every stream in the batch, at
+/// every pool size — the core serving-layer equivalence.
+#[test]
+fn batched_lm_head_is_bit_identical_to_solo_decode() {
+    for model in [model(), llama()] {
+        let prompts: [&[usize]; 3] = [&[1, 2, 3], &[400, 5], &[9, 9, 9, 12, 40]];
+        let next = [11usize, 250, 77];
+
+        // Solo reference: decode_step per stream.
+        let mut solo_logits = Vec::new();
+        let mut solo_caches = Vec::new();
+        for (p, &tok) in prompts.iter().zip(&next) {
+            let mut cache = KvCache::new(model.config().n_layers);
+            let mut s = DecodeScratch::new();
+            model.prefill(p, &mut cache, &mut s);
+            model.decode_step(tok, cache.len(), &mut cache, &mut s);
+            solo_logits.push(bits(s.logits()));
+            solo_caches.push(cache);
+        }
+
+        // Batched path: decode_hidden per stream, one LM-head dispatch.
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let mut batch = BatchOutput::new();
+            let mut caches = Vec::new();
+            let mut scratches = Vec::new();
+            for (p, &tok) in prompts.iter().zip(&next) {
+                let mut cache = KvCache::new(model.config().n_layers);
+                let mut s = DecodeScratch::new();
+                model.prefill(p, &mut cache, &mut s);
+                model.decode_hidden(tok, cache.len(), &mut cache, &mut s);
+                batch.push_hidden(s.hidden_state());
+                caches.push(cache);
+                scratches.push(s);
+            }
+            assert_eq!(batch.len(), prompts.len());
+            model.lm_head_batch_pool(&mut batch, &pool);
+            for (i, solo) in solo_logits.iter().enumerate() {
+                assert_eq!(
+                    &bits(batch.logits_row(i)),
+                    solo,
+                    "stream {i} logits diverged at {threads} threads"
+                );
+            }
+            // The caches the two paths grew must match too.
+            for (a, b) in caches.iter().zip(&solo_caches) {
+                for l in 0..model.config().n_layers {
+                    for pos in 0..a.len() {
+                        assert_eq!(bits(a.layer(l).key(pos)), bits(b.layer(l).key(pos)));
+                        assert_eq!(bits(a.layer(l).value(pos)), bits(b.layer(l).value(pos)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Serial vs auto-dispatch decode across a context long enough to cross
+/// the attention head-sharding threshold (`2·heads·t·d_head ≥ 16K` means
+/// `t ≥ 64` on the sim models). Under the CI `ANDA_THREADS=4` leg the
+/// auto path shards heads on the pool; results must not move by a bit.
+#[test]
+fn head_sharded_attention_is_bit_identical_across_long_context() {
+    for model in [model(), llama()] {
+        let vocab = model.config().vocab;
+        let tokens: Vec<usize> = (0..96).map(|i| (i * 31 + 7) % vocab).collect();
+
+        let mut auto_cache = KvCache::new(model.config().n_layers);
+        let mut auto_s = DecodeScratch::new();
+        let mut serial_cache = KvCache::new(model.config().n_layers);
+        let mut serial_s = DecodeScratch::new();
+        for (pos, &tok) in tokens.iter().enumerate() {
+            model.decode_step(tok, pos, &mut auto_cache, &mut auto_s);
+            model.decode_hidden(tok, pos, &mut serial_cache, &mut serial_s);
+            assert_eq!(
+                bits(auto_s.hidden_state()),
+                bits(serial_s.hidden_state()),
+                "hidden state diverged at position {pos}"
+            );
+        }
+        for l in 0..model.config().n_layers {
+            for pos in 0..tokens.len() {
+                assert_eq!(
+                    bits(auto_cache.layer(l).key(pos)),
+                    bits(serial_cache.layer(l).key(pos))
+                );
+                assert_eq!(
+                    bits(auto_cache.layer(l).value(pos)),
+                    bits(serial_cache.layer(l).value(pos))
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_output_reuse_across_iterations() {
+    let model = model();
+    let mut batch = BatchOutput::new();
+    assert!(batch.is_empty());
+
+    let mut cache = KvCache::new(model.config().n_layers);
+    let mut s = DecodeScratch::new();
+    model.prefill(&[5, 6, 7], &mut cache, &mut s);
+
+    model.decode_hidden(8, cache.len(), &mut cache, &mut s);
+    batch.push_hidden(s.hidden_state());
+    model.lm_head_batch(&mut batch);
+    let first = bits(batch.logits_row(0));
+
+    // Clearing empties the batch but keeps it usable; a second identical
+    // iteration reproduces the same logits.
+    batch.clear();
+    assert_eq!(batch.len(), 0);
+    let mut cache2 = KvCache::new(model.config().n_layers);
+    let mut s2 = DecodeScratch::new();
+    model.prefill(&[5, 6, 7], &mut cache2, &mut s2);
+    model.decode_hidden(8, cache2.len(), &mut cache2, &mut s2);
+    batch.push_hidden(s2.hidden_state());
+    model.lm_head_batch(&mut batch);
+    assert_eq!(bits(batch.logits_row(0)), first);
+}
+
+#[test]
+#[should_panic(expected = "decode position must match")]
+fn decode_at_wrong_position_panics() {
+    let model = model();
+    let mut cache = KvCache::new(model.config().n_layers);
+    let mut s = DecodeScratch::new();
+    model.decode_step(1, 3, &mut cache, &mut s);
+}
+
+#[test]
+#[should_panic(expected = "hidden rows must share one width")]
+fn mismatched_hidden_width_panics() {
+    let mut batch = BatchOutput::new();
+    batch.push_hidden(&[1.0, 2.0]);
+    batch.push_hidden(&[1.0, 2.0, 3.0]);
+}

@@ -1,0 +1,49 @@
+//! Continuous-batching serving layer for the Anda reproduction.
+//!
+//! The paper's end-to-end efficiency story assumes many decode streams
+//! sharing the compute substrate. This crate provides the missing piece
+//! over `anda-llm`'s incremental-decode API: an Orca-style
+//! iteration-level [`Scheduler`] that admits requests (FIFO, under a
+//! token budget), prefills new arrivals, and then continuous-batches
+//! decode — every iteration advances **all** active streams by one token,
+//! sharding the per-stream hidden-state work across one `rayon-lite`
+//! scope per batch and finishing with a single batched LM-head GEMM
+//! (`Model::lm_head_batch`).
+//!
+//! # Determinism
+//!
+//! Serving is bit-exact: each stream's tokens (and the logits behind
+//! them) are `f32::to_bits`-identical to running the same request alone
+//! through `Model::generate`, at every batch composition, arrival order
+//! and thread count. The serial and pooled kernels are bit-identical, the
+//! batched LM head computes the same ascending-`k` dots as the solo one,
+//! and every stream owns its RNG — so batching is purely a throughput
+//! optimization.
+//!
+//! # Example
+//!
+//! ```
+//! use anda_llm::zoo::opt_125m_sim;
+//! use anda_serve::{Request, Scheduler, SchedulerConfig, SamplingParams};
+//!
+//! let model = opt_125m_sim().build();
+//! let mut sched = Scheduler::new(&model, SchedulerConfig { max_batch: 2, token_budget: 64 });
+//! sched.submit(Request::greedy(vec![1, 2, 3], 4)).unwrap();
+//! sched.submit(Request {
+//!     prompt: vec![7, 8],
+//!     max_new: 3,
+//!     eos: None,
+//!     sampling: SamplingParams { temperature: 0.8, seed: 42 },
+//! }).unwrap();
+//! let done = sched.run_to_completion();
+//! assert_eq!(done.len(), 2);
+//! for r in &done {
+//!     assert_eq!(r.tokens.len(), r.prompt_len + r.generated().len());
+//! }
+//! ```
+
+pub mod request;
+pub mod scheduler;
+
+pub use request::{FinishReason, FinishedRequest, Request, RequestId, SamplingParams};
+pub use scheduler::{Scheduler, SchedulerConfig, SchedulerStats, SubmitError};

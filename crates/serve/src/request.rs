@@ -1,0 +1,107 @@
+//! Request and response types for the serving layer.
+
+/// Identifier assigned to a request at submission, unique per
+/// [`Scheduler`](crate::Scheduler).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req-{}", self.0)
+    }
+}
+
+/// Per-request sampling configuration.
+///
+/// Each stream owns an RNG seeded by `seed`, so a request's token sequence
+/// is a pure function of (model, prompt, sampling) — independent of what
+/// else is in the batch, when the request arrived, or how many threads the
+/// pool has. `temperature <= 0` is greedy argmax and draws nothing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SamplingParams {
+    /// Softmax temperature; `<= 0` selects greedy decoding.
+    pub temperature: f32,
+    /// Seed for the stream-private RNG.
+    pub seed: u64,
+}
+
+impl SamplingParams {
+    /// Greedy decoding (temperature 0; the seed is never used).
+    pub fn greedy() -> Self {
+        SamplingParams {
+            temperature: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl Default for SamplingParams {
+    fn default() -> Self {
+        Self::greedy()
+    }
+}
+
+/// A generation request: prompt, generation budget, sampling policy.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Prompt token ids (must be non-empty and in-vocab).
+    pub prompt: Vec<usize>,
+    /// Maximum number of new tokens to generate.
+    pub max_new: usize,
+    /// Optional end-of-sequence token: generation stops once it is
+    /// sampled (the EOS token is included in the output).
+    pub eos: Option<usize>,
+    /// Sampling policy.
+    pub sampling: SamplingParams,
+}
+
+impl Request {
+    /// A greedy request with no EOS.
+    pub fn greedy(prompt: Vec<usize>, max_new: usize) -> Self {
+        Request {
+            prompt,
+            max_new,
+            eos: None,
+            sampling: SamplingParams::greedy(),
+        }
+    }
+
+    /// KV positions the scheduler reserves for this request: the whole
+    /// prompt plus the worst-case generation length. Saturating, so an
+    /// absurd `max_new` fails the submit-time `max_seq`/budget checks
+    /// instead of wrapping past them.
+    pub fn reserve_tokens(&self) -> usize {
+        self.prompt.len().saturating_add(self.max_new)
+    }
+}
+
+/// Why a stream stopped decoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FinishReason {
+    /// `max_new` tokens were generated.
+    Length,
+    /// The EOS token was sampled (it is the last generated token).
+    Eos,
+}
+
+/// A completed request: the full token sequence (prompt included) plus
+/// bookkeeping. A finished request generated exactly
+/// `min(max_new, position of the first EOS + 1)` new tokens.
+#[derive(Clone, Debug)]
+pub struct FinishedRequest {
+    /// The id [`Scheduler::submit`](crate::Scheduler::submit) returned.
+    pub id: RequestId,
+    /// Prompt followed by every generated token.
+    pub tokens: Vec<usize>,
+    /// Length of the prompt prefix of `tokens`.
+    pub prompt_len: usize,
+    /// Why decoding stopped.
+    pub reason: FinishReason,
+}
+
+impl FinishedRequest {
+    /// The generated suffix (everything after the prompt).
+    pub fn generated(&self) -> &[usize] {
+        &self.tokens[self.prompt_len..]
+    }
+}

@@ -1,0 +1,441 @@
+//! The continuous-batching scheduler.
+//!
+//! One [`Scheduler`] owns a queue of pending requests and up to
+//! `max_batch` active decode streams, each with its own externally-owned
+//! [`KvCache`], [`DecodeScratch`] and RNG. Every [`Scheduler::step`] is
+//! one engine iteration in the Orca style: admit what fits, prefill new
+//! arrivals, then advance **every** active stream by one token —
+//! per-stream hidden-state work sharded across one `rayon-lite` scope for
+//! the whole batch, followed by a single batched LM-head GEMM.
+
+use std::collections::VecDeque;
+
+use anda_llm::model::BatchOutput;
+use anda_llm::{DecodeScratch, KvCache, Model};
+use anda_tensor::Rng;
+use rayon_lite::ThreadPool;
+
+use crate::request::{FinishReason, FinishedRequest, Request, RequestId, SamplingParams};
+
+/// Admission policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerConfig {
+    /// Maximum number of concurrently active decode streams (slots).
+    pub max_batch: usize,
+    /// Cap on the total KV positions reserved by active streams. Each
+    /// admitted request reserves its worst case
+    /// ([`Request::reserve_tokens`]), so the cache footprint can never
+    /// outgrow the budget mid-flight.
+    pub token_budget: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            max_batch: 8,
+            token_budget: 4096,
+        }
+    }
+}
+
+/// Why [`Scheduler::submit`] rejected a request up front. Rejecting
+/// unservable requests at submission (rather than queuing them) is what
+/// makes FIFO admission starvation-free: an admitted queue head always
+/// fits once enough earlier streams finish.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The prompt was empty.
+    EmptyPrompt,
+    /// A prompt (or EOS) token id is outside the model's vocabulary.
+    TokenOutOfVocab {
+        /// The offending token.
+        token: usize,
+        /// The model's vocabulary size.
+        vocab: usize,
+    },
+    /// `prompt + max_new` exceeds the model's `max_seq`.
+    ExceedsMaxSeq {
+        /// Requested worst-case length.
+        total: usize,
+        /// The model's maximum sequence length.
+        max_seq: usize,
+    },
+    /// `prompt + max_new` exceeds the scheduler's token budget, so the
+    /// request could never be admitted.
+    ExceedsTokenBudget {
+        /// Requested worst-case length.
+        total: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SubmitError::EmptyPrompt => write!(f, "prompt must not be empty"),
+            SubmitError::TokenOutOfVocab { token, vocab } => {
+                write!(f, "token {token} out of vocab {vocab}")
+            }
+            SubmitError::ExceedsMaxSeq { total, max_seq } => {
+                write!(f, "prompt + max_new = {total} exceeds max_seq {max_seq}")
+            }
+            SubmitError::ExceedsTokenBudget { total, budget } => {
+                write!(
+                    f,
+                    "prompt + max_new = {total} exceeds token budget {budget}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Aggregate counters, mostly for benches and capacity tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SchedulerStats {
+    /// Engine iterations run.
+    pub steps: u64,
+    /// Tokens sampled across all streams (the serving throughput
+    /// numerator).
+    pub sampled_tokens: u64,
+    /// Prompt tokens prefilled.
+    pub prefill_tokens: u64,
+    /// Most streams ever active in one iteration.
+    pub peak_active: usize,
+    /// Most KV positions ever cached at once across active streams.
+    pub peak_cached_tokens: usize,
+}
+
+/// One active decode stream.
+struct Stream {
+    id: RequestId,
+    /// Prompt followed by the tokens generated so far.
+    tokens: Vec<usize>,
+    prompt_len: usize,
+    max_new: usize,
+    eos: Option<usize>,
+    sampling: SamplingParams,
+    rng: Rng,
+    cache: KvCache,
+    scratch: DecodeScratch,
+    /// KV positions reserved against the budget for this stream.
+    reserve: usize,
+    /// Admitted this iteration: its first token comes from the prefill
+    /// logits, so it skips the decode phase once.
+    fresh: bool,
+    done: Option<FinishReason>,
+}
+
+struct Pending {
+    id: RequestId,
+    request: Request,
+}
+
+/// Continuous-batching request scheduler over [`Model::decode_step`]-style
+/// incremental inference.
+///
+/// Admission is FIFO with completed-stream slot reuse: only the queue
+/// head is ever admitted (no overtaking, hence no starvation), into the
+/// first free slot, reusing a retired stream's `KvCache`/`DecodeScratch`
+/// allocations. Decode is iteration-level: every active stream advances
+/// one token per [`Scheduler::step`].
+///
+/// # Determinism
+///
+/// Each stream's output is bit-identical to running its request alone
+/// through [`Model::generate`] with an RNG seeded by its
+/// [`SamplingParams::seed`] — regardless of batch composition, arrival
+/// order, or thread count. See `tests/batched_exact.rs`.
+pub struct Scheduler<'a> {
+    model: &'a Model,
+    pool: &'a ThreadPool,
+    cfg: SchedulerConfig,
+    pending: VecDeque<Pending>,
+    slots: Vec<Option<Stream>>,
+    /// Retired caches/scratches awaiting reuse by future admissions.
+    spares: Vec<(KvCache, DecodeScratch)>,
+    batch: BatchOutput,
+    finished: Vec<FinishedRequest>,
+    next_id: u64,
+    /// Sum of active streams' reservations (`<= cfg.token_budget`).
+    reserved: usize,
+    stats: SchedulerStats,
+}
+
+impl<'a> Scheduler<'a> {
+    /// A scheduler over `model` using the global thread pool.
+    pub fn new(model: &'a Model, cfg: SchedulerConfig) -> Self {
+        Self::with_pool(model, cfg, rayon_lite::global())
+    }
+
+    /// A scheduler batching on an explicit pool (tests pin thread counts
+    /// this way; production uses [`Scheduler::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` or `token_budget` is zero.
+    pub fn with_pool(model: &'a Model, cfg: SchedulerConfig, pool: &'a ThreadPool) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        assert!(cfg.token_budget >= 1, "token_budget must be at least 1");
+        Scheduler {
+            model,
+            pool,
+            cfg,
+            pending: VecDeque::new(),
+            slots: Vec::new(),
+            spares: Vec::new(),
+            batch: BatchOutput::new(),
+            finished: Vec::new(),
+            next_id: 0,
+            reserved: 0,
+            stats: SchedulerStats::default(),
+        }
+    }
+
+    /// Queues a request, validating it is servable under this model and
+    /// budget. Accepted requests are guaranteed to terminate with exactly
+    /// `min(max_new, first EOS position + 1)` generated tokens.
+    pub fn submit(&mut self, request: Request) -> Result<RequestId, SubmitError> {
+        if request.prompt.is_empty() {
+            return Err(SubmitError::EmptyPrompt);
+        }
+        let vocab = self.model.config().vocab;
+        if let Some(&token) = request.prompt.iter().find(|&&t| t >= vocab) {
+            return Err(SubmitError::TokenOutOfVocab { token, vocab });
+        }
+        if let Some(eos) = request.eos {
+            if eos >= vocab {
+                return Err(SubmitError::TokenOutOfVocab { token: eos, vocab });
+            }
+        }
+        let total = request.reserve_tokens();
+        let max_seq = self.model.config().max_seq;
+        if total > max_seq {
+            return Err(SubmitError::ExceedsMaxSeq { total, max_seq });
+        }
+        if total > self.cfg.token_budget {
+            return Err(SubmitError::ExceedsTokenBudget {
+                total,
+                budget: self.cfg.token_budget,
+            });
+        }
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.pending.push_back(Pending { id, request });
+        Ok(id)
+    }
+
+    /// Runs one engine iteration: admit + prefill whatever fits, then
+    /// advance every active stream by one token (one batch-level pool
+    /// scope for the hidden-state work, one batched LM-head dispatch).
+    /// Returns the number of tokens sampled this iteration.
+    pub fn step(&mut self) -> usize {
+        if self.is_idle() {
+            return 0;
+        }
+        self.stats.steps += 1;
+        self.admit();
+
+        // Decode phase: every non-fresh stream computes its next hidden
+        // state as one job inside a single scope for the whole batch —
+        // kernels inside the jobs run serially (`Model::decode_hidden`),
+        // so pool dispatch happens once per iteration, not per kernel.
+        let model = self.model;
+        self.pool.scope(|sc| {
+            for stream in self.slots.iter_mut().flatten() {
+                if stream.fresh {
+                    continue;
+                }
+                let token = *stream.tokens.last().expect("stream holds its prompt");
+                let pos = stream.tokens.len() - 1;
+                sc.spawn(move || {
+                    model.decode_hidden(token, pos, &mut stream.cache, &mut stream.scratch);
+                });
+            }
+        });
+
+        // Batched LM head: one GEMM-shaped dispatch over all hidden rows.
+        self.batch.clear();
+        for stream in self.slots.iter().flatten() {
+            if !stream.fresh {
+                self.batch.push_hidden(stream.scratch.hidden_state());
+            }
+        }
+        self.model.lm_head_batch_pool(&mut self.batch, self.pool);
+
+        // Sampling: fresh streams draw from their prefill logits, batched
+        // streams from their LM-head row. Either way the draw (and the
+        // stream-private RNG advance) matches a solo `Model::generate`.
+        let mut row = 0;
+        let mut sampled = 0;
+        for stream in self.slots.iter_mut().flatten() {
+            let temperature = stream.sampling.temperature;
+            let next = if stream.fresh {
+                stream.fresh = false;
+                stream.scratch.sample_last(temperature, &mut stream.rng)
+            } else {
+                let logits = self.batch.logits_row(row);
+                row += 1;
+                stream.scratch.sample(logits, temperature, &mut stream.rng)
+            };
+            stream.tokens.push(next);
+            sampled += 1;
+            let generated = stream.tokens.len() - stream.prompt_len;
+            if stream.eos == Some(next) {
+                stream.done = Some(FinishReason::Eos);
+            } else if generated >= stream.max_new {
+                stream.done = Some(FinishReason::Length);
+            }
+        }
+        self.stats.sampled_tokens += sampled as u64;
+        self.stats.peak_active = self.stats.peak_active.max(self.active_len());
+        self.stats.peak_cached_tokens = self.stats.peak_cached_tokens.max(self.cached_tokens());
+
+        self.retire();
+        assert!(
+            sampled > 0 || self.is_idle(),
+            "scheduler iteration made no progress"
+        );
+        sampled
+    }
+
+    /// Drives [`Scheduler::step`] until idle and drains the finished
+    /// requests (completion order).
+    pub fn run_to_completion(&mut self) -> Vec<FinishedRequest> {
+        while !self.is_idle() {
+            self.step();
+        }
+        self.take_finished()
+    }
+
+    /// Removes and returns the finished requests accumulated so far
+    /// (completion order).
+    pub fn take_finished(&mut self) -> Vec<FinishedRequest> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// `true` when no request is pending or active.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.slots.iter().all(Option::is_none)
+    }
+
+    /// Requests queued but not yet admitted.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Streams currently holding a slot.
+    pub fn active_len(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// KV positions reserved by active streams (never exceeds the
+    /// configured `token_budget`).
+    pub fn reserved_tokens(&self) -> usize {
+        self.reserved
+    }
+
+    /// KV positions actually cached right now across active streams
+    /// (never exceeds [`Scheduler::reserved_tokens`]).
+    pub fn cached_tokens(&self) -> usize {
+        self.slots.iter().flatten().map(|s| s.cache.len()).sum()
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+
+    /// The admission configuration.
+    pub fn config(&self) -> SchedulerConfig {
+        self.cfg
+    }
+
+    /// FIFO admission: only the queue head may be admitted, into the
+    /// first free slot, while both a slot and budget headroom exist.
+    /// Prefill runs immediately so the stream can sample its first token
+    /// this iteration.
+    fn admit(&mut self) {
+        while let Some(front) = self.pending.front() {
+            let reserve = front.request.reserve_tokens();
+            if self.active_len() >= self.cfg.max_batch
+                || self.reserved + reserve > self.cfg.token_budget
+            {
+                break;
+            }
+            let Pending { id, request } = self.pending.pop_front().expect("front exists");
+            let (mut cache, mut scratch) = self.spares.pop().unwrap_or_else(|| {
+                (
+                    KvCache::new(self.model.config().n_layers),
+                    DecodeScratch::new(),
+                )
+            });
+            debug_assert!(cache.is_empty(), "spare caches are reset at retirement");
+            self.model
+                .prefill(&request.prompt, &mut cache, &mut scratch);
+            self.stats.prefill_tokens += request.prompt.len() as u64;
+            self.reserved += reserve;
+            let prompt_len = request.prompt.len();
+            let stream = Stream {
+                id,
+                tokens: request.prompt,
+                prompt_len,
+                max_new: request.max_new,
+                eos: request.eos,
+                sampling: request.sampling,
+                rng: Rng::new(request.sampling.seed),
+                cache,
+                scratch,
+                reserve,
+                fresh: true,
+                done: if request.max_new == 0 {
+                    // Nothing to generate: finished before the first sample.
+                    Some(FinishReason::Length)
+                } else {
+                    None
+                },
+            };
+            if let Some(reason) = stream.done {
+                self.finish(stream, reason);
+            } else {
+                self.place(stream);
+            }
+        }
+    }
+
+    /// Puts `stream` in the first free slot (growing up to `max_batch`).
+    fn place(&mut self, stream: Stream) {
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.is_none()) {
+            *slot = Some(stream);
+        } else {
+            debug_assert!(self.slots.len() < self.cfg.max_batch);
+            self.slots.push(Some(stream));
+        }
+    }
+
+    /// Moves every done stream out of its slot, releasing its budget
+    /// reservation and recycling its cache/scratch allocations.
+    fn retire(&mut self) {
+        for i in 0..self.slots.len() {
+            if self.slots[i].as_ref().is_some_and(|s| s.done.is_some()) {
+                let stream = self.slots[i].take().expect("checked above");
+                let reason = stream.done.expect("checked above");
+                self.finish(stream, reason);
+            }
+        }
+    }
+
+    fn finish(&mut self, mut stream: Stream, reason: FinishReason) {
+        self.reserved -= stream.reserve;
+        stream.cache.reset();
+        self.spares.push((stream.cache, stream.scratch));
+        self.finished.push(FinishedRequest {
+            id: stream.id,
+            tokens: stream.tokens,
+            prompt_len: stream.prompt_len,
+            reason,
+        });
+    }
+}

@@ -1,0 +1,296 @@
+//! Scheduler property suite: random arrival/length mixes must respect
+//! the admission invariants at every iteration.
+//!
+//! - **Budget**: active reservations never exceed `token_budget`, and the
+//!   actual cached KV positions never exceed the reservations.
+//! - **No starvation**: every accepted request finishes (FIFO admission
+//!   with no overtaking guarantees the queue head always drains).
+//! - **Exact termination**: an accepted request generates exactly
+//!   `min(max_new, first EOS position + 1)` tokens, and its output equals
+//!   the solo `Model::generate` reference.
+//! - **Policy independence**: the scheduling configuration (batch width,
+//!   budget) changes only throughput, never content.
+
+use std::sync::OnceLock;
+
+use anda_llm::zoo::opt_125m_sim;
+use anda_llm::Model;
+use anda_serve::{
+    FinishReason, FinishedRequest, Request, SamplingParams, Scheduler, SchedulerConfig, SubmitError,
+};
+use anda_tensor::Rng;
+use proptest::prelude::*;
+
+fn model() -> &'static Model {
+    static MODEL: OnceLock<Model> = OnceLock::new();
+    MODEL.get_or_init(|| opt_125m_sim().build())
+}
+
+/// (prompt, max_new, eos?, temperature>0?, seed) tuples drawn small: the
+/// invariants are about scheduling, not model quality.
+type RawReq = (Vec<usize>, usize, bool, usize, u64);
+
+fn build_request((prompt, max_new, has_eos, eos, seed): RawReq, hot: bool) -> Request {
+    Request {
+        prompt,
+        max_new,
+        eos: has_eos.then_some(eos),
+        sampling: SamplingParams {
+            temperature: if hot { 0.9 } else { 0.0 },
+            seed,
+        },
+    }
+}
+
+/// The solo reference, truncated at the first EOS.
+fn reference(model: &Model, req: &Request) -> Vec<usize> {
+    let mut rng = Rng::new(req.sampling.seed);
+    let full = model.generate(&req.prompt, req.max_new, req.sampling.temperature, &mut rng);
+    if let Some(eos) = req.eos {
+        let p = req.prompt.len();
+        if let Some(i) = full[p..].iter().position(|&t| t == eos) {
+            return full[..p + i + 1].to_vec();
+        }
+    }
+    full
+}
+
+/// Runs `sched` to completion while checking the per-iteration
+/// invariants, with a hard step cap standing in for "does not starve".
+fn run_checked(sched: &mut Scheduler<'_>) -> Vec<FinishedRequest> {
+    let cfg = sched.config();
+    let mut steps = 0usize;
+    while !sched.is_idle() {
+        sched.step();
+        steps += 1;
+        assert!(
+            sched.reserved_tokens() <= cfg.token_budget,
+            "reservations {} exceed the token budget {}",
+            sched.reserved_tokens(),
+            cfg.token_budget
+        );
+        assert!(
+            sched.cached_tokens() <= sched.reserved_tokens(),
+            "cached KV {} outgrew its reservation {}",
+            sched.cached_tokens(),
+            sched.reserved_tokens()
+        );
+        assert!(sched.active_len() <= cfg.max_batch, "slot overflow");
+        assert!(
+            steps <= 10_000,
+            "scheduler starved: no completion in 10k steps"
+        );
+    }
+    sched.take_finished()
+}
+
+fn check_termination(model: &Model, req: &Request, fin: &FinishedRequest) {
+    assert_eq!(
+        &fin.tokens[..fin.prompt_len],
+        &req.prompt[..],
+        "prompt prefix must be preserved"
+    );
+    let generated = fin.generated();
+    assert!(generated.len() <= req.max_new);
+    match fin.reason {
+        FinishReason::Length => {
+            assert_eq!(
+                generated.len(),
+                req.max_new,
+                "Length-finished stream must use its whole budget"
+            );
+            if let Some(eos) = req.eos {
+                assert!(
+                    !generated.contains(&eos),
+                    "an EOS sample must finish the stream as Eos"
+                );
+            }
+        }
+        FinishReason::Eos => {
+            let eos = req.eos.expect("Eos reason requires an EOS token");
+            assert_eq!(*generated.last().unwrap(), eos);
+            assert_eq!(
+                generated.iter().filter(|&&t| t == eos).count(),
+                1,
+                "the stream must stop at the first EOS"
+            );
+        }
+    }
+    // Exactness: min(max_new, first EOS + 1), token for token.
+    assert_eq!(
+        fin.tokens,
+        reference(model, req),
+        "diverged from solo generate"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random mixes of arrivals, lengths, temperatures and EOS tokens:
+    /// budget respected each iteration, nobody starves, terminations are
+    /// exact, and a second scheduler with a different policy produces
+    /// byte-identical outputs.
+    #[test]
+    fn random_mixes_respect_budget_and_terminate_exactly(
+        raw in prop::collection::vec(
+            (
+                prop::collection::vec(0usize..512, 1..6),
+                0usize..5,
+                any::<bool>(),
+                0usize..512,
+                0u64..100_000,
+            ),
+            1..8,
+        ),
+        hot in any::<bool>(),
+        max_batch in 1usize..5,
+        token_budget in 6usize..48,
+    ) {
+        let model = model();
+        let mut sched = Scheduler::with_pool(
+            model,
+            SchedulerConfig { max_batch, token_budget },
+            rayon_lite::global(),
+        );
+        let mut accepted = Vec::new();
+        for r in raw {
+            let req = build_request(r, hot);
+            match sched.submit(req.clone()) {
+                Ok(id) => accepted.push((id, req)),
+                Err(e) => {
+                    // Only over-budget requests may be turned away here
+                    // (prompts are in-vocab and far below max_seq), and
+                    // rejection must be justified.
+                    prop_assert_eq!(e, SubmitError::ExceedsTokenBudget {
+                        total: req.reserve_tokens(),
+                        budget: token_budget,
+                    });
+                    prop_assert!(req.reserve_tokens() > token_budget);
+                }
+            }
+        }
+
+        let finished = run_checked(&mut sched);
+        // No starvation: exactly the accepted set finishes.
+        let mut done_ids: Vec<_> = finished.iter().map(|f| f.id).collect();
+        done_ids.sort();
+        let submitted_ids: Vec<_> = accepted.iter().map(|(id, _)| *id).collect();
+        prop_assert_eq!(done_ids, submitted_ids);
+
+        for fin in &finished {
+            let (_, req) = accepted
+                .iter()
+                .find(|(id, _)| *id == fin.id)
+                .expect("finished id was accepted");
+            check_termination(model, req, fin);
+        }
+
+        // Policy independence: a serial, wide-open scheduler over the
+        // same accepted requests produces identical tokens per id.
+        let mut solo = Scheduler::with_pool(
+            model,
+            SchedulerConfig { max_batch: 1, token_budget: 4096 },
+            rayon_lite::global(),
+        );
+        for (_, req) in &accepted {
+            solo.submit(req.clone()).unwrap();
+        }
+        let mut solo_done = solo.run_to_completion();
+        solo_done.sort_by_key(|f| f.id);
+        let mut batched_done = finished;
+        batched_done.sort_by_key(|f| f.id);
+        for (a, b) in batched_done.iter().zip(&solo_done) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(&a.tokens, &b.tokens);
+            prop_assert_eq!(a.reason, b.reason);
+        }
+    }
+}
+
+/// With one slot, completion order is exactly submission order — the
+/// FIFO guarantee in its purest observable form.
+#[test]
+fn single_slot_completes_in_fifo_order() {
+    let model = model();
+    let mut sched = Scheduler::new(
+        model,
+        SchedulerConfig {
+            max_batch: 1,
+            token_budget: 64,
+        },
+    );
+    let lengths = [5usize, 1, 3, 2];
+    for (i, &n) in lengths.iter().enumerate() {
+        sched
+            .submit(Request::greedy(vec![(i * 17 + 1) % 512], n))
+            .unwrap();
+    }
+    let finished = sched.run_to_completion();
+    let order: Vec<u64> = finished.iter().map(|f| f.id.0).collect();
+    assert_eq!(order, vec![0, 1, 2, 3]);
+}
+
+/// Unservable requests are rejected up front with the right reason —
+/// queueing them would break the no-starvation guarantee.
+#[test]
+fn submit_rejects_unservable_requests() {
+    let model = model();
+    let max_seq = model.config().max_seq;
+    let vocab = model.config().vocab;
+    let mut sched = Scheduler::new(
+        model,
+        SchedulerConfig {
+            max_batch: 2,
+            token_budget: 32,
+        },
+    );
+    assert_eq!(
+        sched.submit(Request::greedy(vec![], 4)),
+        Err(SubmitError::EmptyPrompt)
+    );
+    assert_eq!(
+        sched.submit(Request::greedy(vec![vocab], 4)),
+        Err(SubmitError::TokenOutOfVocab {
+            token: vocab,
+            vocab
+        })
+    );
+    assert_eq!(
+        sched.submit(Request {
+            prompt: vec![1],
+            max_new: 2,
+            eos: Some(vocab + 7),
+            sampling: SamplingParams::greedy(),
+        }),
+        Err(SubmitError::TokenOutOfVocab {
+            token: vocab + 7,
+            vocab
+        })
+    );
+    assert_eq!(
+        sched.submit(Request::greedy(vec![1], max_seq)),
+        Err(SubmitError::ExceedsMaxSeq {
+            total: max_seq + 1,
+            max_seq
+        })
+    );
+    // An absurd max_new must not wrap the reservation past the checks.
+    assert_eq!(
+        sched.submit(Request::greedy(vec![1, 2], usize::MAX)),
+        Err(SubmitError::ExceedsMaxSeq {
+            total: usize::MAX,
+            max_seq
+        })
+    );
+    assert_eq!(
+        sched.submit(Request::greedy(vec![1], 40)),
+        Err(SubmitError::ExceedsTokenBudget {
+            total: 41,
+            budget: 32
+        })
+    );
+    // A servable request still goes through afterwards.
+    assert!(sched.submit(Request::greedy(vec![1, 2], 4)).is_ok());
+    assert_eq!(sched.run_to_completion().len(), 1);
+}

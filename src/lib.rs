@@ -12,6 +12,7 @@
 //! | [`format`](mod@format) | BFP + Anda formats, bit-plane layout, compressor, kernels |
 //! | [`quant`] | weight-only INT quantization and baseline activation codecs |
 //! | [`llm`] | transformer inference engine, model zoo, perplexity eval |
+//! | [`serve`] | continuous-batching request scheduler over incremental decode |
 //! | [`search`] | BOPs model and adaptive precision combination search |
 //! | [`sim`] | cycle/energy accelerator simulator with all paper baselines |
 //!
@@ -33,5 +34,6 @@ pub use anda_fp as fp;
 pub use anda_llm as llm;
 pub use anda_quant as quant;
 pub use anda_search as search;
+pub use anda_serve as serve;
 pub use anda_sim as sim;
 pub use anda_tensor as tensor;
