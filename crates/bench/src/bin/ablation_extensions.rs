@@ -12,7 +12,7 @@
 
 use anda_bench::Table;
 use anda_format::dot::reduction_costs;
-use anda_llm::kv::{KvStorage, KvStore};
+use anda_llm::kv::{KvPoolConfig, KvStorage, PagePool};
 use anda_llm::modules::{ModuleKind, PrecisionCombo};
 use anda_llm::zoo::real_model;
 use anda_sim::arch::Accelerator;
@@ -113,11 +113,11 @@ fn ablate_kv_cache() {
         .collect();
     let q: Vec<f32> = (0..dim).map(|_| rng.normal_with(0.0, 1.0)).collect();
 
-    let mut exact = KvStore::new(dim, KvStorage::Fp16);
+    let mut exact = PagePool::new(KvPoolConfig::unbounded(KvStorage::Fp16)).new_cache(1);
     for r in &rows {
-        exact.push(r, r);
+        exact.append_row(0, r, r);
     }
-    let reference = exact.attend(&q, 4);
+    let reference = exact.layer(0).attend(&q, 4);
 
     let mut table = Table::new(&["KV storage", "bits/elem", "compression", "attn max |err|"]);
     table.row_owned(vec![
@@ -127,11 +127,14 @@ fn ablate_kv_cache() {
         "0".into(),
     ]);
     for m in [4u32, 6, 8, 11] {
-        let mut store = KvStore::new(dim, KvStorage::Anda { mantissa_bits: m });
+        let pool = PagePool::new(KvPoolConfig::unbounded(KvStorage::Anda {
+            mantissa_bits: m,
+        }));
+        let mut cache = pool.new_cache(1);
         for r in &rows {
-            store.push(r, r);
+            cache.append_row(0, r, r);
         }
-        let out = store.attend(&q, 4);
+        let out = cache.layer(0).attend(&q, 4);
         let err = reference
             .iter()
             .zip(&out)
@@ -141,9 +144,9 @@ fn ablate_kv_cache() {
             format!("Anda M={m}"),
             format!(
                 "{:.2}",
-                store.storage_bits() as f64 / (2 * positions * dim) as f64
+                cache.storage_bits() as f64 / (2 * positions * dim) as f64
             ),
-            format!("{:.2}x", store.compression_vs_fp16()),
+            format!("{:.2}x", cache.compression_vs_fp16()),
             format!("{err:.4}"),
         ]);
     }

@@ -183,11 +183,25 @@ impl AndaTensor {
 
     /// Dequantizes the whole tensor back to `f32`.
     pub fn to_f32(&self) -> Vec<f32> {
-        let mut out = Vec::with_capacity(self.len);
-        for g in &self.groups {
-            out.extend(g.to_aligned().dequantize_all());
-        }
+        let mut out = vec![0.0f32; self.len];
+        self.decode_into(&mut out);
         out
+    }
+
+    /// Dequantizes into a caller-owned slice without allocating — the
+    /// read primitive the KV-cache hot paths are built on. Bit-identical
+    /// to [`AndaTensor::to_f32`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn decode_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.len, "decode width mismatch");
+        let mut chunks = out.chunks_mut(self.config.group_size());
+        for g in &self.groups {
+            let chunk = chunks.next().expect("group/len consistency");
+            g.decode_into(chunk);
+        }
     }
 
     /// Element-major (aligned) view of every group.
@@ -225,6 +239,17 @@ impl AndaGroup {
     /// The weight of one mantissa LSB for this group.
     pub fn ulp(&self) -> f32 {
         crate::align::exp2f(i32::from(self.shared_exp()) - 14 - self.mantissa_bits() as i32)
+    }
+
+    /// Dequantizes this group's occupied lanes into `out` without
+    /// allocating (bit-identical to `to_aligned().dequantize_all()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn decode_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.len(), "group decode width mismatch");
+        crate::rowcodec::decode_group_into(self.signs(), self.ulp(), self.planes(), out);
     }
 }
 

@@ -19,6 +19,9 @@
 //! - [`dot`] — group dot-product kernels: the reference sign-magnitude
 //!   integer dot and the bit-serial (plane-by-plane, adder-tree) schedule of
 //!   the Anda processing element (Fig. 11), which are proven equivalent.
+//! - [`rowcodec`] — allocation-free flat encode/decode of fixed-width rows
+//!   over caller-owned sign/exponent/plane buffers (the primitive behind
+//!   the paged Anda KV cache's per-token hot path).
 //! - [`serialize`] — the byte-exact memory image of an Anda tensor
 //!   (header + per-group sign/exponent/plane records).
 //! - [`stats`] — quantization-error metrics shared by the experiments.
@@ -48,6 +51,7 @@ pub mod bitplane;
 pub mod compressor;
 pub mod dot;
 pub mod error;
+pub mod rowcodec;
 pub mod serialize;
 pub mod stats;
 

@@ -1,0 +1,242 @@
+//! Allocation-free Anda row codec for fixed-width rows.
+//!
+//! The KV cache stores one `dim`-wide row per cached position. Encoding a
+//! row through [`crate::AndaTensor`] allocates a fresh group vector (plus
+//! one plane vector per group) per call — unacceptable on the per-token
+//! decode path. This module provides the same conversion over *flat,
+//! caller-owned* buffers: a row of `g = ceil(dim / group_size)` groups
+//! occupies `g` sign words, `g` shared-exponent entries and `g · M`
+//! mantissa-plane words, laid out group-major exactly like
+//! [`crate::bitplane`]'s transposed layout (plane 0 = MSB).
+//!
+//! Both directions are bit-exact with the owning-tensor path:
+//! `encode_row_into` followed by `decode_row_into` reproduces
+//! `AndaTensor::from_f32(row, cfg).to_f32()` bit for bit (the property
+//! suite pins this), so callers can mix the two freely.
+
+use anda_fp::F16;
+
+use crate::align::{align_element, exp2f};
+use crate::anda::AndaConfig;
+use crate::bfp::saturate_to_f16;
+use crate::bitplane::LANES;
+
+/// Number of shared-exponent groups in a `len`-element row under `cfg`.
+#[inline]
+pub fn groups_per_row(len: usize, cfg: AndaConfig) -> usize {
+    len.div_ceil(cfg.group_size())
+}
+
+/// Mantissa-plane words a `len`-element row occupies under `cfg`
+/// (`groups · M`; the sign words and exponent entries are one per group).
+#[inline]
+pub fn plane_words_per_row(len: usize, cfg: AndaConfig) -> usize {
+    groups_per_row(len, cfg) * cfg.mantissa_bits() as usize
+}
+
+/// Exact storage footprint in bits of a `len`-element encoded row:
+/// per group one sign plane, a 5-bit exponent and `M` mantissa planes
+/// (zero-padded trailing lanes included, as the hardware would).
+#[inline]
+pub fn row_storage_bits(len: usize, cfg: AndaConfig) -> usize {
+    groups_per_row(len, cfg) * (LANES + 5 + LANES * cfg.mantissa_bits() as usize)
+}
+
+/// Encodes one row into flat caller-owned buffers without allocating.
+///
+/// Inputs round through FP16 with saturation (non-finite values become
+/// ±65504), exactly like [`crate::AndaTensor::from_f32`]. Buffers are
+/// fully overwritten for the row's `groups_per_row` prefix.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or any destination slice is shorter than
+/// the row requires ([`groups_per_row`] / [`plane_words_per_row`]).
+pub fn encode_row_into(
+    values: &[f32],
+    cfg: AndaConfig,
+    signs: &mut [u64],
+    exps: &mut [u16],
+    planes: &mut [u64],
+) {
+    assert!(!values.is_empty(), "cannot encode an empty row");
+    let g = groups_per_row(values.len(), cfg);
+    let m = cfg.mantissa_bits();
+    assert!(signs.len() >= g, "sign buffer too small");
+    assert!(exps.len() >= g, "exponent buffer too small");
+    assert!(planes.len() >= g * m as usize, "plane buffer too small");
+
+    let mut f16s = [F16::from_bits(0); LANES];
+    for (gi, chunk) in values.chunks(cfg.group_size()).enumerate() {
+        let staged = &mut f16s[..chunk.len()];
+        for (s, &v) in staged.iter_mut().zip(chunk) {
+            *s = saturate_to_f16(v);
+        }
+        // Shared exponent = max effective biased exponent of the group
+        // (saturated values are finite, so `significand` cannot panic).
+        let shared_exp = staged
+            .iter()
+            .map(|v| v.significand().biased_exp)
+            .max()
+            .unwrap_or(1);
+        let group_planes = &mut planes[gi * m as usize..(gi + 1) * m as usize];
+        group_planes.fill(0);
+        let mut sign_word = 0u64;
+        for (i, v) in staged.iter().enumerate() {
+            let e = align_element(v.significand(), shared_exp, m, cfg.rounding());
+            if e.negative {
+                sign_word |= 1 << i;
+            }
+            for b in 0..m {
+                // plane 0 = MSB (bit m-1) … plane m-1 = LSB (bit 0)
+                let bit = (e.magnitude >> (m - 1 - b)) & 1;
+                group_planes[b as usize] |= u64::from(bit) << i;
+            }
+        }
+        signs[gi] = sign_word;
+        exps[gi] = shared_exp;
+    }
+}
+
+/// Decodes a row previously written by [`encode_row_into`] into `out`
+/// without allocating. `out.len()` determines the row width.
+///
+/// # Panics
+///
+/// Panics if `out` is empty or a source slice is shorter than the row
+/// requires.
+pub fn decode_row_into(
+    cfg: AndaConfig,
+    signs: &[u64],
+    exps: &[u16],
+    planes: &[u64],
+    out: &mut [f32],
+) {
+    assert!(!out.is_empty(), "cannot decode into an empty row");
+    let g = groups_per_row(out.len(), cfg);
+    let m = cfg.mantissa_bits();
+    assert!(signs.len() >= g, "sign buffer too small");
+    assert!(exps.len() >= g, "exponent buffer too small");
+    assert!(planes.len() >= g * m as usize, "plane buffer too small");
+
+    for (gi, chunk) in out.chunks_mut(cfg.group_size()).enumerate() {
+        let ulp = exp2f(i32::from(exps[gi]) - 14 - m as i32);
+        decode_group_into(
+            signs[gi],
+            ulp,
+            &planes[gi * m as usize..(gi + 1) * m as usize],
+            chunk,
+        );
+    }
+}
+
+/// Dequantizes one bit-plane group (sign word, mantissa-LSB weight,
+/// MSB-first planes) into `out` — the single definition of the plane
+/// transpose + sign/magnitude dequant rule, shared by the flat row
+/// codec and [`crate::AndaTensor`]'s in-place decode.
+///
+/// # Panics
+///
+/// Panics if `out` holds more than [`LANES`] elements.
+pub fn decode_group_into(sign_word: u64, ulp: f32, planes: &[u64], out: &mut [f32]) {
+    assert!(out.len() <= LANES, "a group holds at most {LANES} lanes");
+    let m = planes.len();
+    for (i, o) in out.iter_mut().enumerate() {
+        let mut mag = 0u16;
+        for (b, plane) in planes.iter().enumerate() {
+            mag |= (((plane >> i) & 1) as u16) << (m - 1 - b);
+        }
+        // Same sign/magnitude dequant rule as `SignMag::dequantize`.
+        let v = f32::from(mag) * ulp;
+        *o = if (sign_word >> i) & 1 == 1 { -v } else { v };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AndaTensor;
+
+    fn row(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 16) as i32 % 4001) as f32 * 0.01 - 2.0
+            })
+            .collect()
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn flat_codec_matches_owning_tensor_bit_for_bit() {
+        for (len, m) in [(64usize, 4u32), (128, 8), (100, 6), (1, 11), (320, 1)] {
+            let cfg = AndaConfig::hardware(m).unwrap();
+            let data = row(len, (len * 31 + m as usize) as u64);
+            let g = groups_per_row(len, cfg);
+            let mut signs = vec![0u64; g];
+            let mut exps = vec![0u16; g];
+            let mut planes = vec![0u64; plane_words_per_row(len, cfg)];
+            encode_row_into(&data, cfg, &mut signs, &mut exps, &mut planes);
+
+            let tensor = AndaTensor::from_f32(&data, cfg);
+            for (gi, group) in tensor.groups().iter().enumerate() {
+                assert_eq!(signs[gi], group.signs(), "len={len} m={m} group {gi}");
+                assert_eq!(exps[gi], group.shared_exp());
+                assert_eq!(
+                    &planes[gi * m as usize..(gi + 1) * m as usize],
+                    group.planes()
+                );
+            }
+
+            let mut out = vec![0.0f32; len];
+            decode_row_into(cfg, &signs, &exps, &planes, &mut out);
+            assert_eq!(bits(&out), bits(&tensor.to_f32()), "len={len} m={m}");
+
+            let mut out2 = vec![0.0f32; len];
+            tensor.decode_into(&mut out2);
+            assert_eq!(bits(&out2), bits(&out));
+        }
+    }
+
+    #[test]
+    fn non_finite_inputs_saturate_like_the_tensor_path() {
+        let cfg = AndaConfig::hardware(9).unwrap();
+        let data = [f32::INFINITY, -1e30, f32::NEG_INFINITY, 1.0];
+        let mut signs = [0u64; 1];
+        let mut exps = [0u16; 1];
+        let mut planes = [0u64; 9];
+        encode_row_into(&data, cfg, &mut signs, &mut exps, &mut planes);
+        let mut out = [0.0f32; 4];
+        decode_row_into(cfg, &signs, &exps, &planes, &mut out);
+        assert_eq!(bits(&out), bits(&AndaTensor::from_f32(&data, cfg).to_f32()));
+    }
+
+    #[test]
+    fn storage_accounting_matches_bitplane_groups() {
+        let cfg = AndaConfig::hardware(5).unwrap();
+        let data = row(192, 7);
+        assert_eq!(
+            row_storage_bits(192, cfg),
+            AndaTensor::from_f32(&data, cfg).storage_bits()
+        );
+        // Partial trailing group still occupies full planes.
+        let cfg8 = AndaConfig::hardware(8).unwrap();
+        assert_eq!(row_storage_bits(65, cfg8), 2 * (64 + 5 + 8 * 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "plane buffer too small")]
+    fn short_plane_buffer_panics() {
+        let cfg = AndaConfig::hardware(8).unwrap();
+        let mut signs = [0u64; 1];
+        let mut exps = [0u16; 1];
+        let mut planes = [0u64; 7];
+        encode_row_into(&[1.0; 64], cfg, &mut signs, &mut exps, &mut planes);
+    }
+}

@@ -1,187 +1,992 @@
-//! Anda-compressed KV cache (paper §VI, "KV cache optimization").
+//! The paged, optionally Anda-compressed KV cache (paper §VI).
 //!
 //! The paper keeps the KV cache in FP16 (§V-A) but points out that Anda
 //! "could synergize with KV cache optimizations to significantly accelerate
-//! long-context LLM inference". This module implements that extension: a
-//! KV store whose key/value rows are held in the Anda format, decompressed
-//! on read. Memory shrinks by `16 / (M + 1 + 5/64)`; the attention output
-//! degrades gracefully with M (quantified in the `ablation_kv_cache`
-//! experiment binary).
+//! long-context LLM inference". This module is that extension, built the
+//! way a serving system needs it: a [`PagePool`] block allocator owns
+//! fixed-size pages (`page_positions` positions × `dim` lanes of K *and* V
+//! rows), every [`KvCache`] is a per-layer page table over pages leased
+//! from a pool, and the storage policy ([`KvStorage`]) decides whether a
+//! page holds raw `f32` rows (the exact-reference policy), FP16-rounded
+//! rows (the paper's §V-A baseline) — both read in place — or Anda
+//! bit-plane rows (decoded on read into caller scratch via
+//! `anda_format::rowcodec`, with zero per-token allocation).
+//!
+//! Pages move by value between the pool's free list and the caches, so a
+//! page can never be double-freed; retiring a stream ([`KvCache::reset`])
+//! recycles its pages for the next stream, and freed pages are always
+//! reused before the pool grows. A bounded pool (`max_pages`) turns KV
+//! memory into an admission resource: the serving scheduler reserves a
+//! request's worst-case page demand up front and rejects what could never
+//! fit, replacing worst-case token budgeting with real memory accounting.
+//! Anda pages are `16 / (M + 1 + 5/64)` times smaller than FP16 pages, so
+//! the same memory budget holds proportionally more pages — the
+//! long-context headroom quantified by the `kv_memory` bench.
 
-use anda_format::{AndaConfig, AndaTensor};
+use std::sync::{Arc, Mutex};
+
+use anda_format::bfp::saturate_to_f16;
+use anda_format::rowcodec;
+use anda_format::AndaConfig;
 
 /// Storage policy for cached K/V rows.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum KvStorage {
-    /// FP16 rows (the paper's baseline configuration).
+    /// Raw `f32` rows, read in place — the exact-reference policy (what
+    /// solo `generate` has always cached) and the accounting baseline
+    /// the compressed policies are measured against.
+    Fp32,
+    /// FP16-rounded rows (the paper's §V-A baseline), read in place.
     Fp16,
-    /// Anda-format rows with the given mantissa length.
+    /// Anda-format rows with the given mantissa length, decoded on read.
     Anda {
         /// Mantissa length (1..=16).
         mantissa_bits: u32,
     },
 }
 
-/// A single-layer KV store with optional Anda compression.
-#[derive(Clone, Debug)]
-pub struct KvStore {
-    storage: KvStorage,
-    dim: usize,
-    keys: Vec<KvRow>,
-    values: Vec<KvRow>,
-}
-
-#[derive(Clone, Debug)]
-enum KvRow {
-    Fp16(Vec<f32>),
-    Anda(AndaTensor),
-}
-
-impl KvRow {
-    fn encode(row: &[f32], storage: KvStorage) -> Self {
-        match storage {
-            KvStorage::Fp16 => KvRow::Fp16(
-                row.iter()
-                    .map(|&v| anda_format::bfp::saturate_to_f16(v).to_f32())
-                    .collect(),
-            ),
-            KvStorage::Anda { mantissa_bits } => {
-                let cfg =
-                    AndaConfig::hardware(mantissa_bits).expect("validated at KvStore construction");
-                KvRow::Anda(AndaTensor::from_f32(row, cfg))
-            }
-        }
-    }
-
-    fn decode(&self) -> Vec<f32> {
-        match self {
-            KvRow::Fp16(v) => v.clone(),
-            KvRow::Anda(t) => t.to_f32(),
-        }
-    }
-
-    fn storage_bits(&self, dim: usize) -> usize {
-        match self {
-            KvRow::Fp16(_) => dim * 16,
-            KvRow::Anda(t) => t.storage_bits(),
-        }
-    }
-}
-
-impl KvStore {
-    /// Creates an empty store for `dim`-wide K/V rows.
+impl KvStorage {
+    /// The Anda conversion config for this policy (`None` for the
+    /// in-place float policies).
     ///
     /// # Panics
     ///
     /// Panics if an Anda policy has mantissa bits outside 1..=16.
-    pub fn new(dim: usize, storage: KvStorage) -> Self {
-        if let KvStorage::Anda { mantissa_bits } = storage {
-            AndaConfig::hardware(mantissa_bits).expect("mantissa bits must be 1..=16");
-        }
-        KvStore {
-            storage,
-            dim,
-            keys: Vec::new(),
-            values: Vec::new(),
+    fn anda_config(self) -> Option<AndaConfig> {
+        match self {
+            KvStorage::Fp32 | KvStorage::Fp16 => None,
+            KvStorage::Anda { mantissa_bits } => {
+                Some(AndaConfig::hardware(mantissa_bits).expect("mantissa bits must be 1..=16"))
+            }
         }
     }
 
-    /// Number of cached positions.
+    /// Storage bits of one `dim`-wide row under this policy (zero-padded
+    /// trailing lanes of a partial Anda group included, as hardware would).
+    pub fn row_bits(self, dim: usize) -> usize {
+        match self {
+            KvStorage::Fp32 => dim * 32,
+            KvStorage::Fp16 => dim * 16,
+            KvStorage::Anda { .. } => {
+                rowcodec::row_storage_bits(dim, self.anda_config().expect("anda policy"))
+            }
+        }
+    }
+
+    /// `true` when rows are stored as plain `f32` words the attention
+    /// kernel can read in place (no decode step).
+    pub fn reads_in_place(self) -> bool {
+        matches!(self, KvStorage::Fp32 | KvStorage::Fp16)
+    }
+}
+
+/// Geometry and policy of a KV [`PagePool`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KvPoolConfig {
+    /// How K/V rows are stored inside pages.
+    pub storage: KvStorage,
+    /// Cached positions per page (per layer; a page holds both K and V).
+    pub page_positions: usize,
+    /// Pool capacity in pages; `None` grows without bound (solo decode).
+    pub max_pages: Option<usize>,
+}
+
+/// Default positions per page (vLLM-style block granularity).
+pub const DEFAULT_PAGE_POSITIONS: usize = 16;
+
+impl Default for KvPoolConfig {
+    fn default() -> Self {
+        KvPoolConfig {
+            storage: KvStorage::Fp32,
+            page_positions: DEFAULT_PAGE_POSITIONS,
+            max_pages: None,
+        }
+    }
+}
+
+impl KvPoolConfig {
+    /// An unbounded pool with the given policy and default page size.
+    pub fn unbounded(storage: KvStorage) -> Self {
+        KvPoolConfig {
+            storage,
+            ..Self::default()
+        }
+    }
+
+    /// Storage bits of one page of `dim`-wide rows (K and V planes both).
+    pub fn page_bits(&self, dim: usize) -> usize {
+        2 * self.page_positions * self.storage.row_bits(dim)
+    }
+
+    /// Pages needed to hold `positions` cached positions of one layer.
+    pub fn pages_for(&self, positions: usize) -> usize {
+        positions.div_ceil(self.page_positions)
+    }
+
+    /// Caps the pool at the number of whole pages that fit in a memory
+    /// budget of `budget_bits` for `dim`-wide rows — the knob that makes
+    /// FP16 and Anda pools comparable at equal memory. A compressed
+    /// policy yields proportionally more pages from the same budget.
+    pub fn with_memory_budget(mut self, budget_bits: usize, dim: usize) -> Self {
+        self.max_pages = Some(budget_bits / self.page_bits(dim));
+        self
+    }
+}
+
+/// One fixed-size block of KV storage: `page_positions` positions of one
+/// layer, K and V rows both, under one [`KvStorage`] policy.
+///
+/// Pages are created by a [`PagePool`] and move by value between the
+/// pool's free list and a cache's page table — there is no page handle to
+/// double-free. Recycled pages keep their buffers; `used` gates every
+/// read, so a reused page is indistinguishable from a fresh one.
+#[derive(Debug)]
+pub struct Page {
+    /// Row width (model `d_model`).
+    dim: usize,
+    /// Position capacity.
+    positions: usize,
+    /// Positions filled (append-only until reset).
+    used: usize,
+    /// The policy rows were encoded under.
+    storage: KvStorage,
+    data: PageData,
+}
+
+#[derive(Debug)]
+enum PageData {
+    /// `positions × dim` plain `f32` words (raw for [`KvStorage::Fp32`],
+    /// FP16-rounded then widened for [`KvStorage::Fp16`]).
+    Float { k: Vec<f32>, v: Vec<f32> },
+    Anda {
+        cfg: AndaConfig,
+        k: EncodedRows,
+        v: EncodedRows,
+    },
+}
+
+/// Flat bit-plane buffers for `positions` encoded rows (row-major:
+/// row `r`'s groups start at `r · groups_per_row`).
+#[derive(Debug)]
+struct EncodedRows {
+    signs: Vec<u64>,
+    exps: Vec<u16>,
+    planes: Vec<u64>,
+}
+
+impl EncodedRows {
+    fn new(positions: usize, dim: usize, cfg: AndaConfig) -> Self {
+        let g = rowcodec::groups_per_row(dim, cfg);
+        let m = cfg.mantissa_bits() as usize;
+        EncodedRows {
+            signs: vec![0; positions * g],
+            exps: vec![0; positions * g],
+            planes: vec![0; positions * g * m],
+        }
+    }
+
+    fn encode(&mut self, row: usize, values: &[f32], cfg: AndaConfig) {
+        let g = rowcodec::groups_per_row(values.len(), cfg);
+        let m = cfg.mantissa_bits() as usize;
+        rowcodec::encode_row_into(
+            values,
+            cfg,
+            &mut self.signs[row * g..(row + 1) * g],
+            &mut self.exps[row * g..(row + 1) * g],
+            &mut self.planes[row * g * m..(row + 1) * g * m],
+        );
+    }
+
+    fn decode(&self, row: usize, cfg: AndaConfig, out: &mut [f32]) {
+        let g = rowcodec::groups_per_row(out.len(), cfg);
+        let m = cfg.mantissa_bits() as usize;
+        rowcodec::decode_row_into(
+            cfg,
+            &self.signs[row * g..(row + 1) * g],
+            &self.exps[row * g..(row + 1) * g],
+            &self.planes[row * g * m..(row + 1) * g * m],
+            out,
+        );
+    }
+}
+
+impl Page {
+    fn new(cfg: &KvPoolConfig, dim: usize) -> Self {
+        let positions = cfg.page_positions;
+        let data = match cfg.storage.anda_config() {
+            None => PageData::Float {
+                k: vec![0.0; positions * dim],
+                v: vec![0.0; positions * dim],
+            },
+            Some(anda) => PageData::Anda {
+                cfg: anda,
+                k: EncodedRows::new(positions, dim, anda),
+                v: EncodedRows::new(positions, dim, anda),
+            },
+        };
+        Page {
+            dim,
+            positions,
+            used: 0,
+            storage: cfg.storage,
+            data,
+        }
+    }
+
+    /// Positions currently written.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Position capacity.
+    pub fn capacity(&self) -> usize {
+        self.positions
+    }
+
+    fn is_full(&self) -> bool {
+        self.used == self.positions
+    }
+
+    /// Row width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn reset(&mut self) {
+        self.used = 0;
+    }
+
+    /// Appends one position (K and V rows), encoding under the page's
+    /// policy without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is full or a row is not `dim` wide (a narrower
+    /// row would silently leave a recycled page's stale lanes in the
+    /// cached position).
+    fn push_row(&mut self, key: &[f32], value: &[f32]) {
+        assert!(!self.is_full(), "push into a full page");
+        assert_eq!(key.len(), self.dim, "key width");
+        assert_eq!(value.len(), self.dim, "value width");
+        let slot = self.used;
+        let round = self.storage == KvStorage::Fp16;
+        match &mut self.data {
+            PageData::Float { k, v } => {
+                let kd = &mut k[slot * self.dim..(slot + 1) * self.dim];
+                let vd = &mut v[slot * self.dim..(slot + 1) * self.dim];
+                if round {
+                    for (d, &x) in kd.iter_mut().zip(key) {
+                        *d = saturate_to_f16(x).to_f32();
+                    }
+                    for (d, &x) in vd.iter_mut().zip(value) {
+                        *d = saturate_to_f16(x).to_f32();
+                    }
+                } else {
+                    kd.copy_from_slice(key);
+                    vd.copy_from_slice(value);
+                }
+            }
+            PageData::Anda { cfg, k, v } => {
+                k.encode(slot, key, *cfg);
+                v.encode(slot, value, *cfg);
+            }
+        }
+        self.used += 1;
+    }
+
+    /// The filled K (or V) rows as one in-place `f32` slice — float
+    /// pages only; Anda pages must decode.
+    fn rows_in_place(&self, want_v: bool) -> &[f32] {
+        match &self.data {
+            PageData::Float { k, v } => {
+                let buf = if want_v { v } else { k };
+                &buf[..self.used * self.dim]
+            }
+            PageData::Anda { .. } => {
+                unreachable!("in-place reads are a float-policy path")
+            }
+        }
+    }
+
+    /// Decodes row `slot`'s K (or V) into `out` without allocating.
+    fn row_into(&self, slot: usize, want_v: bool, out: &mut [f32]) {
+        assert!(slot < self.used, "row {slot} not written");
+        assert_eq!(out.len(), self.dim, "row width");
+        match &self.data {
+            PageData::Float { k, v } => {
+                let buf = if want_v { v } else { k };
+                out.copy_from_slice(&buf[slot * self.dim..(slot + 1) * self.dim]);
+            }
+            PageData::Anda { cfg, k, v } => {
+                let buf = if want_v { v } else { k };
+                buf.decode(slot, *cfg, out);
+            }
+        }
+    }
+
+    /// The policy this page's rows were encoded under.
+    pub fn storage(&self) -> KvStorage {
+        self.storage
+    }
+
+    fn row_bits(&self) -> usize {
+        self.storage.row_bits(self.dim)
+    }
+
+    /// Bits occupied by the filled rows (K and V).
+    pub fn used_bits(&self) -> usize {
+        2 * self.used * self.row_bits()
+    }
+
+    /// Bits the whole page pins while leased, filled or not (K and V).
+    pub fn capacity_bits(&self) -> usize {
+        2 * self.positions * self.row_bits()
+    }
+}
+
+#[derive(Debug)]
+struct PoolState {
+    /// Row width, bound by the first allocation (0 = unbound).
+    dim: usize,
+    /// Recycled pages awaiting reuse.
+    free: Vec<Page>,
+    /// Pages ever created (never exceeds `max_pages`).
+    created: usize,
+}
+
+#[derive(Debug)]
+struct PoolShared {
+    cfg: KvPoolConfig,
+    state: Mutex<PoolState>,
+}
+
+/// A shared block-pool allocator of KV [`Page`]s.
+///
+/// Cloning the pool clones a handle to the same pool (streams decoding on
+/// worker threads lease pages concurrently; the lock is taken once per
+/// page transition, never per token). Freed pages are always reused
+/// before new ones are created, and creation stops at `max_pages`.
+#[derive(Clone, Debug)]
+pub struct PagePool {
+    shared: Arc<PoolShared>,
+}
+
+impl PagePool {
+    /// A pool with the given geometry and policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_positions` is zero or an Anda policy has mantissa
+    /// bits outside 1..=16.
+    pub fn new(cfg: KvPoolConfig) -> Self {
+        assert!(cfg.page_positions >= 1, "page_positions must be at least 1");
+        let _ = cfg.storage.anda_config(); // validates mantissa bits
+        PagePool {
+            shared: Arc::new(PoolShared {
+                cfg,
+                state: Mutex::new(PoolState {
+                    dim: 0,
+                    free: Vec::new(),
+                    created: 0,
+                }),
+            }),
+        }
+    }
+
+    /// The pool's geometry and policy.
+    pub fn config(&self) -> KvPoolConfig {
+        self.shared.cfg
+    }
+
+    /// Pool capacity in pages (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.shared.cfg.max_pages
+    }
+
+    /// Pages needed for `positions` cached positions of one layer.
+    pub fn pages_for(&self, positions: usize) -> usize {
+        self.shared.cfg.pages_for(positions)
+    }
+
+    /// An empty [`KvCache`] leasing its pages from this pool.
+    pub fn new_cache(&self, n_layers: usize) -> KvCache {
+        KvCache::with_pool(n_layers, self.clone())
+    }
+
+    /// Pages ever created. Stays flat while the free list feeds
+    /// allocations — the "reuse before growth" invariant.
+    pub fn pages_created(&self) -> usize {
+        self.lock().created
+    }
+
+    /// Recycled pages currently waiting on the free list.
+    pub fn pages_free(&self) -> usize {
+        self.lock().free.len()
+    }
+
+    /// Pages currently leased to caches.
+    pub fn pages_in_use(&self) -> usize {
+        let st = self.lock();
+        st.created - st.free.len()
+    }
+
+    /// Leases one page for `dim`-wide rows; `None` when the pool is at
+    /// capacity with nothing on the free list. The first call binds the
+    /// pool's row width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero or differs from the bound width.
+    pub fn try_alloc(&self, dim: usize) -> Option<Page> {
+        assert!(dim > 0, "row width must be positive");
+        let mut st = self.lock();
+        if st.dim == 0 {
+            st.dim = dim;
+        }
+        assert_eq!(st.dim, dim, "page pool is bound to one row width");
+        if let Some(page) = st.free.pop() {
+            return Some(page);
+        }
+        if self
+            .shared
+            .cfg
+            .max_pages
+            .is_some_and(|cap| st.created >= cap)
+        {
+            return None;
+        }
+        st.created += 1;
+        Some(Page::new(&self.shared.cfg, dim))
+    }
+
+    /// Returns a leased page to the free list (cleared, buffers kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page's geometry does not match this pool (it was
+    /// leased from a different pool).
+    pub fn release(&self, mut page: Page) {
+        assert_eq!(
+            page.positions, self.shared.cfg.page_positions,
+            "page returned to a foreign pool"
+        );
+        assert_eq!(
+            page.storage, self.shared.cfg.storage,
+            "page returned to a foreign pool"
+        );
+        let mut st = self.lock();
+        assert_eq!(page.dim, st.dim, "page returned to a foreign pool");
+        debug_assert!(
+            st.free.len() < st.created,
+            "more pages released than created"
+        );
+        page.reset();
+        st.free.push(page);
+    }
+
+    /// Creates up to `n` pages onto the free list (bounded by capacity),
+    /// so subsequent leases allocate nothing — the warm-up knob behind
+    /// the zero-allocation decode guarantee.
+    pub fn preallocate(&self, n: usize, dim: usize) {
+        assert!(dim > 0, "row width must be positive");
+        let mut st = self.lock();
+        if st.dim == 0 {
+            st.dim = dim;
+        }
+        assert_eq!(st.dim, dim, "page pool is bound to one row width");
+        for _ in 0..n {
+            if self
+                .shared
+                .cfg
+                .max_pages
+                .is_some_and(|cap| st.created >= cap)
+            {
+                break;
+            }
+            st.created += 1;
+            let page = Page::new(&self.shared.cfg, dim);
+            st.free.push(page);
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolState> {
+        self.shared
+            .state
+            .lock()
+            .expect("a pool lock holder panicked")
+    }
+}
+
+/// One layer's cached key/value rows (post-RoPE for LLaMA-family models):
+/// a page table over pool-leased [`Page`]s in position order.
+#[derive(Debug, Default)]
+pub struct LayerKv {
+    pages: Vec<Page>,
+    len: usize,
+}
+
+impl LayerKv {
+    /// Number of cached positions in this layer.
     pub fn len(&self) -> usize {
-        self.keys.len()
+        self.len
     }
 
     /// `true` when no positions are cached.
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.len == 0
     }
 
-    /// Appends one position's key and value rows.
+    /// Pages currently in the page table.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page_positions(&self) -> usize {
+        self.pages.first().map_or(1, Page::capacity)
+    }
+
+    /// Row width (`d_model`); 0 before the first append.
+    pub fn dim(&self) -> usize {
+        self.pages.first().map_or(0, Page::dim)
+    }
+
+    /// Appends one position's key and value rows, leasing a fresh page
+    /// from `pool` when the tail page is full.
     ///
     /// # Panics
     ///
-    /// Panics if the rows are not `dim` wide.
-    pub fn push(&mut self, key: &[f32], value: &[f32]) {
-        assert_eq!(key.len(), self.dim, "key width");
-        assert_eq!(value.len(), self.dim, "value width");
-        self.keys.push(KvRow::encode(key, self.storage));
-        self.values.push(KvRow::encode(value, self.storage));
-    }
-
-    /// Decodes the key row at `pos`.
-    pub fn key(&self, pos: usize) -> Vec<f32> {
-        self.keys[pos].decode()
-    }
-
-    /// Decodes the value row at `pos`.
-    pub fn value(&self, pos: usize) -> Vec<f32> {
-        self.values[pos].decode()
-    }
-
-    /// Single-query multi-head attention over the cached positions:
-    /// softmax(q·Kᵀ/√d_head)·V per head, heads concatenated.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cache is empty, `q` is not `dim` wide, or `dim` is not
-    /// divisible by `n_heads`.
-    pub fn attend(&self, q: &[f32], n_heads: usize) -> Vec<f32> {
-        assert!(!self.is_empty(), "attention over an empty cache");
-        assert_eq!(q.len(), self.dim, "query width");
-        assert_eq!(self.dim % n_heads, 0, "head split");
-        let dh = self.dim / n_heads;
-        let scale = 1.0 / (dh as f32).sqrt();
-
-        let keys: Vec<Vec<f32>> = (0..self.len()).map(|p| self.key(p)).collect();
-        let values: Vec<Vec<f32>> = (0..self.len()).map(|p| self.value(p)).collect();
-
-        let mut out = vec![0.0f32; self.dim];
-        for h in 0..n_heads {
-            let off = h * dh;
-            let qh = &q[off..off + dh];
-            let mut scores: Vec<f32> = keys
-                .iter()
-                .map(|k| {
-                    qh.iter()
-                        .zip(&k[off..off + dh])
-                        .map(|(&a, &b)| a * b)
-                        .sum::<f32>()
-                        * scale
-                })
-                .collect();
-            let max = scores.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-            let mut sum = 0.0f32;
-            for s in scores.iter_mut() {
-                *s = (*s - max).exp();
-                sum += *s;
-            }
-            for (s, v) in scores.iter().zip(&values) {
-                let p = s / sum;
-                for (o, &vv) in out[off..off + dh].iter_mut().zip(&v[off..off + dh]) {
-                    *o += p * vv;
-                }
-            }
+    /// Panics if the rows differ in width or the pool is exhausted
+    /// (bounded pools are protected by admission-time reservation).
+    pub(crate) fn push(&mut self, pool: &PagePool, key: &[f32], value: &[f32]) {
+        assert_eq!(key.len(), value.len(), "key/value width mismatch");
+        if self.pages.last().is_none_or(Page::is_full) {
+            let page = pool
+                .try_alloc(key.len())
+                .expect("KV page pool exhausted (admission must reserve worst-case pages)");
+            self.pages.push(page);
         }
+        self.pages
+            .last_mut()
+            .expect("tail page ensured above")
+            .push_row(key, value);
+        self.len += 1;
+    }
+
+    /// Decodes the key row at `pos` into `out` (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= len` or `out` is not `dim` wide.
+    pub fn key_into(&self, pos: usize, out: &mut [f32]) {
+        self.row_into(pos, false, out);
+    }
+
+    /// Decodes the value row at `pos` into `out` (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// As [`LayerKv::key_into`].
+    pub fn value_into(&self, pos: usize, out: &mut [f32]) {
+        self.row_into(pos, true, out);
+    }
+
+    /// Decodes the key row at `pos` (allocating convenience).
+    pub fn key(&self, pos: usize) -> Vec<f32> {
+        let mut out = vec![0.0; self.dim()];
+        self.key_into(pos, &mut out);
         out
     }
 
-    /// Total cache storage in bits.
-    pub fn storage_bits(&self) -> usize {
-        self.keys
-            .iter()
-            .chain(&self.values)
-            .map(|r| r.storage_bits(self.dim))
-            .sum()
+    /// Decodes the value row at `pos` (allocating convenience).
+    pub fn value(&self, pos: usize) -> Vec<f32> {
+        let mut out = vec![0.0; self.dim()];
+        self.value_into(pos, &mut out);
+        out
     }
 
-    /// Compression ratio versus an FP16 cache of the same shape.
+    fn row_into(&self, pos: usize, want_v: bool, out: &mut [f32]) {
+        assert!(pos < self.len, "position {pos} not cached");
+        let pp = self.page_positions();
+        self.pages[pos / pp].row_into(pos % pp, want_v, out);
+    }
+
+    fn reads_in_place(&self) -> bool {
+        self.pages
+            .first()
+            .is_none_or(|p| p.storage.reads_in_place())
+    }
+
+    /// Decodes every cached K and V row into flat `t × dim` scratch
+    /// buffers. Requests exactly `len × dim` capacity, so buffers
+    /// pre-reserved for the maximum context ([`KvReadScratch::reserve`])
+    /// never grow — the zero-allocation decode contract.
+    pub(crate) fn decode_rows(&self, k_out: &mut Vec<f32>, v_out: &mut Vec<f32>) {
+        let dim = self.dim();
+        k_out.clear();
+        v_out.clear();
+        k_out.resize(self.len * dim, 0.0);
+        v_out.resize(self.len * dim, 0.0);
+        let mut written = 0;
+        for page in &self.pages {
+            let n = page.used * dim;
+            match &page.data {
+                PageData::Float { k, v } => {
+                    k_out[written..written + n].copy_from_slice(&k[..n]);
+                    v_out[written..written + n].copy_from_slice(&v[..n]);
+                }
+                PageData::Anda { cfg, k, v } => {
+                    for slot in 0..page.used {
+                        let dst = written + slot * dim;
+                        k.decode(slot, *cfg, &mut k_out[dst..dst + dim]);
+                        v.decode(slot, *cfg, &mut v_out[dst..dst + dim]);
+                    }
+                }
+            }
+            written += n;
+        }
+    }
+
+    /// Returns every page to `pool` and empties the layer.
+    pub(crate) fn release_into(&mut self, pool: &PagePool) {
+        for page in self.pages.drain(..) {
+            pool.release(page);
+        }
+        self.len = 0;
+    }
+
+    /// Bits occupied by the cached rows under the layer's policy.
+    pub fn storage_bits(&self) -> usize {
+        self.pages.iter().map(Page::used_bits).sum()
+    }
+
+    /// Bits the layer's leased pages pin, filled or not — what the pool
+    /// actually accounts for.
+    pub fn resident_bits(&self) -> usize {
+        self.pages.iter().map(Page::capacity_bits).sum()
+    }
+
+    /// Single-query multi-head attention over the cached positions into a
+    /// caller buffer, allocation-free: softmax(q·Kᵀ/√d_head)·V per head,
+    /// heads concatenated. FP16 pages are read in place; Anda pages
+    /// decode into `scratch` once for the whole call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer is empty, `q`/`out` are not `dim` wide, or
+    /// `dim` is not divisible by `n_heads`.
+    pub fn attend_into(
+        &self,
+        q: &[f32],
+        n_heads: usize,
+        out: &mut [f32],
+        scratch: &mut KvReadScratch,
+    ) {
+        assert!(!self.is_empty(), "attention over an empty cache");
+        let dim = self.dim();
+        assert_eq!(q.len(), dim, "query width");
+        assert_eq!(out.len(), dim, "output width");
+        assert_eq!(dim % n_heads, 0, "head split");
+        let dh = dim / n_heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let t = self.len;
+
+        let KvReadScratch {
+            k,
+            v,
+            scores,
+            probs,
+        } = scratch;
+        let rows = if self.reads_in_place() {
+            KvRows::InPlace(self)
+        } else {
+            self.decode_rows(k, v);
+            KvRows::Decoded { k, v, dim }
+        };
+        scores.clear();
+        scores.resize(t, 0.0);
+        probs.clear();
+        probs.resize(t, 0.0);
+        out.fill(0.0);
+        for head in 0..n_heads {
+            let off = head * dh;
+            attend_head(
+                q,
+                rows,
+                head,
+                dh,
+                scale,
+                &mut out[off..off + dh],
+                scores,
+                probs,
+            );
+        }
+    }
+
+    /// [`LayerKv::attend_into`] with owned scratch and output
+    /// (experiment/demo convenience).
+    pub fn attend(&self, q: &[f32], n_heads: usize) -> Vec<f32> {
+        let mut out = vec![0.0; self.dim()];
+        self.attend_into(q, n_heads, &mut out, &mut KvReadScratch::new());
+        out
+    }
+}
+
+/// Reusable buffers for reading compressed KV rows: flat decoded K/V
+/// planes plus score/probability staging. One instance serves any number
+/// of [`LayerKv::attend_into`] calls (or one decode stream) with no
+/// steady-state allocation.
+#[derive(Clone, Debug, Default)]
+pub struct KvReadScratch {
+    pub(crate) k: Vec<f32>,
+    pub(crate) v: Vec<f32>,
+    pub(crate) scores: Vec<f32>,
+    pub(crate) probs: Vec<f32>,
+}
+
+impl KvReadScratch {
+    /// Empty scratch; buffers grow to steady-state sizes on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-reserves the decode buffers for contexts up to `max_len`
+    /// positions of `dim`-wide rows.
+    pub fn reserve(&mut self, max_len: usize, dim: usize) {
+        self.k.reserve(max_len * dim);
+        self.v.reserve(max_len * dim);
+        self.scores.reserve(max_len);
+        self.probs.reserve(max_len);
+    }
+}
+
+/// A borrowed row-major view of one layer's cached K/V rows: either the
+/// FP16 pages themselves (read in place) or flat decoded scratch.
+#[derive(Clone, Copy)]
+pub(crate) enum KvRows<'a> {
+    InPlace(&'a LayerKv),
+    Decoded {
+        k: &'a [f32],
+        v: &'a [f32],
+        dim: usize,
+    },
+}
+
+impl<'a> KvRows<'a> {
+    pub(crate) fn k_rows(self) -> RowIter<'a> {
+        RowIter::new(self, false)
+    }
+
+    pub(crate) fn v_rows(self) -> RowIter<'a> {
+        RowIter::new(self, true)
+    }
+}
+
+/// Iterates a [`KvRows`] view as one `dim`-wide slice per position,
+/// walking pages directly (no per-row page-table arithmetic).
+pub(crate) struct RowIter<'a> {
+    pages: std::slice::Iter<'a, Page>,
+    cur: std::slice::ChunksExact<'a, f32>,
+    want_v: bool,
+}
+
+impl<'a> RowIter<'a> {
+    fn new(rows: KvRows<'a>, want_v: bool) -> Self {
+        match rows {
+            KvRows::InPlace(layer) => RowIter {
+                pages: layer.pages.iter(),
+                cur: [].chunks_exact(1),
+                want_v,
+            },
+            KvRows::Decoded { k, v, dim } => RowIter {
+                pages: [].iter(),
+                cur: if want_v { v } else { k }.chunks_exact(dim),
+                want_v,
+            },
+        }
+    }
+}
+
+impl<'a> Iterator for RowIter<'a> {
+    type Item = &'a [f32];
+
+    fn next(&mut self) -> Option<&'a [f32]> {
+        loop {
+            if let Some(row) = self.cur.next() {
+                return Some(row);
+            }
+            let page = self.pages.next()?;
+            self.cur = page.rows_in_place(self.want_v).chunks_exact(page.dim);
+        }
+    }
+}
+
+/// One attention head of a KV-cached decode step: scores over the cached
+/// positions, a log-softmax staged in `probs_h`, then the value mix into
+/// `attn_h` (this head's `d_head`-wide output lane, accumulated with
+/// `+=`; callers zero it). Exactly the serial per-head math, factored out
+/// so heads can run on pool workers; the row iterators walk FP16 pages in
+/// place and decoded Anda scratch identically.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn attend_head(
+    q: &[f32],
+    rows: KvRows<'_>,
+    head: usize,
+    dh: usize,
+    scale: f32,
+    attn_h: &mut [f32],
+    scores_h: &mut [f32],
+    probs_h: &mut [f32],
+) {
+    let off = head * dh;
+    let qh = &q[off..off + dh];
+    for (score, kj) in scores_h.iter_mut().zip(rows.k_rows()) {
+        let kj = &kj[off..off + dh];
+        *score = qh.iter().zip(kj).map(|(&a, &b)| a * b).sum::<f32>() * scale;
+    }
+    // Same max-shifted log-softmax as `ops::log_softmax_into`, on slices.
+    let max = scores_h.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let log_sum: f32 = scores_h.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+    for (p, &score) in probs_h.iter_mut().zip(scores_h.iter()) {
+        *p = score - max - log_sum;
+    }
+    for (score, &l) in scores_h.iter_mut().zip(probs_h.iter()) {
+        *score = l.exp();
+    }
+    for (&p, vj) in scores_h.iter().zip(rows.v_rows()) {
+        let vj = &vj[off..off + dh];
+        for (a, &vv) in attn_h.iter_mut().zip(vj) {
+            *a += p * vv;
+        }
+    }
+}
+
+/// Per-layer paged KV cache for incremental decoding, owned by the caller
+/// so a serving layer can keep one per request and multiplex many
+/// requests over one model. Pages are leased from the cache's
+/// [`PagePool`]; [`KvCache::reset`] recycles every page back to the pool
+/// (a decode after `reset` is bit-identical to one on a fresh cache), and
+/// dropping the cache does the same.
+#[derive(Debug)]
+pub struct KvCache {
+    pool: PagePool,
+    layers: Vec<LayerKv>,
+}
+
+impl KvCache {
+    /// An empty cache over a private unbounded raw-`f32` pool with the
+    /// default page size — the solo-decode exact-reference configuration
+    /// (bit-compatible with the pre-paging cache).
+    pub fn new(n_layers: usize) -> Self {
+        Self::with_pool(n_layers, PagePool::new(KvPoolConfig::default()))
+    }
+
+    /// An empty cache leasing pages from `pool`.
+    pub fn with_pool(n_layers: usize, pool: PagePool) -> Self {
+        KvCache {
+            pool,
+            layers: (0..n_layers).map(|_| LayerKv::default()).collect(),
+        }
+    }
+
+    /// Number of transformer layers the cache covers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of cached positions (every layer holds the same count on
+    /// the decode path).
+    pub fn len(&self) -> usize {
+        self.layers.first().map_or(0, LayerKv::len)
+    }
+
+    /// `true` when no positions are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The pool this cache leases pages from.
+    pub fn pool(&self) -> &PagePool {
+        &self.pool
+    }
+
+    /// The cache's storage policy.
+    pub fn storage(&self) -> KvStorage {
+        self.pool.config().storage
+    }
+
+    /// The per-layer store for block `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= n_layers`.
+    pub fn layer(&self, layer: usize) -> &LayerKv {
+        &self.layers[layer]
+    }
+
+    /// Appends one position's key/value rows to block `layer` (demo and
+    /// test path; the decode engine appends through its own split
+    /// borrow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= n_layers`, the widths mismatch, or the pool is
+    /// exhausted.
+    pub fn append_row(&mut self, layer: usize, key: &[f32], value: &[f32]) {
+        self.layers[layer].push(&self.pool, key, value);
+    }
+
+    /// Split borrow for the decode loop: the pool handle plus every
+    /// layer, mutably.
+    pub(crate) fn split_mut(&mut self) -> (&PagePool, &mut [LayerKv]) {
+        (&self.pool, &mut self.layers)
+    }
+
+    /// Recycles every page back to the pool while keeping the layer
+    /// structure, so the cache can be handed to a new request. A decode
+    /// after `reset` is bit-identical to one on a freshly built cache.
+    pub fn reset(&mut self) {
+        for layer in &mut self.layers {
+            layer.release_into(&self.pool);
+        }
+    }
+
+    /// Reserves page-table capacity for contexts up to `max_positions`,
+    /// so growing into them never reallocates the tables (pair with
+    /// [`PagePool::preallocate`] for fully allocation-free decoding).
+    pub fn reserve(&mut self, max_positions: usize) {
+        let pages = self.pool.pages_for(max_positions);
+        for layer in &mut self.layers {
+            layer.pages.reserve(pages);
+        }
+    }
+
+    /// Bits occupied by the cached rows across all layers.
+    pub fn storage_bits(&self) -> usize {
+        self.layers.iter().map(LayerKv::storage_bits).sum()
+    }
+
+    /// Bits pinned by all leased pages (page-granular, what admission
+    /// accounts for).
+    pub fn resident_bits(&self) -> usize {
+        self.layers.iter().map(LayerKv::resident_bits).sum()
+    }
+
+    /// Compression ratio of the cached rows versus an FP16 cache of the
+    /// same shape (1.0 when empty).
     pub fn compression_vs_fp16(&self) -> f64 {
-        let fp16 = (2 * self.len() * self.dim * 16) as f64;
-        if self.storage_bits() == 0 {
+        let fp16: usize = self.layers.iter().map(|l| 2 * l.len() * l.dim() * 16).sum();
+        let actual = self.storage_bits();
+        if actual == 0 {
             1.0
         } else {
-            fp16 / self.storage_bits() as f64
+            fp16 as f64 / actual as f64
         }
+    }
+}
+
+impl Drop for KvCache {
+    fn drop(&mut self) {
+        self.reset();
     }
 }
 
@@ -197,17 +1002,28 @@ mod tests {
             .collect()
     }
 
+    fn cache_with(storage: KvStorage, page_positions: usize) -> KvCache {
+        PagePool::new(KvPoolConfig {
+            storage,
+            page_positions,
+            max_pages: None,
+        })
+        .new_cache(1)
+    }
+
     #[test]
     fn fp16_store_round_trips_to_fp16_precision() {
-        let mut store = KvStore::new(64, KvStorage::Fp16);
+        let mut cache = cache_with(KvStorage::Fp16, 2);
         let k = rows(3, 64, 1);
         for r in &k {
-            store.push(r, r);
+            cache.append_row(0, r, r);
         }
-        assert_eq!(store.len(), 3);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.layer(0).page_count(), 2);
         for (i, r) in k.iter().enumerate() {
-            for (a, &b) in store.key(i).iter().zip(r) {
+            for (a, &b) in cache.layer(0).key(i).iter().zip(r) {
                 assert!((a - b).abs() < 1e-3);
+                assert_eq!(a.to_bits(), saturate_to_f16(b).to_f32().to_bits());
             }
         }
     }
@@ -216,13 +1032,13 @@ mod tests {
     fn anda_store_error_bounded_and_decreasing_in_m() {
         let data = rows(4, 128, 2);
         let err_at = |m: u32| {
-            let mut store = KvStore::new(128, KvStorage::Anda { mantissa_bits: m });
+            let mut cache = cache_with(KvStorage::Anda { mantissa_bits: m }, 4);
             for r in &data {
-                store.push(r, r);
+                cache.append_row(0, r, r);
             }
             let mut err = 0.0f64;
             for (i, r) in data.iter().enumerate() {
-                for (a, &b) in store.key(i).iter().zip(r) {
+                for (a, &b) in cache.layer(0).key(i).iter().zip(r) {
                     err += f64::from((a - b).abs());
                 }
             }
@@ -234,14 +1050,16 @@ mod tests {
 
     #[test]
     fn compression_ratio_matches_format_accounting() {
-        let mut store = KvStore::new(64, KvStorage::Anda { mantissa_bits: 5 });
+        let mut cache = cache_with(KvStorage::Anda { mantissa_bits: 5 }, 8);
         let data = rows(8, 64, 3);
         for r in &data {
-            store.push(r, r);
+            cache.append_row(0, r, r);
         }
         // 5-bit mantissa: ≈ 6.08 bits/element vs 16.
         let expect = 16.0 / (5.0 + 1.0 + 5.0 / 64.0);
-        assert!((store.compression_vs_fp16() - expect).abs() < 1e-9);
+        assert!((cache.compression_vs_fp16() - expect).abs() < 1e-9);
+        // One full page leased: resident == logical here.
+        assert_eq!(cache.resident_bits(), cache.storage_bits());
     }
 
     #[test]
@@ -249,14 +1067,14 @@ mod tests {
         let dim = 64;
         let data = rows(10, dim, 4);
         let q = &rows(1, dim, 5)[0];
-        let mut exact = KvStore::new(dim, KvStorage::Fp16);
-        let mut anda = KvStore::new(dim, KvStorage::Anda { mantissa_bits: 16 });
+        let mut exact = cache_with(KvStorage::Fp16, 4);
+        let mut anda = cache_with(KvStorage::Anda { mantissa_bits: 16 }, 4);
         for r in &data {
-            exact.push(r, r);
-            anda.push(r, r);
+            exact.append_row(0, r, r);
+            anda.append_row(0, r, r);
         }
-        let a = exact.attend(q, 4);
-        let b = anda.attend(q, 4);
+        let a = exact.layer(0).attend(q, 4);
+        let b = anda.layer(0).attend(q, 4);
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 2e-3, "{x} vs {y}");
         }
@@ -267,17 +1085,17 @@ mod tests {
         let dim = 64;
         let data = rows(12, dim, 6);
         let q = &rows(1, dim, 7)[0];
-        let mut exact = KvStore::new(dim, KvStorage::Fp16);
+        let mut exact = cache_with(KvStorage::Fp16, 4);
         for r in &data {
-            exact.push(r, r);
+            exact.append_row(0, r, r);
         }
-        let reference = exact.attend(q, 4);
+        let reference = exact.layer(0).attend(q, 4);
         let err_at = |m: u32| {
-            let mut store = KvStore::new(dim, KvStorage::Anda { mantissa_bits: m });
+            let mut cache = cache_with(KvStorage::Anda { mantissa_bits: m }, 4);
             for r in &data {
-                store.push(r, r);
+                cache.append_row(0, r, r);
             }
-            let out = store.attend(q, 4);
+            let out = cache.layer(0).attend(q, 4);
             reference
                 .iter()
                 .zip(&out)
@@ -288,15 +1106,108 @@ mod tests {
     }
 
     #[test]
+    fn attend_into_reuses_scratch_and_page_size_is_value_invariant() {
+        let dim = 64;
+        let data = rows(9, dim, 8);
+        let q = &rows(1, dim, 9)[0];
+        let mut scratch = KvReadScratch::new();
+        let mut out = vec![0.0; dim];
+        let mut reference: Option<Vec<u32>> = None;
+        for pp in [1usize, 4, 16] {
+            let mut cache = cache_with(KvStorage::Anda { mantissa_bits: 7 }, pp);
+            for r in &data {
+                cache.append_row(0, r, r);
+            }
+            cache.layer(0).attend_into(q, 4, &mut out, &mut scratch);
+            let bits: Vec<u32> = out.iter().map(|x| x.to_bits()).collect();
+            match &reference {
+                None => reference = Some(bits),
+                Some(r) => assert_eq!(&bits, r, "page size {pp} changed attention values"),
+            }
+        }
+    }
+
+    #[test]
+    fn reset_recycles_pages_and_reuse_precedes_growth() {
+        let pool = PagePool::new(KvPoolConfig {
+            storage: KvStorage::Fp16,
+            page_positions: 2,
+            max_pages: Some(8),
+        });
+        let mut cache = pool.new_cache(2);
+        let data = rows(5, 32, 10);
+        for r in &data {
+            cache.append_row(0, r, r);
+            cache.append_row(1, r, r);
+        }
+        // 5 positions over 2-position pages → 3 pages per layer.
+        assert_eq!(pool.pages_in_use(), 6);
+        let created = pool.pages_created();
+        cache.reset();
+        assert_eq!(cache.len(), 0);
+        assert_eq!(pool.pages_in_use(), 0);
+        assert_eq!(pool.pages_free(), created);
+        // Refill: the free list feeds every lease, creation stays flat.
+        for r in &data {
+            cache.append_row(0, r, r);
+            cache.append_row(1, r, r);
+        }
+        assert_eq!(pool.pages_created(), created);
+        drop(cache);
+        assert_eq!(pool.pages_in_use(), 0);
+    }
+
+    #[test]
+    fn bounded_pool_stops_at_capacity() {
+        let pool = PagePool::new(KvPoolConfig {
+            storage: KvStorage::Fp16,
+            page_positions: 1,
+            max_pages: Some(3),
+        });
+        let a = pool.try_alloc(16).unwrap();
+        let b = pool.try_alloc(16).unwrap();
+        let c = pool.try_alloc(16).unwrap();
+        assert!(pool.try_alloc(16).is_none(), "capacity must bind");
+        pool.release(b);
+        assert!(pool.try_alloc(16).is_some(), "freed pages come back");
+        drop((a, c));
+        assert_eq!(pool.pages_created(), 3);
+    }
+
+    #[test]
+    fn memory_budget_holds_more_anda_pages_than_fp16() {
+        let dim = 128;
+        let budget = 4 * 1024 * 1024; // bits
+        let fp16 = KvPoolConfig::unbounded(KvStorage::Fp16).with_memory_budget(budget, dim);
+        let anda = KvPoolConfig::unbounded(KvStorage::Anda { mantissa_bits: 5 })
+            .with_memory_budget(budget, dim);
+        let (f, a) = (fp16.max_pages.unwrap(), anda.max_pages.unwrap());
+        assert!(
+            a as f64 > f as f64 * 2.5,
+            "anda pages {a} vs fp16 pages {f}"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "empty cache")]
     fn empty_attend_panics() {
-        let store = KvStore::new(64, KvStorage::Fp16);
-        let _ = store.attend(&vec![0.0; 64], 4);
+        let cache = cache_with(KvStorage::Fp16, 4);
+        let _ = cache.layer(0).attend(&vec![0.0; 64], 4);
     }
 
     #[test]
     #[should_panic(expected = "1..=16")]
     fn invalid_mantissa_panics() {
-        let _ = KvStore::new(64, KvStorage::Anda { mantissa_bits: 0 });
+        let _ = PagePool::new(KvPoolConfig::unbounded(KvStorage::Anda {
+            mantissa_bits: 0,
+        }));
+    }
+
+    #[test]
+    #[should_panic(expected = "one row width")]
+    fn mixed_row_widths_panic() {
+        let pool = PagePool::new(KvPoolConfig::default());
+        let _a = pool.try_alloc(64);
+        let _b = pool.try_alloc(128);
     }
 }

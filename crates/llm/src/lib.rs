@@ -22,7 +22,9 @@
 //!   model itself* (three corpora standing in for WikiText-2/PTB/C4).
 //! - [`eval`] — perplexity and relative-accuracy measurement.
 //! - [`opcount`] — analytical operation counting (Fig. 2).
-//! - [`kv`] — the §VI extension: an Anda-compressed KV cache.
+//! - [`kv`] — the §VI extension: the paged KV subsystem — a block-pool
+//!   page allocator with FP16 or Anda-compressed pages, shared by solo
+//!   decode and the serving layer.
 
 pub mod config;
 pub mod corpus;
@@ -36,6 +38,7 @@ pub mod zoo;
 
 pub use config::{Family, ModelConfig};
 pub use eval::{perplexity, perplexity_with_scratch, relative_accuracy_loss};
-pub use model::{BatchOutput, DecodeScratch, ForwardScratch, KvCache, LayerKv, Model, WeightMode};
+pub use kv::{KvCache, KvPoolConfig, KvReadScratch, KvStorage, LayerKv, PagePool};
+pub use model::{BatchOutput, DecodeScratch, ForwardScratch, Model, WeightMode};
 pub use modules::{CodecAssignment, ModuleKind, PrecisionCombo};
 pub use zoo::SimModelSpec;

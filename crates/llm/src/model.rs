@@ -14,8 +14,11 @@ use anda_tensor::{ops, Matrix, Rng};
 use rayon_lite::ThreadPool;
 
 use crate::config::{Family, ModelConfig};
+use crate::kv::{attend_head, KvReadScratch, KvRows, KvStorage};
 use crate::modules::CodecAssignment;
 use crate::synth::{boost_columns, dense, norm_bias, norm_gain, SensitivityProfile};
+
+pub use crate::kv::{KvCache, LayerKv};
 
 /// How the model's GeMM weights are stored.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -449,7 +452,8 @@ impl Model {
     }
 
     /// Greedy/temperature sampling generation with a KV cache, always using
-    /// FP16 reference activations (corpus synthesis path).
+    /// FP16 reference activations (corpus synthesis path). The cache is a
+    /// private paged FP16-policy store ([`KvCache::new`]).
     ///
     /// Returns `prompt.len() + n_new` tokens (prompt included).
     ///
@@ -468,18 +472,38 @@ impl Model {
         temperature: f32,
         rng: &mut Rng,
     ) -> Vec<usize> {
+        let mut cache = KvCache::new(self.config.n_layers);
+        self.generate_with_cache(prompt, n_new, temperature, rng, &mut cache)
+    }
+
+    /// [`Model::generate`] on a caller-provided (empty) cache, so solo
+    /// generation can run under any KV storage policy/pool — the
+    /// sequential reference for compressed-KV serving.
+    ///
+    /// # Panics
+    ///
+    /// As [`Model::generate`], plus if `cache` is non-empty or covers a
+    /// different layer count.
+    pub fn generate_with_cache(
+        &self,
+        prompt: &[usize],
+        n_new: usize,
+        temperature: f32,
+        rng: &mut Rng,
+        cache: &mut KvCache,
+    ) -> Vec<usize> {
         assert!(
             prompt.len() + n_new <= self.config.max_seq,
             "generation length exceeds max_seq"
         );
-        let mut cache = KvCache::new(self.config.n_layers);
+        assert!(cache.is_empty(), "generation starts from an empty cache");
         let mut scratch = DecodeScratch::default();
         let mut tokens = prompt.to_vec();
-        self.prefill(prompt, &mut cache, &mut scratch);
+        self.prefill(prompt, cache, &mut scratch);
         for _ in 0..n_new {
             let next = scratch.sample_last(temperature, rng);
             tokens.push(next);
-            self.decode_step(next, tokens.len() - 1, &mut cache, &mut scratch);
+            self.decode_step(next, tokens.len() - 1, cache, &mut scratch);
         }
         tokens
     }
@@ -504,8 +528,10 @@ impl Model {
     /// leaves the next-token logits in `s` ([`DecodeScratch::logits`]).
     /// Activations stay in FP16 (reference path), matching a full-sequence
     /// [`Model::forward`] with FP16 codecs. All per-token intermediates
-    /// reuse `s`'s buffers; the only allocations are the K/V rows the cache
-    /// must retain.
+    /// reuse `s`'s buffers; K/V rows are written straight into the cache's
+    /// tail page (FP16-rounded or Anda-encoded by the cache's policy), so
+    /// steady-state decode allocates nothing — the cache leases a pool
+    /// page only every `page_positions` tokens.
     ///
     /// Kernels auto-dispatch on the global pool (attention heads, the big
     /// vector matmuls and the LM head shard when the work is large enough);
@@ -592,7 +618,9 @@ impl Model {
             }
         }
 
-        for (layer, kv) in self.layers.iter().zip(&mut cache.layers) {
+        let storage = cache.storage();
+        let (kv_pool, kv_layers) = cache.split_mut();
+        for (layer, kv) in self.layers.iter().zip(kv_layers.iter_mut()) {
             // Attention block.
             s.h.clear();
             s.h.extend_from_slice(x);
@@ -601,19 +629,21 @@ impl Model {
             vec_matmul_into(&s.h, &layer.wqkv, &mut s.qkv, par);
             s.q.clear();
             s.q.extend_from_slice(&s.qkv[..d]);
-            // K/V rows are owned by the cache for the rest of the sequence.
-            let mut k = s.qkv[d..2 * d].to_vec();
-            let v = s.qkv[2 * d..].to_vec();
+            // Stage the K/V rows in scratch; the cache's tail page encodes
+            // them under its storage policy (no per-token allocation).
+            s.k_row.clear();
+            s.k_row.extend_from_slice(&s.qkv[d..2 * d]);
+            s.v_row.clear();
+            s.v_row.extend_from_slice(&s.qkv[2 * d..]);
             if self.config.family == Family::Llama {
                 for head in 0..heads {
                     rope_in_place(&mut s.q[head * dh..(head + 1) * dh], pos);
-                    rope_in_place(&mut k[head * dh..(head + 1) * dh], pos);
+                    rope_in_place(&mut s.k_row[head * dh..(head + 1) * dh], pos);
                 }
             }
-            kv.k.push(k);
-            kv.v.push(v);
+            kv.push(kv_pool, &s.k_row, &s.v_row);
 
-            let t = kv.k.len();
+            let t = kv.len();
             s.attn.clear();
             s.attn.resize(d, 0.0);
             // Flat per-head score/prob lanes so heads can run concurrently:
@@ -622,7 +652,20 @@ impl Model {
             s.scores.resize(heads * t, 0.0);
             s.probs.clear();
             s.probs.resize(heads * t, 0.0);
-            let kv_ref: &LayerKv = kv;
+            // Float pages are attended in place; Anda pages decode once
+            // per layer into the read scratch, and every head reads the
+            // same decoded planes.
+            let rows = match storage {
+                KvStorage::Fp32 | KvStorage::Fp16 => KvRows::InPlace(kv),
+                KvStorage::Anda { .. } => {
+                    kv.decode_rows(&mut s.kv_read.k, &mut s.kv_read.v);
+                    KvRows::Decoded {
+                        k: &s.kv_read.k,
+                        v: &s.kv_read.v,
+                        dim: d,
+                    }
+                }
+            };
             let q = &s.q;
             let head_lanes = s
                 .attn
@@ -635,13 +678,13 @@ impl Model {
                 pool.scope(|sc| {
                     for (head, (attn_h, (scores_h, probs_h))) in head_lanes {
                         sc.spawn(move || {
-                            attend_head(q, kv_ref, head, dh, scale, attn_h, scores_h, probs_h);
+                            attend_head(q, rows, head, dh, scale, attn_h, scores_h, probs_h);
                         });
                     }
                 });
             } else {
                 for (head, (attn_h, (scores_h, probs_h))) in head_lanes {
-                    attend_head(q, kv_ref, head, dh, scale, attn_h, scores_h, probs_h);
+                    attend_head(q, rows, head, dh, scale, attn_h, scores_h, probs_h);
                 }
             }
             f16(&mut s.attn);
@@ -839,94 +882,10 @@ struct AttnScratch {
     out: Matrix,
 }
 
-/// Per-layer KV cache for incremental decoding, owned by the caller so a
-/// serving layer can keep one per request and multiplex many requests over
-/// one [`Model`].
-///
-/// Rows are appended by [`Model::decode_step`] / [`Model::decode_hidden`];
-/// [`KvCache::reset`] clears every position (keeping the layer structure
-/// and outer allocations) so the cache can be reused by the next request
-/// with no stale state.
-#[derive(Clone, Debug)]
-pub struct KvCache {
-    layers: Vec<LayerKv>,
-}
-
-/// One layer's cached key/value rows (post-RoPE for LLaMA-family models).
-#[derive(Clone, Debug, Default)]
-pub struct LayerKv {
-    k: Vec<Vec<f32>>,
-    v: Vec<Vec<f32>>,
-}
-
-impl LayerKv {
-    /// Number of cached positions in this layer.
-    pub fn len(&self) -> usize {
-        self.k.len()
-    }
-
-    /// `true` when no positions are cached.
-    pub fn is_empty(&self) -> bool {
-        self.k.is_empty()
-    }
-
-    /// The cached key row at `pos` (`d_model` wide).
-    pub fn key(&self, pos: usize) -> &[f32] {
-        &self.k[pos]
-    }
-
-    /// The cached value row at `pos` (`d_model` wide).
-    pub fn value(&self, pos: usize) -> &[f32] {
-        &self.v[pos]
-    }
-}
-
-impl KvCache {
-    /// An empty cache with one [`LayerKv`] per transformer block.
-    pub fn new(n_layers: usize) -> Self {
-        KvCache {
-            layers: vec![LayerKv::default(); n_layers],
-        }
-    }
-
-    /// Number of transformer layers the cache covers.
-    pub fn n_layers(&self) -> usize {
-        self.layers.len()
-    }
-
-    /// Number of cached positions (every layer holds the same count).
-    pub fn len(&self) -> usize {
-        self.layers.first().map_or(0, LayerKv::len)
-    }
-
-    /// `true` when no positions are cached.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// The per-layer store for block `layer`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `layer >= n_layers`.
-    pub fn layer(&self, layer: usize) -> &LayerKv {
-        &self.layers[layer]
-    }
-
-    /// Drops every cached position while keeping the layer structure, so
-    /// the cache can be handed to a new request. A decode after `reset`
-    /// is bit-identical to one on a freshly constructed cache.
-    pub fn reset(&mut self) {
-        for layer in &mut self.layers {
-            layer.k.clear();
-            layer.v.clear();
-        }
-    }
-}
-
 /// Reusable buffers for KV-cached decode steps; one instance serves a
 /// whole generation loop (or one serving-layer stream), so per-token work
-/// allocates only the K/V rows the cache retains.
+/// allocates nothing at steady state (pair with [`DecodeScratch::reserve`]
+/// and [`crate::kv::PagePool::preallocate`] for a hard zero).
 #[derive(Clone, Debug, Default)]
 pub struct DecodeScratch {
     /// Residual stream (`d`); after a decode pass, the final-normed hidden
@@ -953,12 +912,45 @@ pub struct DecodeScratch {
     hidden: Vec<f32>,
     /// Next-token logits (`vocab`).
     logits: Vec<f32>,
+    /// Staged current-position key row (`d`, post-RoPE) awaiting the
+    /// cache append.
+    k_row: Vec<f32>,
+    /// Staged current-position value row (`d`).
+    v_row: Vec<f32>,
+    /// Decoded K/V read planes for compressed caches (`t × d` each).
+    kv_read: KvReadScratch,
 }
 
 impl DecodeScratch {
     /// Empty scratch; buffers grow to steady-state sizes on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Pre-reserves every decode buffer for `config`-shaped models at
+    /// contexts up to `max_len` positions, so no later decode step ever
+    /// grows a buffer. With the cache's pool preallocated and its page
+    /// tables reserved, decoding is then allocation-free per token (the
+    /// `kv_alloc` counting-allocator suite enforces this).
+    pub fn reserve(&mut self, config: &ModelConfig, max_len: usize) {
+        let d = config.d_model;
+        let ffn = config.d_ffn;
+        let lanes = (config.n_heads * max_len).max(config.vocab);
+        self.x.reserve(d);
+        self.h.reserve(d);
+        self.qkv.reserve(3 * d);
+        self.q.reserve(d);
+        self.attn.reserve(d);
+        self.proj.reserve(d);
+        self.gate.reserve(ffn);
+        self.hidden.reserve(ffn);
+        // Score/prob lanes double as sampling staging (`vocab` wide).
+        self.scores.reserve(lanes);
+        self.probs.reserve(lanes);
+        self.logits.reserve(config.vocab);
+        self.k_row.reserve(d);
+        self.v_row.reserve(d);
+        self.kv_read.reserve(max_len, d);
     }
 
     /// The next-token logits left by the last [`Model::decode_step`] /
@@ -1068,44 +1060,6 @@ const VEC_PAR_MIN_MULADDS: usize = 256 * 1024;
 /// `attn`/`scores`/`probs` lanes and its math is independent of the
 /// sharding, so results stay bit-identical at every thread count.
 const ATTN_PAR_MIN_MULADDS: usize = 16 * 1024;
-
-/// One attention head of a KV-cached decode step: scores over the cached
-/// positions, a log-softmax staged in `probs_h`, then the value mix into
-/// `attn_h` (this head's `d_head`-wide output lane). Exactly the serial
-/// per-head math, factored out so heads can run on pool workers.
-#[allow(clippy::too_many_arguments)]
-fn attend_head(
-    q: &[f32],
-    kv: &LayerKv,
-    head: usize,
-    dh: usize,
-    scale: f32,
-    attn_h: &mut [f32],
-    scores_h: &mut [f32],
-    probs_h: &mut [f32],
-) {
-    let off = head * dh;
-    let qh = &q[off..off + dh];
-    for (j, score) in scores_h.iter_mut().enumerate() {
-        let kj = &kv.k[j][off..off + dh];
-        *score = qh.iter().zip(kj).map(|(&a, &b)| a * b).sum::<f32>() * scale;
-    }
-    // Same max-shifted log-softmax as `ops::log_softmax_into`, on slices.
-    let max = scores_h.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-    let log_sum: f32 = scores_h.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
-    for (p, &score) in probs_h.iter_mut().zip(scores_h.iter()) {
-        *p = score - max - log_sum;
-    }
-    for (score, &l) in scores_h.iter_mut().zip(probs_h.iter()) {
-        *score = l.exp();
-    }
-    for (j, &p) in scores_h.iter().enumerate() {
-        let vj = &kv.v[j][off..off + dh];
-        for (a, &vv) in attn_h.iter_mut().zip(vj) {
-            *a += p * vv;
-        }
-    }
-}
 
 /// `v(1×k) · m(k×n)` row-vector matmul into a reused buffer.
 ///

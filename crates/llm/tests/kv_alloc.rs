@@ -1,0 +1,116 @@
+//! Zero-allocation guarantee for the KV decode hot path, enforced with a
+//! counting global allocator.
+//!
+//! After warm-up — `DecodeScratch::reserve`, `KvCache::reserve`, and
+//! `PagePool::preallocate` — a decode step performs **no** heap
+//! allocation at all: K/V rows are written straight into the tail page
+//! (FP16-rounded or Anda bit-plane-encoded in place), page leases pop
+//! the pool's free list, and compressed reads decode into the reserved
+//! scratch. This file is its own test binary so the allocation counter
+//! sees only this suite's traffic, and the one test runs the policies
+//! sequentially on a single thread.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use anda_llm::kv::{KvPoolConfig, KvStorage, PagePool};
+use anda_llm::zoo::opt_125m_sim;
+use anda_llm::DecodeScratch;
+
+/// Counts every allocation (fresh and growing) the *current thread*
+/// passes to the system allocator. Per-thread counting keeps the
+/// measured window honest: the global compute pool's worker threads
+/// finish their lazy startup allocations at their own pace, and the
+/// decode path under test runs entirely on this thread (serial kernels).
+struct CountingAlloc;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+fn bump() {
+    // `const`-initialized Cell TLS never allocates on first access, so
+    // counting from inside the allocator cannot recurse.
+    THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warmed_decode_steps_allocate_zero_kv_path_heap() {
+    let model = opt_125m_sim().build();
+    let cfg = model.config().clone();
+    // Deliberately NOT a multiple of the page size: the decode must stay
+    // allocation-free through the last, partially filled page too.
+    let max_len: usize = 33;
+    let page_positions: usize = 4;
+
+    for storage in [
+        KvStorage::Fp32,
+        KvStorage::Fp16,
+        KvStorage::Anda { mantissa_bits: 6 },
+    ] {
+        let pool = PagePool::new(KvPoolConfig {
+            storage,
+            page_positions,
+            max_pages: None,
+        });
+        // Warm everything: pages for the whole context, page tables,
+        // every scratch buffer.
+        pool.preallocate(cfg.n_layers * max_len.div_ceil(page_positions), cfg.d_model);
+        let mut cache = pool.new_cache(cfg.n_layers);
+        cache.reserve(max_len);
+        let mut scratch = DecodeScratch::new();
+        scratch.reserve(&cfg, max_len);
+
+        // Prefill a prompt; the first steps may still fault in lazily
+        // sized buffers, which is exactly what the reservation plus this
+        // warm-up is for.
+        let prompt: Vec<usize> = (0..8).map(|i| (i * 37 + 3) % cfg.vocab).collect();
+        model.prefill(&prompt, &mut cache, &mut scratch);
+
+        // Measured region: decode to the reserved maximum, crossing
+        // several page boundaries and ending inside a partial page
+        // (serial kernels — the thread pool is not involved, so every
+        // count below is KV-path or scratch traffic).
+        let steps = max_len - prompt.len();
+        let before = thread_allocs();
+        for pos in prompt.len()..max_len {
+            let token = (pos * 13 + 1) % cfg.vocab;
+            model.decode_hidden(token, pos, &mut cache, &mut scratch);
+        }
+        let after = thread_allocs();
+        assert_eq!(
+            after - before,
+            0,
+            "{storage:?}: decode allocated {} times over {steps} warmed steps",
+            after - before
+        );
+        assert!(cache.len() > page_positions, "steps crossed page bounds");
+        assert!(
+            !cache.len().is_multiple_of(page_positions),
+            "the run must end inside a partial page"
+        );
+    }
+}

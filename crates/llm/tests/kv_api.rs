@@ -1,22 +1,28 @@
-//! API tests for the externally-owned KV cache and the split decode
-//! entry points ([`Model::prefill`] / [`Model::decode_step`] /
+//! API tests for the externally-owned paged KV cache and the split
+//! decode entry points ([`Model::prefill`] / [`Model::decode_step`] /
 //! [`Model::decode_hidden`] + [`Model::lm_head_batch`]).
 //!
-//! The serving layer's determinism guarantee reduces to three facts
+//! The serving layer's determinism guarantee reduces to these facts
 //! checked here at the `f32::to_bits` level:
 //!
 //! 1. `decode_hidden` (serial kernels) leaves the same hidden state and
 //!    KV rows as `decode_step` (auto-dispatching kernels), at any thread
-//!    count and on both sides of the head-sharding work threshold;
+//!    count, on both sides of the head-sharding work threshold, and
+//!    under every KV storage policy (in-place float pages and
+//!    decoded-on-read Anda pages alike);
 //! 2. the batched LM head reproduces the solo LM head row by row, at any
 //!    pool size;
-//! 3. a `reset` cache behaves exactly like a fresh one.
+//! 3. a `reset` cache behaves exactly like a fresh one, for every policy;
+//! 4. page size is pure layout: decoding on pools of page size 1 or 4
+//!    (or any other) never moves a bit.
 
 use std::sync::OnceLock;
 
+use anda_llm::kv::{KvPoolConfig, KvStorage, PagePool};
 use anda_llm::model::BatchOutput;
 use anda_llm::zoo::{opt_125m_sim, sim_model};
 use anda_llm::{DecodeScratch, KvCache, Model};
+use anda_tensor::Rng;
 use rayon_lite::ThreadPool;
 
 fn model() -> &'static Model {
@@ -29,8 +35,8 @@ fn llama() -> &'static Model {
     MODEL.get_or_init(|| sim_model("LLaMA-7B").unwrap().build())
 }
 
-fn bits(v: &[f32]) -> Vec<u32> {
-    v.iter().map(|x| x.to_bits()).collect()
+fn bits<V: AsRef<[f32]>>(v: V) -> Vec<u32> {
+    v.as_ref().iter().map(|x| x.to_bits()).collect()
 }
 
 #[test]
@@ -244,6 +250,182 @@ fn batch_output_reuse_across_iterations() {
     batch.push_hidden(s2.hidden_state());
     model.lm_head_batch(&mut batch);
     assert_eq!(bits(batch.logits_row(0)), first);
+}
+
+/// A cache on a pool with the given policy and page size.
+fn cache_for(model: &Model, storage: KvStorage, page_positions: usize) -> KvCache {
+    PagePool::new(KvPoolConfig {
+        storage,
+        page_positions,
+        max_pages: None,
+    })
+    .new_cache(model.config().n_layers)
+}
+
+/// Every storage policy the paged backend supports, exercised broadly.
+const POLICIES: [KvStorage; 4] = [
+    KvStorage::Fp32,
+    KvStorage::Fp16,
+    KvStorage::Anda { mantissa_bits: 6 },
+    KvStorage::Anda { mantissa_bits: 12 },
+];
+
+/// Page size is pure storage layout: decoding identical tokens on pools
+/// of page size 1 and 4 (and the default 16) produces bit-identical
+/// logits, hidden states, and cached rows, for every storage policy.
+#[test]
+fn page_size_never_changes_a_bit() {
+    let model = model();
+    let tokens = [3usize, 141, 59, 26, 5, 77, 8, 12, 400];
+    for storage in POLICIES {
+        let mut reference: Option<(Vec<u32>, Vec<Vec<u32>>)> = None;
+        for pp in [1usize, 4, 16] {
+            let mut cache = cache_for(model, storage, pp);
+            let mut s = DecodeScratch::new();
+            model.prefill(&tokens, &mut cache, &mut s);
+            let rows: Vec<Vec<u32>> = (0..model.config().n_layers)
+                .flat_map(|l| (0..cache.len()).map(move |p| (l, p)).collect::<Vec<_>>())
+                .map(|(l, p)| bits(cache.layer(l).key(p)))
+                .collect();
+            let got = (bits(s.logits()), rows);
+            match &reference {
+                None => reference = Some(got),
+                Some(r) => {
+                    assert_eq!(&got.0, &r.0, "{storage:?} pp={pp} logits moved");
+                    assert_eq!(&got.1, &r.1, "{storage:?} pp={pp} rows moved");
+                }
+            }
+        }
+    }
+}
+
+/// The FP16 policy at page size 1 reproduces the original `KvStore` row
+/// semantics: what comes back is exactly `saturate_to_f16(row)` of the
+/// raw row the exact-reference (Fp32) cache retains — checked on the
+/// first decoded position, where both caches see identical inputs.
+#[test]
+fn fp16_policy_rows_are_f16_rounded_fp32_rows() {
+    let model = model();
+    let mut raw = cache_for(model, KvStorage::Fp32, 1);
+    let mut rounded = cache_for(model, KvStorage::Fp16, 1);
+    let mut s = DecodeScratch::new();
+    model.decode_step(42, 0, &mut raw, &mut s);
+    model.decode_step(42, 0, &mut rounded, &mut s);
+    for l in 0..model.config().n_layers {
+        for (pair, which) in [
+            ((raw.layer(l).key(0), rounded.layer(l).key(0)), "key"),
+            ((raw.layer(l).value(0), rounded.layer(l).value(0)), "value"),
+        ] {
+            let (raw_row, rounded_row) = pair;
+            let expect: Vec<u32> = raw_row
+                .iter()
+                .map(|&x| anda_format::bfp::saturate_to_f16(x).to_f32().to_bits())
+                .collect();
+            assert_eq!(bits(rounded_row), expect, "layer {l} {which}");
+        }
+    }
+}
+
+/// `reset` == fresh, for every storage policy (the original suite pins
+/// the default policy; this covers the compressed backends), with the
+/// pool's pages recycled rather than recreated.
+#[test]
+fn reset_matches_fresh_under_every_policy() {
+    let model = model();
+    for storage in POLICIES {
+        let pool = PagePool::new(KvPoolConfig {
+            storage,
+            page_positions: 4,
+            max_pages: None,
+        });
+        let mut cache = pool.new_cache(model.config().n_layers);
+        let mut s = DecodeScratch::new();
+        model.prefill(&[9, 8, 7, 6, 5, 4], &mut cache, &mut s);
+        let created = pool.pages_created();
+        cache.reset();
+        assert_eq!(pool.pages_in_use(), 0, "{storage:?} leaked pages");
+        let second = [17usize, 400, 3, 77];
+        model.prefill(&second, &mut cache, &mut s);
+        assert_eq!(
+            pool.pages_created(),
+            created,
+            "{storage:?} grew instead of recycling"
+        );
+
+        let mut fresh_cache = cache_for(model, storage, 4);
+        let mut fresh_s = DecodeScratch::new();
+        model.prefill(&second, &mut fresh_cache, &mut fresh_s);
+        assert_eq!(bits(s.logits()), bits(fresh_s.logits()), "{storage:?}");
+        for l in 0..model.config().n_layers {
+            for pos in 0..cache.len() {
+                assert_eq!(
+                    bits(cache.layer(l).key(pos)),
+                    bits(fresh_cache.layer(l).key(pos)),
+                    "{storage:?} layer {l} pos {pos}"
+                );
+            }
+        }
+    }
+}
+
+/// The compressed (decode-on-read) attention path is bit-identical
+/// between the serial kernels and the auto-dispatching head-sharded
+/// kernels, across the sharding threshold and on both model families —
+/// the same contract the float policies get, now over Anda pages.
+#[test]
+fn anda_policy_decode_is_thread_and_dispatch_invariant() {
+    for model in [model(), llama()] {
+        let vocab = model.config().vocab;
+        let storage = KvStorage::Anda { mantissa_bits: 8 };
+        let tokens: Vec<usize> = (0..96).map(|i| (i * 31 + 7) % vocab).collect();
+
+        let mut auto_cache = cache_for(model, storage, 8);
+        let mut auto_s = DecodeScratch::new();
+        let mut serial_cache = cache_for(model, storage, 8);
+        let mut serial_s = DecodeScratch::new();
+        for (pos, &tok) in tokens.iter().enumerate() {
+            model.decode_step(tok, pos, &mut auto_cache, &mut auto_s);
+            model.decode_hidden(tok, pos, &mut serial_cache, &mut serial_s);
+            assert_eq!(
+                bits(auto_s.hidden_state()),
+                bits(serial_s.hidden_state()),
+                "hidden state diverged at position {pos}"
+            );
+        }
+        for l in 0..model.config().n_layers {
+            for pos in 0..tokens.len() {
+                assert_eq!(
+                    bits(auto_cache.layer(l).key(pos)),
+                    bits(serial_cache.layer(l).key(pos))
+                );
+            }
+        }
+    }
+}
+
+/// `generate` delegates to `generate_with_cache` on the default pool:
+/// handing it an equivalent external cache reproduces it token for
+/// token, and a compressed cache generates a (deterministic) sequence of
+/// its own.
+#[test]
+fn generate_with_cache_matches_generate_on_default_policy() {
+    let model = model();
+    let prompt = [5usize, 6, 7];
+    let mut r1 = Rng::new(9);
+    let mut r2 = Rng::new(9);
+    let reference = model.generate(&prompt, 8, 0.9, &mut r1);
+    let mut cache = KvCache::new(model.config().n_layers);
+    let external = model.generate_with_cache(&prompt, 8, 0.9, &mut r2, &mut cache);
+    assert_eq!(reference, external);
+    assert_eq!(cache.len(), prompt.len() + 8);
+
+    // Compressed generation is deterministic per policy.
+    let gen_anda = |seed| {
+        let mut rng = Rng::new(seed);
+        let mut cache = cache_for(model, KvStorage::Anda { mantissa_bits: 7 }, 8);
+        model.generate_with_cache(&prompt, 8, 0.9, &mut rng, &mut cache)
+    };
+    assert_eq!(gen_anda(9), gen_anda(9));
 }
 
 #[test]

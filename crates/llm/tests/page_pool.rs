@@ -1,0 +1,165 @@
+//! Property suite for the KV page allocator: random alloc/free/recycle
+//! sequences must respect the pool invariants.
+//!
+//! - **Capacity**: the pool never creates more pages than `max_pages`,
+//!   and an allocation fails exactly when every created page is leased
+//!   and the capacity is exhausted.
+//! - **Conservation**: `created == in_use + free` at every step (pages
+//!   move by value, so a double free cannot even be expressed — the
+//!   ledger proves none is synthesized internally either).
+//! - **Reuse before growth**: while the free list is non-empty, an
+//!   allocation never creates a page.
+//! - **Reset integrity**: a recycled page behaves exactly like a fresh
+//!   one (rows written after recycling read back identically).
+
+use anda_llm::kv::{KvPoolConfig, KvStorage, Page, PagePool};
+use proptest::prelude::*;
+
+/// One scripted action against the pool.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Alloc,
+    /// Free the leased page at `index % leased.len()` (skipped when
+    /// nothing is leased).
+    Free(usize),
+}
+
+fn check_ledger(pool: &PagePool, leased: &[Page], cap: usize) {
+    assert!(pool.pages_created() <= cap, "created past capacity");
+    assert_eq!(
+        pool.pages_created(),
+        pool.pages_in_use() + pool.pages_free(),
+        "page conservation violated"
+    );
+    assert_eq!(
+        pool.pages_in_use(),
+        leased.len(),
+        "pool in-use count disagrees with the pages we actually hold"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn alloc_free_recycle_sequences_respect_the_invariants(
+        script in prop::collection::vec(
+            (any::<bool>(), 0usize..16).prop_map(|(alloc, i)| {
+                if alloc { Action::Alloc } else { Action::Free(i) }
+            }),
+            1..60,
+        ),
+        cap in 1usize..12,
+        page_positions in 1usize..5,
+        anda in any::<bool>(),
+    ) {
+        let storage = if anda {
+            KvStorage::Anda { mantissa_bits: 5 }
+        } else {
+            KvStorage::Fp32
+        };
+        let pool = PagePool::new(KvPoolConfig {
+            storage,
+            page_positions,
+            max_pages: Some(cap),
+        });
+        let dim = 64;
+        let mut leased: Vec<Page> = Vec::new();
+        for action in script {
+            match action {
+                Action::Alloc => {
+                    let free_before = pool.pages_free();
+                    let created_before = pool.pages_created();
+                    match pool.try_alloc(dim) {
+                        Some(page) => {
+                            prop_assert_eq!(page.used(), 0, "leased page not clean");
+                            prop_assert_eq!(page.capacity(), page_positions);
+                            if free_before > 0 {
+                                prop_assert_eq!(
+                                    pool.pages_created(), created_before,
+                                    "grew while the free list was non-empty"
+                                );
+                            }
+                            leased.push(page);
+                        }
+                        None => {
+                            // Refusal is only legal at hard exhaustion.
+                            prop_assert_eq!(free_before, 0);
+                            prop_assert_eq!(created_before, cap);
+                            prop_assert_eq!(leased.len(), cap);
+                        }
+                    }
+                }
+                Action::Free(i) => {
+                    if !leased.is_empty() {
+                        let page = leased.swap_remove(i % leased.len());
+                        pool.release(page);
+                    }
+                }
+            }
+            check_ledger(&pool, &leased, cap);
+        }
+        // Drain: everything we still hold goes back and the ledger zeroes.
+        for page in leased.drain(..) {
+            pool.release(page);
+        }
+        prop_assert_eq!(pool.pages_in_use(), 0);
+        prop_assert_eq!(pool.pages_free(), pool.pages_created());
+    }
+}
+
+/// A recycled page is indistinguishable from a fresh one: rows written
+/// after recycling read back bit-identically to the same rows written to
+/// a never-used page.
+#[test]
+fn recycled_pages_read_like_fresh_pages() {
+    let cfg = KvPoolConfig {
+        storage: KvStorage::Anda { mantissa_bits: 6 },
+        page_positions: 3,
+        max_pages: Some(1),
+    };
+    let dim = 96;
+    let row_a: Vec<f32> = (0..dim).map(|i| (i as f32 - 48.0) * 0.17).collect();
+    let row_b: Vec<f32> = (0..dim).map(|i| (i as f32).sin()).collect();
+
+    let read = |pool: &PagePool, dirty_first: bool| -> Vec<u32> {
+        let mut cache = pool.new_cache(1);
+        if dirty_first {
+            // Fill with unrelated data, then recycle.
+            for _ in 0..3 {
+                cache.append_row(0, &row_b, &row_b);
+            }
+            cache.reset();
+        }
+        cache.append_row(0, &row_a, &row_b);
+        let mut out = cache.layer(0).key(0);
+        out.extend(cache.layer(0).value(0));
+        out.iter().map(|x| x.to_bits()).collect()
+    };
+
+    let pool = PagePool::new(cfg);
+    let fresh = read(&pool, false);
+    let recycled = read(&pool, true);
+    assert_eq!(pool.pages_created(), 1, "one page serves both passes");
+    assert_eq!(fresh, recycled);
+}
+
+/// `preallocate` fills the free list up to capacity and subsequent
+/// allocations only pop it.
+#[test]
+fn preallocate_fills_and_binds_to_capacity() {
+    let pool = PagePool::new(KvPoolConfig {
+        storage: KvStorage::Fp16,
+        page_positions: 2,
+        max_pages: Some(4),
+    });
+    pool.preallocate(10, 32);
+    assert_eq!(pool.pages_created(), 4, "preallocation respects capacity");
+    assert_eq!(pool.pages_free(), 4);
+    let pages: Vec<Page> = (0..4).map(|_| pool.try_alloc(32).unwrap()).collect();
+    assert!(pool.try_alloc(32).is_none());
+    assert_eq!(pool.pages_created(), 4, "allocs only popped the free list");
+    for p in pages {
+        pool.release(p);
+    }
+}

@@ -3,31 +3,53 @@
 //! The paper's end-to-end efficiency story assumes many decode streams
 //! sharing the compute substrate. This crate provides the missing piece
 //! over `anda-llm`'s incremental-decode API: an Orca-style
-//! iteration-level [`Scheduler`] that admits requests (FIFO, under a
-//! token budget), prefills new arrivals, and then continuous-batches
-//! decode — every iteration advances **all** active streams by one token,
-//! sharding the per-stream hidden-state work across one `rayon-lite`
-//! scope per batch and finishing with a single batched LM-head GEMM
-//! (`Model::lm_head_batch`).
+//! iteration-level [`Scheduler`] that admits requests (FIFO, under
+//! page-accounted KV admission), prefills new arrivals, and then
+//! continuous-batches decode — every iteration advances **all** active
+//! streams by one token, sharding the per-stream hidden-state work
+//! across one `rayon-lite` scope per batch and finishing with a single
+//! batched LM-head GEMM (`Model::lm_head_batch`).
+//!
+//! # KV memory model
+//!
+//! Every stream's `KvCache` leases fixed-size pages from the scheduler's
+//! shared [`PagePool`] (`anda_llm::kv`). The pool's storage policy
+//! ([`KvStorage`]) decides whether pages hold FP16 rows (read in place)
+//! or Anda-compressed bit-plane rows (decoded on read, `16 / (M + 1 +
+//! 5/64)` times smaller). Admission reserves each request's worst-case
+//! page demand against the pool's `max_pages`, so a bounded pool is real
+//! memory accounting: requests that could never fit are rejected at
+//! submit time, admitted streams can never exhaust the pool mid-flight,
+//! and a retired stream's pages are recycled to the next admission. An
+//! Anda-policy pool holds proportionally more pages per bit, admitting
+//! long-context batches whose FP16 KV would not fit (§VI).
 //!
 //! # Determinism
 //!
 //! Serving is bit-exact: each stream's tokens (and the logits behind
 //! them) are `f32::to_bits`-identical to running the same request alone
-//! through `Model::generate`, at every batch composition, arrival order
-//! and thread count. The serial and pooled kernels are bit-identical, the
-//! batched LM head computes the same ascending-`k` dots as the solo one,
-//! and every stream owns its RNG — so batching is purely a throughput
+//! through `Model::generate_with_cache` on a same-policy cache, at every
+//! batch composition, arrival order, page size and thread count. The
+//! serial and pooled kernels are bit-identical, the batched LM head
+//! computes the same ascending-`k` dots as the solo one, and every
+//! stream owns its RNG — so batching is purely a throughput
 //! optimization.
 //!
 //! # Example
 //!
 //! ```
 //! use anda_llm::zoo::opt_125m_sim;
-//! use anda_serve::{Request, Scheduler, SchedulerConfig, SamplingParams};
+//! use anda_serve::{KvPoolConfig, KvStorage, Request, Scheduler, SchedulerConfig, SamplingParams};
 //!
 //! let model = opt_125m_sim().build();
-//! let mut sched = Scheduler::new(&model, SchedulerConfig { max_batch: 2, token_budget: 64 });
+//! let mut sched = Scheduler::new(&model, SchedulerConfig {
+//!     max_batch: 2,
+//!     kv: KvPoolConfig {
+//!         storage: KvStorage::Anda { mantissa_bits: 8 },
+//!         page_positions: 8,
+//!         max_pages: Some(256),
+//!     },
+//! });
 //! sched.submit(Request::greedy(vec![1, 2, 3], 4)).unwrap();
 //! sched.submit(Request {
 //!     prompt: vec![7, 8],
@@ -45,5 +67,6 @@
 pub mod request;
 pub mod scheduler;
 
+pub use anda_llm::kv::{KvPoolConfig, KvStorage, PagePool};
 pub use request::{FinishReason, FinishedRequest, Request, RequestId, SamplingParams};
 pub use scheduler::{Scheduler, SchedulerConfig, SchedulerStats, SubmitError};

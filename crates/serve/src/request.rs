@@ -66,10 +66,11 @@ impl Request {
         }
     }
 
-    /// KV positions the scheduler reserves for this request: the whole
-    /// prompt plus the worst-case generation length. Saturating, so an
-    /// absurd `max_new` fails the submit-time `max_seq`/budget checks
-    /// instead of wrapping past them.
+    /// KV positions the scheduler's page accounting covers for this
+    /// request: the whole prompt plus the worst-case generation length
+    /// (rounded up to whole pages per layer at admission). Saturating,
+    /// so an absurd `max_new` fails the submit-time `max_seq`/capacity
+    /// checks instead of wrapping past them.
     pub fn reserve_tokens(&self) -> usize {
         self.prompt.len().saturating_add(self.max_new)
     }

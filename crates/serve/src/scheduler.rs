@@ -1,15 +1,25 @@
 //! The continuous-batching scheduler.
 //!
-//! One [`Scheduler`] owns a queue of pending requests and up to
-//! `max_batch` active decode streams, each with its own externally-owned
-//! [`KvCache`], [`DecodeScratch`] and RNG. Every [`Scheduler::step`] is
-//! one engine iteration in the Orca style: admit what fits, prefill new
-//! arrivals, then advance **every** active stream by one token —
-//! per-stream hidden-state work sharded across one `rayon-lite` scope for
-//! the whole batch, followed by a single batched LM-head GEMM.
+//! One [`Scheduler`] owns a queue of pending requests, a KV [`PagePool`]
+//! and up to `max_batch` active decode streams, each with its own
+//! pool-leased [`KvCache`], [`DecodeScratch`] and RNG. Every
+//! [`Scheduler::step`] is one engine iteration in the Orca style: admit
+//! what fits under the pool's free-page watermark, prefill new arrivals,
+//! then advance **every** active stream by one token — per-stream
+//! hidden-state work sharded across one `rayon-lite` scope for the whole
+//! batch, followed by a single batched LM-head GEMM.
+//!
+//! Admission is *page-accounted*: each admitted request reserves its
+//! worst-case page demand (`n_layers · ceil((prompt + max_new) /
+//! page_positions)`), so the pool can never be exhausted mid-flight, and
+//! a retired stream's pages go straight back to the free list for the
+//! next admission. With an Anda storage policy the same memory budget
+//! holds `16 / (M + 1 + 5/64)` times more pages, so batches whose FP16
+//! KV would not fit are admitted — the long-context headroom of §VI.
 
 use std::collections::VecDeque;
 
+use anda_llm::kv::{KvPoolConfig, PagePool};
 use anda_llm::model::BatchOutput;
 use anda_llm::{DecodeScratch, KvCache, Model};
 use anda_tensor::Rng;
@@ -22,18 +32,20 @@ use crate::request::{FinishReason, FinishedRequest, Request, RequestId, Sampling
 pub struct SchedulerConfig {
     /// Maximum number of concurrently active decode streams (slots).
     pub max_batch: usize,
-    /// Cap on the total KV positions reserved by active streams. Each
-    /// admitted request reserves its worst case
-    /// ([`Request::reserve_tokens`]), so the cache footprint can never
-    /// outgrow the budget mid-flight.
-    pub token_budget: usize,
+    /// Geometry and storage policy of the KV page pool every stream
+    /// leases from. `kv.max_pages` is the admission resource: each
+    /// admitted request reserves its worst-case page demand
+    /// ([`Request::reserve_tokens`] rounded up to pages, per layer), so
+    /// the cache footprint can never outgrow the pool mid-flight.
+    /// `None` admits on slots alone.
+    pub kv: KvPoolConfig,
 }
 
 impl Default for SchedulerConfig {
     fn default() -> Self {
         SchedulerConfig {
             max_batch: 8,
-            token_budget: 4096,
+            kv: KvPoolConfig::default(),
         }
     }
 }
@@ -60,13 +72,13 @@ pub enum SubmitError {
         /// The model's maximum sequence length.
         max_seq: usize,
     },
-    /// `prompt + max_new` exceeds the scheduler's token budget, so the
-    /// request could never be admitted.
-    ExceedsTokenBudget {
-        /// Requested worst-case length.
-        total: usize,
-        /// The configured budget.
-        budget: usize,
+    /// The request's worst-case KV page demand exceeds the whole pool,
+    /// so it could never be admitted.
+    ExceedsPoolCapacity {
+        /// Worst-case page demand across all layers.
+        pages: usize,
+        /// The pool's capacity in pages.
+        capacity: usize,
     },
 }
 
@@ -80,10 +92,10 @@ impl std::fmt::Display for SubmitError {
             SubmitError::ExceedsMaxSeq { total, max_seq } => {
                 write!(f, "prompt + max_new = {total} exceeds max_seq {max_seq}")
             }
-            SubmitError::ExceedsTokenBudget { total, budget } => {
+            SubmitError::ExceedsPoolCapacity { pages, capacity } => {
                 write!(
                     f,
-                    "prompt + max_new = {total} exceeds token budget {budget}"
+                    "worst-case KV demand of {pages} pages exceeds the pool's {capacity}"
                 )
             }
         }
@@ -106,6 +118,8 @@ pub struct SchedulerStats {
     pub peak_active: usize,
     /// Most KV positions ever cached at once across active streams.
     pub peak_cached_tokens: usize,
+    /// Most KV pages ever leased from the pool at once.
+    pub peak_pages_in_use: usize,
 }
 
 /// One active decode stream.
@@ -120,8 +134,8 @@ struct Stream {
     rng: Rng,
     cache: KvCache,
     scratch: DecodeScratch,
-    /// KV positions reserved against the budget for this stream.
-    reserve: usize,
+    /// KV pages reserved against the pool for this stream (worst case).
+    reserved_pages: usize,
     /// Admitted this iteration: its first token comes from the prefill
     /// logits, so it skips the decode phase once.
     fresh: bool,
@@ -134,33 +148,38 @@ struct Pending {
 }
 
 /// Continuous-batching request scheduler over [`Model::decode_step`]-style
-/// incremental inference.
+/// incremental inference with pool-paged KV storage.
 ///
-/// Admission is FIFO with completed-stream slot reuse: only the queue
-/// head is ever admitted (no overtaking, hence no starvation), into the
-/// first free slot, reusing a retired stream's `KvCache`/`DecodeScratch`
-/// allocations. Decode is iteration-level: every active stream advances
-/// one token per [`Scheduler::step`].
+/// Admission is FIFO with completed-stream slot and page reuse: only the
+/// queue head is ever admitted (no overtaking, hence no starvation), into
+/// the first free slot, reusing a retired stream's
+/// `KvCache`/`DecodeScratch` allocations and recycled pages. Decode is
+/// iteration-level: every active stream advances one token per
+/// [`Scheduler::step`].
 ///
 /// # Determinism
 ///
 /// Each stream's output is bit-identical to running its request alone
-/// through [`Model::generate`] with an RNG seeded by its
-/// [`SamplingParams::seed`] — regardless of batch composition, arrival
-/// order, or thread count. See `tests/batched_exact.rs`.
+/// through [`Model::generate_with_cache`] on a same-policy cache, with an
+/// RNG seeded by its [`SamplingParams::seed`] — regardless of batch
+/// composition, arrival order, page size, or thread count. See
+/// `tests/batched_exact.rs` and `tests/paged_kv.rs`.
 pub struct Scheduler<'a> {
     model: &'a Model,
     pool: &'a ThreadPool,
     cfg: SchedulerConfig,
+    /// The KV page pool every stream's cache leases from.
+    kv_pool: PagePool,
     pending: VecDeque<Pending>,
     slots: Vec<Option<Stream>>,
-    /// Retired caches/scratches awaiting reuse by future admissions.
+    /// Retired caches/scratches awaiting reuse by future admissions
+    /// (their pages are already back on the pool's free list).
     spares: Vec<(KvCache, DecodeScratch)>,
     batch: BatchOutput,
     finished: Vec<FinishedRequest>,
     next_id: u64,
-    /// Sum of active streams' reservations (`<= cfg.token_budget`).
-    reserved: usize,
+    /// Sum of active streams' page reservations (`<= kv.max_pages`).
+    reserved_pages: usize,
     stats: SchedulerStats,
 }
 
@@ -175,27 +194,33 @@ impl<'a> Scheduler<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `max_batch` or `token_budget` is zero.
+    /// Panics if `max_batch` is zero, the page size is zero, or an Anda
+    /// policy has invalid mantissa bits.
     pub fn with_pool(model: &'a Model, cfg: SchedulerConfig, pool: &'a ThreadPool) -> Self {
         assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
-        assert!(cfg.token_budget >= 1, "token_budget must be at least 1");
         Scheduler {
             model,
             pool,
             cfg,
+            kv_pool: PagePool::new(cfg.kv),
             pending: VecDeque::new(),
             slots: Vec::new(),
             spares: Vec::new(),
             batch: BatchOutput::new(),
             finished: Vec::new(),
             next_id: 0,
-            reserved: 0,
+            reserved_pages: 0,
             stats: SchedulerStats::default(),
         }
     }
 
+    /// Worst-case KV page demand of a request across all layers.
+    fn page_demand(&self, request: &Request) -> usize {
+        self.model.config().n_layers * self.kv_pool.pages_for(request.reserve_tokens())
+    }
+
     /// Queues a request, validating it is servable under this model and
-    /// budget. Accepted requests are guaranteed to terminate with exactly
+    /// pool. Accepted requests are guaranteed to terminate with exactly
     /// `min(max_new, first EOS position + 1)` generated tokens.
     pub fn submit(&mut self, request: Request) -> Result<RequestId, SubmitError> {
         if request.prompt.is_empty() {
@@ -215,11 +240,11 @@ impl<'a> Scheduler<'a> {
         if total > max_seq {
             return Err(SubmitError::ExceedsMaxSeq { total, max_seq });
         }
-        if total > self.cfg.token_budget {
-            return Err(SubmitError::ExceedsTokenBudget {
-                total,
-                budget: self.cfg.token_budget,
-            });
+        let pages = self.page_demand(&request);
+        if let Some(capacity) = self.kv_pool.capacity() {
+            if pages > capacity {
+                return Err(SubmitError::ExceedsPoolCapacity { pages, capacity });
+            }
         }
         let id = RequestId(self.next_id);
         self.next_id += 1;
@@ -242,6 +267,8 @@ impl<'a> Scheduler<'a> {
         // state as one job inside a single scope for the whole batch —
         // kernels inside the jobs run serially (`Model::decode_hidden`),
         // so pool dispatch happens once per iteration, not per kernel.
+        // Streams lease KV pages from the shared pool concurrently; the
+        // pool lock is taken only at page boundaries.
         let model = self.model;
         self.pool.scope(|sc| {
             for stream in self.slots.iter_mut().flatten() {
@@ -292,6 +319,10 @@ impl<'a> Scheduler<'a> {
         self.stats.sampled_tokens += sampled as u64;
         self.stats.peak_active = self.stats.peak_active.max(self.active_len());
         self.stats.peak_cached_tokens = self.stats.peak_cached_tokens.max(self.cached_tokens());
+        self.stats.peak_pages_in_use = self
+            .stats
+            .peak_pages_in_use
+            .max(self.kv_pool.pages_in_use());
 
         self.retire();
         assert!(
@@ -331,16 +362,20 @@ impl<'a> Scheduler<'a> {
         self.slots.iter().flatten().count()
     }
 
-    /// KV positions reserved by active streams (never exceeds the
-    /// configured `token_budget`).
-    pub fn reserved_tokens(&self) -> usize {
-        self.reserved
+    /// KV pages reserved by active streams (never exceeds the pool
+    /// capacity).
+    pub fn reserved_pages(&self) -> usize {
+        self.reserved_pages
     }
 
-    /// KV positions actually cached right now across active streams
-    /// (never exceeds [`Scheduler::reserved_tokens`]).
+    /// KV positions actually cached right now across active streams.
     pub fn cached_tokens(&self) -> usize {
         self.slots.iter().flatten().map(|s| s.cache.len()).sum()
+    }
+
+    /// The KV page pool streams lease from (page accounting lives here).
+    pub fn kv_pool(&self) -> &PagePool {
+        &self.kv_pool
     }
 
     /// Aggregate counters.
@@ -354,21 +389,24 @@ impl<'a> Scheduler<'a> {
     }
 
     /// FIFO admission: only the queue head may be admitted, into the
-    /// first free slot, while both a slot and budget headroom exist.
+    /// first free slot, while both a slot and free-page headroom exist
+    /// (`reserved + demand <= capacity`, the free-page watermark).
     /// Prefill runs immediately so the stream can sample its first token
     /// this iteration.
     fn admit(&mut self) {
         while let Some(front) = self.pending.front() {
-            let reserve = front.request.reserve_tokens();
-            if self.active_len() >= self.cfg.max_batch
-                || self.reserved + reserve > self.cfg.token_budget
-            {
+            let demand = self.page_demand(&front.request);
+            let over_watermark = self
+                .kv_pool
+                .capacity()
+                .is_some_and(|cap| self.reserved_pages + demand > cap);
+            if self.active_len() >= self.cfg.max_batch || over_watermark {
                 break;
             }
             let Pending { id, request } = self.pending.pop_front().expect("front exists");
             let (mut cache, mut scratch) = self.spares.pop().unwrap_or_else(|| {
                 (
-                    KvCache::new(self.model.config().n_layers),
+                    self.kv_pool.new_cache(self.model.config().n_layers),
                     DecodeScratch::new(),
                 )
             });
@@ -376,7 +414,7 @@ impl<'a> Scheduler<'a> {
             self.model
                 .prefill(&request.prompt, &mut cache, &mut scratch);
             self.stats.prefill_tokens += request.prompt.len() as u64;
-            self.reserved += reserve;
+            self.reserved_pages += demand;
             let prompt_len = request.prompt.len();
             let stream = Stream {
                 id,
@@ -388,7 +426,7 @@ impl<'a> Scheduler<'a> {
                 rng: Rng::new(request.sampling.seed),
                 cache,
                 scratch,
-                reserve,
+                reserved_pages: demand,
                 fresh: true,
                 done: if request.max_new == 0 {
                     // Nothing to generate: finished before the first sample.
@@ -415,8 +453,8 @@ impl<'a> Scheduler<'a> {
         }
     }
 
-    /// Moves every done stream out of its slot, releasing its budget
-    /// reservation and recycling its cache/scratch allocations.
+    /// Moves every done stream out of its slot, releasing its page
+    /// reservation and recycling its pages and cache/scratch allocations.
     fn retire(&mut self) {
         for i in 0..self.slots.len() {
             if self.slots[i].as_ref().is_some_and(|s| s.done.is_some()) {
@@ -428,7 +466,9 @@ impl<'a> Scheduler<'a> {
     }
 
     fn finish(&mut self, mut stream: Stream, reason: FinishReason) {
-        self.reserved -= stream.reserve;
+        self.reserved_pages -= stream.reserved_pages;
+        // Reset returns every leased page to the pool's free list, where
+        // the next admission's prefill picks them up.
         stream.cache.reset();
         self.spares.push((stream.cache, stream.scratch));
         self.finished.push(FinishedRequest {

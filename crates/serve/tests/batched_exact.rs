@@ -14,7 +14,9 @@ use std::sync::OnceLock;
 
 use anda_llm::zoo::{opt_125m_sim, sim_model};
 use anda_llm::Model;
-use anda_serve::{FinishReason, Request, RequestId, SamplingParams, Scheduler, SchedulerConfig};
+use anda_serve::{
+    FinishReason, KvPoolConfig, Request, RequestId, SamplingParams, Scheduler, SchedulerConfig,
+};
 use anda_tensor::Rng;
 use rayon_lite::ThreadPool;
 
@@ -110,7 +112,7 @@ fn batched_decode_matches_sequential_generate() {
             model,
             SchedulerConfig {
                 max_batch: reqs.len(),
-                token_budget: 4096,
+                kv: KvPoolConfig::default(),
             },
             &pool,
         );
@@ -136,7 +138,7 @@ fn staggered_arrival_orders_are_bit_exact() {
             model,
             SchedulerConfig {
                 max_batch: 4,
-                token_budget: 4096,
+                kv: KvPoolConfig::default(),
             },
             &pool,
         );
@@ -156,7 +158,7 @@ fn staggered_arrival_orders_are_bit_exact() {
             model,
             SchedulerConfig {
                 max_batch: 2,
-                token_budget: 4096,
+                kv: KvPoolConfig::default(),
             },
             &pool,
         );
@@ -169,13 +171,15 @@ fn staggered_arrival_orders_are_bit_exact() {
     }
 }
 
-/// A tight token budget forces admission waves and slot reuse; outputs
-/// still match the solo references.
+/// A tight page pool forces admission waves, slot reuse and page
+/// recycling; outputs still match the solo references.
 #[test]
 fn budget_constrained_admission_waves_stay_exact() {
     let model = model();
     let reqs = workload();
     let max_reserve = reqs.iter().map(Request::reserve_tokens).max().unwrap();
+    let page_positions = 4;
+    let pages_per_req = model.config().n_layers * max_reserve.div_ceil(page_positions);
     for threads in [1, 4] {
         let pool = ThreadPool::new(threads);
         let mut sched = Scheduler::with_pool(
@@ -183,8 +187,12 @@ fn budget_constrained_admission_waves_stay_exact() {
             SchedulerConfig {
                 max_batch: 2,
                 // Room for roughly one and a half requests: streams must
-                // queue, finish, and hand their slots/budget over.
-                token_budget: max_reserve + 8,
+                // queue, finish, and hand their slots/pages over.
+                kv: KvPoolConfig {
+                    page_positions,
+                    max_pages: Some(pages_per_req + pages_per_req / 2),
+                    ..KvPoolConfig::default()
+                },
             },
             &pool,
         );
@@ -227,7 +235,7 @@ fn llama_family_batched_decode_is_exact() {
             model,
             SchedulerConfig {
                 max_batch: 3,
-                token_budget: 4096,
+                kv: KvPoolConfig::default(),
             },
             &pool,
         );
@@ -266,7 +274,7 @@ fn eos_truncation_matches_reference() {
         model,
         SchedulerConfig {
             max_batch: 3,
-            token_budget: 4096,
+            kv: KvPoolConfig::default(),
         },
     );
     // Run it alongside unrelated traffic to prove batching does not

@@ -1,22 +1,26 @@
 //! Scheduler property suite: random arrival/length mixes must respect
-//! the admission invariants at every iteration.
+//! the page-accounted admission invariants at every iteration.
 //!
-//! - **Budget**: active reservations never exceed `token_budget`, and the
-//!   actual cached KV positions never exceed the reservations.
+//! - **Page accounting**: active reservations never exceed the pool
+//!   capacity, the pages actually leased never exceed the reservations,
+//!   and the pool never creates more pages than its capacity.
 //! - **No starvation**: every accepted request finishes (FIFO admission
 //!   with no overtaking guarantees the queue head always drains).
 //! - **Exact termination**: an accepted request generates exactly
 //!   `min(max_new, first EOS position + 1)` tokens, and its output equals
 //!   the solo `Model::generate` reference.
 //! - **Policy independence**: the scheduling configuration (batch width,
-//!   budget) changes only throughput, never content.
+//!   page size, pool capacity) changes only throughput, never content.
+//! - **Page recycling**: after the schedule drains, every page is back
+//!   on the free list, and freed pages were reused before growth.
 
 use std::sync::OnceLock;
 
 use anda_llm::zoo::opt_125m_sim;
 use anda_llm::Model;
 use anda_serve::{
-    FinishReason, FinishedRequest, Request, SamplingParams, Scheduler, SchedulerConfig, SubmitError,
+    FinishReason, FinishedRequest, KvPoolConfig, Request, SamplingParams, Scheduler,
+    SchedulerConfig, SubmitError,
 };
 use anda_tensor::Rng;
 use proptest::prelude::*;
@@ -58,29 +62,43 @@ fn reference(model: &Model, req: &Request) -> Vec<usize> {
 /// Runs `sched` to completion while checking the per-iteration
 /// invariants, with a hard step cap standing in for "does not starve".
 fn run_checked(sched: &mut Scheduler<'_>) -> Vec<FinishedRequest> {
-    let cfg = sched.config();
+    let capacity = sched.kv_pool().capacity();
     let mut steps = 0usize;
     while !sched.is_idle() {
         sched.step();
         steps += 1;
+        if let Some(cap) = capacity {
+            assert!(
+                sched.reserved_pages() <= cap,
+                "reservations {} exceed the pool capacity {}",
+                sched.reserved_pages(),
+                cap
+            );
+            assert!(
+                sched.kv_pool().pages_created() <= cap,
+                "pool created {} pages past its capacity {}",
+                sched.kv_pool().pages_created(),
+                cap
+            );
+        }
         assert!(
-            sched.reserved_tokens() <= cfg.token_budget,
-            "reservations {} exceed the token budget {}",
-            sched.reserved_tokens(),
-            cfg.token_budget
+            sched.kv_pool().pages_in_use() <= sched.reserved_pages(),
+            "leased pages {} outgrew the reservations {}",
+            sched.kv_pool().pages_in_use(),
+            sched.reserved_pages()
         );
         assert!(
-            sched.cached_tokens() <= sched.reserved_tokens(),
-            "cached KV {} outgrew its reservation {}",
-            sched.cached_tokens(),
-            sched.reserved_tokens()
+            sched.active_len() <= sched.config().max_batch,
+            "slot overflow"
         );
-        assert!(sched.active_len() <= cfg.max_batch, "slot overflow");
         assert!(
             steps <= 10_000,
             "scheduler starved: no completion in 10k steps"
         );
     }
+    // Drained: every page is back on the free list for the next wave.
+    assert_eq!(sched.kv_pool().pages_in_use(), 0, "pages leaked at drain");
+    assert_eq!(sched.reserved_pages(), 0, "reservations leaked at drain");
     sched.take_finished()
 }
 
@@ -127,12 +145,12 @@ fn check_termination(model: &Model, req: &Request, fin: &FinishedRequest) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Random mixes of arrivals, lengths, temperatures and EOS tokens:
-    /// budget respected each iteration, nobody starves, terminations are
-    /// exact, and a second scheduler with a different policy produces
-    /// byte-identical outputs.
+    /// Random mixes of arrivals, lengths, temperatures and EOS tokens
+    /// over a bounded page pool: page accounting respected each
+    /// iteration, nobody starves, terminations are exact, and a second
+    /// scheduler with a different policy produces byte-identical outputs.
     #[test]
-    fn random_mixes_respect_budget_and_terminate_exactly(
+    fn random_mixes_respect_page_accounting_and_terminate_exactly(
         raw in prop::collection::vec(
             (
                 prop::collection::vec(0usize..512, 1..6),
@@ -145,28 +163,43 @@ proptest! {
         ),
         hot in any::<bool>(),
         max_batch in 1usize..5,
-        token_budget in 6usize..48,
+        page_positions in 1usize..6,
+        capacity_tokens in 6usize..48,
     ) {
         let model = model();
+        // Capacity expressed in worst-case positions, converted to whole
+        // pages per layer so every page size yields a servable pool.
+        let max_pages =
+            model.config().n_layers * capacity_tokens.div_ceil(page_positions);
+        let kv = KvPoolConfig {
+            page_positions,
+            max_pages: Some(max_pages),
+            ..KvPoolConfig::default()
+        };
         let mut sched = Scheduler::with_pool(
             model,
-            SchedulerConfig { max_batch, token_budget },
+            SchedulerConfig { max_batch, kv },
             rayon_lite::global(),
         );
         let mut accepted = Vec::new();
         for r in raw {
             let req = build_request(r, hot);
+            let demand =
+                model.config().n_layers * req.reserve_tokens().div_ceil(page_positions);
             match sched.submit(req.clone()) {
-                Ok(id) => accepted.push((id, req)),
+                Ok(id) => {
+                    prop_assert!(demand <= max_pages, "admitted an oversized request");
+                    accepted.push((id, req));
+                }
                 Err(e) => {
-                    // Only over-budget requests may be turned away here
+                    // Only over-capacity requests may be turned away here
                     // (prompts are in-vocab and far below max_seq), and
                     // rejection must be justified.
-                    prop_assert_eq!(e, SubmitError::ExceedsTokenBudget {
-                        total: req.reserve_tokens(),
-                        budget: token_budget,
+                    prop_assert_eq!(e, SubmitError::ExceedsPoolCapacity {
+                        pages: demand,
+                        capacity: max_pages,
                     });
-                    prop_assert!(req.reserve_tokens() > token_budget);
+                    prop_assert!(demand > max_pages);
                 }
             }
         }
@@ -186,11 +219,12 @@ proptest! {
             check_termination(model, req, fin);
         }
 
-        // Policy independence: a serial, wide-open scheduler over the
-        // same accepted requests produces identical tokens per id.
+        // Policy independence: a serial scheduler with an unbounded pool
+        // and a different page size over the same accepted requests
+        // produces identical tokens per id.
         let mut solo = Scheduler::with_pool(
             model,
-            SchedulerConfig { max_batch: 1, token_budget: 4096 },
+            SchedulerConfig { max_batch: 1, kv: KvPoolConfig::default() },
             rayon_lite::global(),
         );
         for (_, req) in &accepted {
@@ -217,7 +251,11 @@ fn single_slot_completes_in_fifo_order() {
         model,
         SchedulerConfig {
             max_batch: 1,
-            token_budget: 64,
+            kv: KvPoolConfig {
+                page_positions: 4,
+                max_pages: Some(model.config().n_layers * 16),
+                ..KvPoolConfig::default()
+            },
         },
     );
     let lengths = [5usize, 1, 3, 2];
@@ -237,12 +275,19 @@ fn single_slot_completes_in_fifo_order() {
 fn submit_rejects_unservable_requests() {
     let model = model();
     let max_seq = model.config().max_seq;
+    let n_layers = model.config().n_layers;
     let vocab = model.config().vocab;
+    let page_positions = 4;
+    let max_pages = n_layers * 8; // 32 worst-case positions per layer
     let mut sched = Scheduler::new(
         model,
         SchedulerConfig {
             max_batch: 2,
-            token_budget: 32,
+            kv: KvPoolConfig {
+                page_positions,
+                max_pages: Some(max_pages),
+                ..KvPoolConfig::default()
+            },
         },
     );
     assert_eq!(
@@ -283,11 +328,12 @@ fn submit_rejects_unservable_requests() {
             max_seq
         })
     );
+    // 41 worst-case positions → 11 pages per layer > the pool's 8.
     assert_eq!(
         sched.submit(Request::greedy(vec![1], 40)),
-        Err(SubmitError::ExceedsTokenBudget {
-            total: 41,
-            budget: 32
+        Err(SubmitError::ExceedsPoolCapacity {
+            pages: n_layers * 41usize.div_ceil(page_positions),
+            capacity: max_pages
         })
     );
     // A servable request still goes through afterwards.

@@ -1,9 +1,9 @@
-//! The §VI extension in action: an Anda-compressed KV cache — memory
-//! savings, attention fidelity, and long-context decode gains.
+//! The §VI extension in action: the paged, Anda-compressed KV cache —
+//! memory savings, attention fidelity, and long-context decode gains.
 //!
 //! Run with: `cargo run --release --example kv_cache`
 
-use anda::llm::kv::{KvStorage, KvStore};
+use anda::llm::kv::{KvPoolConfig, KvReadScratch, KvStorage, PagePool};
 use anda::llm::modules::PrecisionCombo;
 use anda::llm::zoo::real_model;
 use anda::sim::decode::{simulate_decode, simulate_decode_baseline, KvPolicy};
@@ -11,9 +11,10 @@ use anda::sim::pe::PeKind;
 use anda::tensor::Rng;
 
 fn main() {
-    println!("== Anda-compressed KV cache ==\n");
+    println!("== Paged Anda-compressed KV cache ==\n");
 
-    // Functional: cache fidelity.
+    // Functional: cache fidelity. Every cache leases 16-position pages
+    // from its pool; only the storage policy differs.
     let dim = 128;
     let mut rng = Rng::new(99);
     let rows: Vec<Vec<f32>> = (0..512)
@@ -21,23 +22,29 @@ fn main() {
         .collect();
     let q: Vec<f32> = (0..dim).map(|_| rng.normal_with(0.0, 1.0)).collect();
 
-    let mut exact = KvStore::new(dim, KvStorage::Fp16);
+    let mut exact = PagePool::new(KvPoolConfig::unbounded(KvStorage::Fp16)).new_cache(1);
     for r in &rows {
-        exact.push(r, r);
+        exact.append_row(0, r, r);
     }
-    let reference = exact.attend(&q, 4);
+    let reference = exact.layer(0).attend(&q, 4);
 
     println!(
         "{:<12} {:>12} {:>14}",
         "storage", "compression", "attn max|err|"
     );
     println!("{}", "-".repeat(40));
+    let mut scratch = KvReadScratch::new();
+    let mut out = vec![0.0f32; dim];
     for m in [4u32, 6, 8, 11] {
-        let mut store = KvStore::new(dim, KvStorage::Anda { mantissa_bits: m });
+        let pool = PagePool::new(KvPoolConfig::unbounded(KvStorage::Anda {
+            mantissa_bits: m,
+        }));
+        let mut cache = pool.new_cache(1);
         for r in &rows {
-            store.push(r, r);
+            cache.append_row(0, r, r);
         }
-        let out = store.attend(&q, 4);
+        // Allocation-free read path: pages decode into the reused scratch.
+        cache.layer(0).attend_into(&q, 4, &mut out, &mut scratch);
         let err = reference
             .iter()
             .zip(&out)
@@ -45,7 +52,7 @@ fn main() {
             .fold(0.0f32, f32::max);
         println!(
             "Anda M={m:<4} {:>11.2}x {:>14.5}",
-            store.compression_vs_fp16(),
+            cache.compression_vs_fp16(),
             err
         );
     }
