@@ -21,18 +21,11 @@
 
 use std::time::Instant;
 
-use anda_bench::Table;
+use anda_bench::{arg_val, workload_prompt, Table};
 use anda_llm::kv::{KvPoolConfig, KvStorage, PagePool};
 use anda_llm::zoo::opt_125m_sim;
 use anda_llm::DecodeScratch;
 use anda_serve::{Request, SamplingParams, Scheduler, SchedulerConfig, SubmitError};
-
-fn arg_val(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
 
 fn policy_name(storage: KvStorage) -> String {
     match storage {
@@ -138,9 +131,8 @@ fn main() {
 
     let reqs: Vec<Request> = (0..batch)
         .map(|i| Request {
-            prompt: (0..prompt_len)
-                .map(|j| (i * 131 + j * 17 + 1) % cfg.vocab)
-                .collect(),
+            prompt: workload_prompt(i, prompt_len, cfg.vocab),
+            prefix: None,
             max_new,
             eos: None,
             sampling: SamplingParams {

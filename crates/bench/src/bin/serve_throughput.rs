@@ -20,26 +20,18 @@
 
 use std::time::Instant;
 
-use anda_bench::Table;
+use anda_bench::{arg_val, workload_prompt, Table};
 use anda_llm::zoo::opt_125m_sim;
 use anda_llm::Model;
 use anda_serve::{KvPoolConfig, Request, SamplingParams, Scheduler, SchedulerConfig};
-
-fn arg_val(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
 
 /// The benchmark workload: `n` requests with staggered prompts and seeds.
 fn workload(model: &Model, n: usize, prompt_len: usize, max_new: usize) -> Vec<Request> {
     let vocab = model.config().vocab;
     (0..n)
         .map(|i| Request {
-            prompt: (0..prompt_len)
-                .map(|j| (i * 131 + j * 17 + 1) % vocab)
-                .collect(),
+            prompt: workload_prompt(i, prompt_len, vocab),
+            prefix: None,
             max_new,
             eos: None,
             sampling: SamplingParams {

@@ -12,3 +12,20 @@ pub mod runs;
 pub mod table;
 
 pub use table::Table;
+
+/// The value following `flag` in a binary's argument list, if present
+/// (shared flag parsing for the `src/bin/` experiment binaries).
+pub fn arg_val(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// The deterministic per-stream prompt the serving benches share:
+/// distinct across streams, stable across runs, always in-vocab.
+pub fn workload_prompt(stream: usize, len: usize, vocab: usize) -> Vec<usize> {
+    (0..len)
+        .map(|j| (stream * 131 + j * 17 + 1) % vocab)
+        .collect()
+}

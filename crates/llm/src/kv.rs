@@ -22,6 +22,25 @@
 //! Anda pages are `16 / (M + 1 + 5/64)` times smaller than FP16 pages, so
 //! the same memory budget holds proportionally more pages — the
 //! long-context headroom quantified by the `kv_memory` bench.
+//!
+//! # Prefix sharing and copy-on-write
+//!
+//! Streams that open with the same prompt prefix (a system prompt, a
+//! few-shot header) cache bit-identical K/V rows, so full pages can be
+//! *shared* instead of duplicated. [`KvCache::fork_prefix`] clones only
+//! the page table: every page covering the prefix becomes a refcounted
+//! [`SharedPage`] lease ([`PagePool::fork_page`] /
+//! [`PagePool::release_page`]), counted once by the pool's ledger no
+//! matter how many caches reference it. Shared pages are immutable; the
+//! first append a forked stream makes into a shared (partial) tail page
+//! triggers copy-on-write ([`PagePool::privatize`]) — the encoded rows
+//! are copied *bitwise* into a freshly leased private page before the
+//! mutation, so every stream's decode stays bit-exact while whole prefix
+//! pages stay deduplicated. A shared page returns to the free list
+//! exactly when its last lease drops; a sole-owner privatize reclaims
+//! the page without copying. The `kv_sharing` bench quantifies the
+//! resulting admission headroom: N streams over a P-position prefix pin
+//! `pages(P) + N·pages(private)` pages, not `N·pages(P + private)`.
 
 use std::sync::{Arc, Mutex};
 
@@ -294,6 +313,45 @@ impl Page {
         self.used += 1;
     }
 
+    /// Copies the first `rows` positions of `src` into this page as a
+    /// *bitwise* copy of the encoded representation (float words or Anda
+    /// sign/exponent/plane buffers) — the copy-on-write primitive. No
+    /// decode/re-encode round trip happens, so the copied rows read back
+    /// `f32::to_bits`-identical to the source under every policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometries or policies differ or `src` holds fewer
+    /// than `rows` filled positions.
+    fn copy_rows_from(&mut self, src: &Page, rows: usize) {
+        assert_eq!(self.dim, src.dim, "copy between different row widths");
+        assert_eq!(self.positions, src.positions, "copy between page sizes");
+        assert_eq!(self.storage, src.storage, "copy between policies");
+        assert!(
+            rows <= src.used,
+            "copying {rows} rows from a page with {} filled",
+            src.used
+        );
+        match (&mut self.data, &src.data) {
+            (PageData::Float { k, v }, PageData::Float { k: sk, v: sv }) => {
+                let n = rows * self.dim;
+                k[..n].copy_from_slice(&sk[..n]);
+                v[..n].copy_from_slice(&sv[..n]);
+            }
+            (PageData::Anda { cfg, k, v }, PageData::Anda { k: sk, v: sv, .. }) => {
+                let g = rowcodec::groups_per_row(self.dim, *cfg);
+                let m = cfg.mantissa_bits() as usize;
+                for (dst, from) in [(&mut *k, sk), (&mut *v, sv)] {
+                    dst.signs[..rows * g].copy_from_slice(&from.signs[..rows * g]);
+                    dst.exps[..rows * g].copy_from_slice(&from.exps[..rows * g]);
+                    dst.planes[..rows * g * m].copy_from_slice(&from.planes[..rows * g * m]);
+                }
+            }
+            _ => unreachable!("policy equality asserted above"),
+        }
+        self.used = rows;
+    }
+
     /// The filled K (or V) rows as one in-place `f32` slice — float
     /// pages only; Anda pages must decode.
     fn rows_in_place(&self, want_v: bool) -> &[f32] {
@@ -358,6 +416,86 @@ struct PoolState {
 struct PoolShared {
     cfg: KvPoolConfig,
     state: Mutex<PoolState>,
+}
+
+impl PoolShared {
+    /// Returns a leased page to the free list (cleared, buffers kept) —
+    /// the single recycling point behind [`PagePool::release`],
+    /// [`PagePool::release_page`] and the last-lease drop of a
+    /// [`SharedPage`].
+    fn recycle(&self, mut page: Page) {
+        assert_eq!(
+            page.positions, self.cfg.page_positions,
+            "page returned to a foreign pool"
+        );
+        assert_eq!(
+            page.storage, self.cfg.storage,
+            "page returned to a foreign pool"
+        );
+        let mut st = self.state.lock().expect("a pool lock holder panicked");
+        assert_eq!(page.dim, st.dim, "page returned to a foreign pool");
+        debug_assert!(
+            st.free.len() < st.created,
+            "more pages released than created"
+        );
+        page.reset();
+        st.free.push(page);
+    }
+}
+
+/// A refcounted lease of one pool page, shared read-only between any
+/// number of page tables (prefix sharing). Handles are created by
+/// [`PagePool::share`], duplicated only by [`PagePool::fork_page`] and
+/// consumed by [`PagePool::release_page`] (or a plain drop) — there is no
+/// `Clone`, so every refcount transition goes through the pool's ledger
+/// API. The underlying page returns to its pool's free list exactly when
+/// the last handle drops: releasing twice is unrepresentable (handles
+/// move by value) and forgetting to release is impossible (drop
+/// recycles), so the "double free" and "leak" halves of the ledger are
+/// both closed by construction.
+///
+/// Shared pages are immutable. A cache that must append into one first
+/// privatizes it ([`PagePool::privatize`]): a bitwise copy-on-write into
+/// a fresh page — or a zero-copy reclaim when the handle turns out to be
+/// the last one.
+#[derive(Debug)]
+pub struct SharedPage {
+    inner: Arc<SharedInner>,
+}
+
+#[derive(Debug)]
+struct SharedInner {
+    /// `Some` until the last handle drops; taken exactly once, so the
+    /// page rejoins the free list exactly once.
+    page: Option<Page>,
+    pool: Arc<PoolShared>,
+}
+
+impl Drop for SharedInner {
+    fn drop(&mut self) {
+        if let Some(page) = self.page.take() {
+            self.pool.recycle(page);
+        }
+    }
+}
+
+impl SharedPage {
+    /// Number of live leases of this page (1 = this handle is the sole
+    /// owner).
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+
+    fn page(&self) -> &Page {
+        self.inner
+            .page
+            .as_ref()
+            .expect("present until the last drop")
+    }
+
+    fn same_pool(&self, pool: &PagePool) -> bool {
+        Arc::ptr_eq(&self.inner.pool, &pool.shared)
+    }
 }
 
 /// A shared block-pool allocator of KV [`Page`]s.
@@ -465,23 +603,93 @@ impl PagePool {
     ///
     /// Panics if the page's geometry does not match this pool (it was
     /// leased from a different pool).
-    pub fn release(&self, mut page: Page) {
+    pub fn release(&self, page: Page) {
+        self.shared.recycle(page);
+    }
+
+    /// Converts an exclusively owned page into a refcount-1 shared lease
+    /// — the sealing step [`KvCache::fork_prefix`] applies to every page
+    /// covering the forked prefix. The page stays on the pool's in-use
+    /// ledger (it is leased, just co-owned from now on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page's geometry does not match this pool.
+    pub fn share(&self, page: Page) -> SharedPage {
         assert_eq!(
             page.positions, self.shared.cfg.page_positions,
-            "page returned to a foreign pool"
+            "page shared into a foreign pool"
         );
         assert_eq!(
             page.storage, self.shared.cfg.storage,
-            "page returned to a foreign pool"
+            "page shared into a foreign pool"
         );
-        let mut st = self.lock();
-        assert_eq!(page.dim, st.dim, "page returned to a foreign pool");
-        debug_assert!(
-            st.free.len() < st.created,
-            "more pages released than created"
-        );
-        page.reset();
-        st.free.push(page);
+        assert_eq!(page.dim, self.lock().dim, "page shared into a foreign pool");
+        SharedPage {
+            inner: Arc::new(SharedInner {
+                page: Some(page),
+                pool: Arc::clone(&self.shared),
+            }),
+        }
+    }
+
+    /// Duplicates a shared lease (refcount + 1). The physical page stays
+    /// a single entry on the pool's ledger — this is what makes N caches
+    /// over one prefix cost `pages(prefix)` once, not N times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is leased from a different pool.
+    pub fn fork_page(&self, page: &SharedPage) -> SharedPage {
+        assert!(page.same_pool(self), "fork of a foreign pool's page");
+        SharedPage {
+            inner: Arc::clone(&page.inner),
+        }
+    }
+
+    /// Drops one shared lease. When it is the last one, the page rejoins
+    /// the free list (reuse-before-growth preserved); while other leases
+    /// remain, the page stays in use — a refcounted page can never
+    /// re-enter the free list early.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is leased from a different pool.
+    pub fn release_page(&self, page: SharedPage) {
+        assert!(page.same_pool(self), "release of a foreign pool's page");
+        drop(page);
+    }
+
+    /// Copy-on-write: turns a shared lease into an exclusively owned page
+    /// holding the first `rows` positions, bit-identical to the source.
+    /// When the handle is the sole lease the page is reclaimed in place
+    /// (no copy, no allocation); otherwise a fresh page is leased and the
+    /// encoded rows are copied bitwise, and the shared lease is dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is from a different pool, `rows` exceeds its
+    /// filled positions, or the pool is exhausted when a copy is needed
+    /// (admission must reserve the worst-case private pages, the CoW tail
+    /// included).
+    pub fn privatize(&self, page: SharedPage, rows: usize) -> Page {
+        assert!(page.same_pool(self), "privatize of a foreign pool's page");
+        match Arc::try_unwrap(page.inner) {
+            Ok(mut sole) => {
+                let mut page = sole.page.take().expect("present until the last drop");
+                assert!(rows <= page.used, "privatize past the filled rows");
+                page.used = rows;
+                page
+            }
+            Err(inner) => {
+                let shared = SharedPage { inner };
+                let mut fresh = self
+                    .try_alloc(shared.page().dim)
+                    .expect("KV page pool exhausted (admission must reserve worst-case pages)");
+                fresh.copy_rows_from(shared.page(), rows);
+                fresh
+            }
+        }
     }
 
     /// Creates up to `n` pages onto the free list (bounded by capacity),
@@ -517,11 +725,53 @@ impl PagePool {
     }
 }
 
+/// One slot of a layer's page table: a page either exclusively owned by
+/// this cache (mutable — the only kind plain decoding creates) or a
+/// refcounted [`SharedPage`] lease of a prefix page (immutable — a write
+/// must privatize first).
+#[derive(Debug)]
+enum TablePage {
+    Owned(Page),
+    Shared(SharedPage),
+}
+
+impl TablePage {
+    fn page(&self) -> &Page {
+        match self {
+            TablePage::Owned(page) => page,
+            TablePage::Shared(shared) => shared.page(),
+        }
+    }
+
+    /// Moment-long placeholder swapped in while an `Owned` page is moved
+    /// out for sealing; never observable (replaced in the same call) and
+    /// allocation-free (`Vec::new` holds no buffer).
+    fn placeholder() -> Self {
+        TablePage::Owned(Page {
+            dim: 0,
+            positions: 0,
+            used: 0,
+            storage: KvStorage::Fp32,
+            data: PageData::Float {
+                k: Vec::new(),
+                v: Vec::new(),
+            },
+        })
+    }
+}
+
 /// One layer's cached key/value rows (post-RoPE for LLaMA-family models):
-/// a page table over pool-leased [`Page`]s in position order.
+/// a page table over pool-leased pages in position order.
+///
+/// Entries are table pages: exclusively owned pages plus refcounted
+/// [`SharedPage`] leases installed by [`KvCache::fork_prefix`]. `len` is
+/// the *logical* position count; a shared tail page may physically hold
+/// more rows than this table views (the donor cached past the fork
+/// point), so every read path derives its row count from `len`, never
+/// from the page's own fill.
 #[derive(Debug, Default)]
 pub struct LayerKv {
-    pages: Vec<Page>,
+    pages: Vec<TablePage>,
     len: usize,
 }
 
@@ -541,17 +791,35 @@ impl LayerKv {
         self.pages.len()
     }
 
+    /// Pages in the table holding a shared (refcounted) lease.
+    pub fn shared_page_count(&self) -> usize {
+        self.pages
+            .iter()
+            .filter(|p| matches!(p, TablePage::Shared(_)))
+            .count()
+    }
+
     fn page_positions(&self) -> usize {
-        self.pages.first().map_or(1, Page::capacity)
+        self.pages.first().map_or(1, |p| p.page().capacity())
     }
 
     /// Row width (`d_model`); 0 before the first append.
     pub fn dim(&self) -> usize {
-        self.pages.first().map_or(0, Page::dim)
+        self.pages.first().map_or(0, |p| p.page().dim())
+    }
+
+    /// Logical rows the table views in page `i` (`<=` the page's own
+    /// fill, which a shared tail may exceed past the fork point).
+    fn rows_in_page(&self, i: usize) -> usize {
+        let pp = self.page_positions();
+        (self.len - i * pp).min(pp)
     }
 
     /// Appends one position's key and value rows, leasing a fresh page
-    /// from `pool` when the tail page is full.
+    /// from `pool` when the tail page is (logically) full. A write that
+    /// lands in a *shared* tail page first privatizes it — the
+    /// copy-on-write guard: shared pages are never mutated, so sibling
+    /// streams (and the prefix donor) keep reading their exact bits.
     ///
     /// # Panics
     ///
@@ -559,17 +827,68 @@ impl LayerKv {
     /// (bounded pools are protected by admission-time reservation).
     pub(crate) fn push(&mut self, pool: &PagePool, key: &[f32], value: &[f32]) {
         assert_eq!(key.len(), value.len(), "key/value width mismatch");
-        if self.pages.last().is_none_or(Page::is_full) {
+        let tail_full = self.len == self.pages.len() * self.page_positions();
+        if self.pages.is_empty() || tail_full {
             let page = pool
                 .try_alloc(key.len())
                 .expect("KV page pool exhausted (admission must reserve worst-case pages)");
-            self.pages.push(page);
+            self.pages.push(TablePage::Owned(page));
+        } else if matches!(self.pages.last(), Some(TablePage::Shared(_))) {
+            // Copy-on-write before the mutation: replace the shared tail
+            // with a private page holding a bitwise copy of the rows this
+            // table views (or reclaim it copy-free as the sole lease).
+            let rows = self.rows_in_page(self.pages.len() - 1);
+            let Some(TablePage::Shared(shared)) = self.pages.pop() else {
+                unreachable!("matched above");
+            };
+            self.pages
+                .push(TablePage::Owned(pool.privatize(shared, rows)));
         }
-        self.pages
-            .last_mut()
-            .expect("tail page ensured above")
-            .push_row(key, value);
+        let Some(TablePage::Owned(tail)) = self.pages.last_mut() else {
+            unreachable!("tail is owned: leased fresh or just privatized");
+        };
+        tail.push_row(key, value);
         self.len += 1;
+    }
+
+    /// Forks the first `positions` cached positions into a new table that
+    /// *shares* every covered page: each one is sealed into a refcounted
+    /// [`SharedPage`] (a no-op if already shared) and the fork holds a
+    /// [`PagePool::fork_page`] lease — no row data is copied. A partial
+    /// tail page is shared too; the first append either side makes into
+    /// it copies it out bitwise first (see [`LayerKv::push`]), so the
+    /// deep copy of the partial tail is deferred to the write that needs
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions > len`.
+    pub(crate) fn fork_prefix(&mut self, pool: &PagePool, positions: usize) -> LayerKv {
+        assert!(
+            positions <= self.len,
+            "fork of {positions} positions from a {}-position layer",
+            self.len
+        );
+        let pp = self.page_positions();
+        let n_pages = positions.div_ceil(pp);
+        let mut pages = Vec::with_capacity(n_pages);
+        for entry in &mut self.pages[..n_pages] {
+            if matches!(entry, TablePage::Owned(_)) {
+                let TablePage::Owned(page) = std::mem::replace(entry, TablePage::placeholder())
+                else {
+                    unreachable!("matched above");
+                };
+                *entry = TablePage::Shared(pool.share(page));
+            }
+            let TablePage::Shared(shared) = entry else {
+                unreachable!("sealed above");
+            };
+            pages.push(TablePage::Shared(pool.fork_page(shared)));
+        }
+        LayerKv {
+            pages,
+            len: positions,
+        }
     }
 
     /// Decodes the key row at `pos` into `out` (no allocation).
@@ -607,13 +926,13 @@ impl LayerKv {
     fn row_into(&self, pos: usize, want_v: bool, out: &mut [f32]) {
         assert!(pos < self.len, "position {pos} not cached");
         let pp = self.page_positions();
-        self.pages[pos / pp].row_into(pos % pp, want_v, out);
+        self.pages[pos / pp].page().row_into(pos % pp, want_v, out);
     }
 
     fn reads_in_place(&self) -> bool {
         self.pages
             .first()
-            .is_none_or(|p| p.storage.reads_in_place())
+            .is_none_or(|p| p.page().storage.reads_in_place())
     }
 
     /// Decodes every cached K and V row into flat `t × dim` scratch
@@ -627,15 +946,19 @@ impl LayerKv {
         k_out.resize(self.len * dim, 0.0);
         v_out.resize(self.len * dim, 0.0);
         let mut written = 0;
-        for page in &self.pages {
-            let n = page.used * dim;
+        for (i, entry) in self.pages.iter().enumerate() {
+            let page = entry.page();
+            // Logical rows, not the page's own fill: a shared tail may
+            // physically hold donor rows past this table's fork point.
+            let rows = self.rows_in_page(i);
+            let n = rows * dim;
             match &page.data {
                 PageData::Float { k, v } => {
                     k_out[written..written + n].copy_from_slice(&k[..n]);
                     v_out[written..written + n].copy_from_slice(&v[..n]);
                 }
                 PageData::Anda { cfg, k, v } => {
-                    for slot in 0..page.used {
+                    for slot in 0..rows {
                         let dst = written + slot * dim;
                         k.decode(slot, *cfg, &mut k_out[dst..dst + dim]);
                         v.decode(slot, *cfg, &mut v_out[dst..dst + dim]);
@@ -646,23 +969,34 @@ impl LayerKv {
         }
     }
 
-    /// Returns every page to `pool` and empties the layer.
+    /// Returns every lease to `pool` (owned pages to the free list,
+    /// shared leases dropped — the physical page rejoins the free list
+    /// only with its last lease) and empties the layer.
     pub(crate) fn release_into(&mut self, pool: &PagePool) {
-        for page in self.pages.drain(..) {
-            pool.release(page);
+        for entry in self.pages.drain(..) {
+            match entry {
+                TablePage::Owned(page) => pool.release(page),
+                TablePage::Shared(shared) => pool.release_page(shared),
+            }
         }
         self.len = 0;
     }
 
-    /// Bits occupied by the cached rows under the layer's policy.
+    /// Bits occupied by the cached rows this table views under the
+    /// layer's policy.
     pub fn storage_bits(&self) -> usize {
-        self.pages.iter().map(Page::used_bits).sum()
+        if self.len == 0 {
+            return 0;
+        }
+        2 * self.len * self.pages[0].page().row_bits()
     }
 
     /// Bits the layer's leased pages pin, filled or not — what the pool
-    /// actually accounts for.
+    /// accounts for. Shared pages count fully in *every* table leasing
+    /// them; the deduplicated pool-level footprint is
+    /// `PagePool::pages_in_use() × page_bits`.
     pub fn resident_bits(&self) -> usize {
-        self.pages.iter().map(Page::capacity_bits).sum()
+        self.pages.iter().map(|p| p.page().capacity_bits()).sum()
     }
 
     /// Single-query multi-head attention over the cached positions into a
@@ -782,11 +1116,14 @@ impl<'a> KvRows<'a> {
 }
 
 /// Iterates a [`KvRows`] view as one `dim`-wide slice per position,
-/// walking pages directly (no per-row page-table arithmetic).
+/// walking pages directly (no per-row page-table arithmetic). Yields
+/// exactly the layer's *logical* length: a shared tail page's physical
+/// rows past the fork point are never surfaced.
 pub(crate) struct RowIter<'a> {
-    pages: std::slice::Iter<'a, Page>,
+    pages: std::slice::Iter<'a, TablePage>,
     cur: std::slice::ChunksExact<'a, f32>,
     want_v: bool,
+    remaining: usize,
 }
 
 impl<'a> RowIter<'a> {
@@ -796,12 +1133,17 @@ impl<'a> RowIter<'a> {
                 pages: layer.pages.iter(),
                 cur: [].chunks_exact(1),
                 want_v,
+                remaining: layer.len,
             },
-            KvRows::Decoded { k, v, dim } => RowIter {
-                pages: [].iter(),
-                cur: if want_v { v } else { k }.chunks_exact(dim),
-                want_v,
-            },
+            KvRows::Decoded { k, v, dim } => {
+                let buf = if want_v { v } else { k };
+                RowIter {
+                    pages: [].iter(),
+                    cur: buf.chunks_exact(dim),
+                    want_v,
+                    remaining: buf.len() / dim,
+                }
+            }
         }
     }
 }
@@ -810,11 +1152,15 @@ impl<'a> Iterator for RowIter<'a> {
     type Item = &'a [f32];
 
     fn next(&mut self) -> Option<&'a [f32]> {
+        if self.remaining == 0 {
+            return None;
+        }
         loop {
             if let Some(row) = self.cur.next() {
+                self.remaining -= 1;
                 return Some(row);
             }
-            let page = self.pages.next()?;
+            let page = self.pages.next()?.page();
             self.cur = page.rows_in_place(self.want_v).chunks_exact(page.dim);
         }
     }
@@ -944,10 +1290,45 @@ impl KvCache {
     /// Recycles every page back to the pool while keeping the layer
     /// structure, so the cache can be handed to a new request. A decode
     /// after `reset` is bit-identical to one on a freshly built cache.
+    /// Shared leases are dropped; their physical pages rejoin the free
+    /// list only once the last co-owner releases them.
     pub fn reset(&mut self) {
         for layer in &mut self.layers {
             layer.release_into(&self.pool);
         }
+    }
+
+    /// Forks the first `positions` cached positions into a new cache on
+    /// the same pool that *shares* every covered page instead of copying
+    /// it: only the page tables are cloned ([`PagePool::fork_page`]
+    /// leases per page), so N forks of a P-position prefix pin
+    /// `pages(P)` physical pages, not `N·pages(P)`. Takes `&mut self`
+    /// because covered pages this cache still owns exclusively are first
+    /// sealed into shared leases ([`PagePool::share`]) — a no-op on
+    /// repeat forks.
+    ///
+    /// Shared pages are immutable. Decoding continues bit-exactly on
+    /// both sides: the first append either cache makes into a shared
+    /// partial tail page copies it out bitwise first (copy-on-write, see
+    /// `LayerKv::push`'s guard and [`PagePool::privatize`]), while
+    /// whole prefix pages stay deduplicated for the streams' lifetimes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` exceeds the cached length.
+    pub fn fork_prefix(&mut self, positions: usize) -> KvCache {
+        let pool = self.pool.clone();
+        let layers = self
+            .layers
+            .iter_mut()
+            .map(|layer| layer.fork_prefix(&pool, positions))
+            .collect();
+        KvCache { pool, layers }
+    }
+
+    /// Pages across all layers held as shared (refcounted) leases.
+    pub fn shared_pages(&self) -> usize {
+        self.layers.iter().map(LayerKv::shared_page_count).sum()
     }
 
     /// Reserves page-table capacity for contexts up to `max_positions`,
@@ -1209,5 +1590,188 @@ mod tests {
         let pool = PagePool::new(KvPoolConfig::default());
         let _a = pool.try_alloc(64);
         let _b = pool.try_alloc(128);
+    }
+
+    fn key_bits(cache: &KvCache, upto: usize) -> Vec<u32> {
+        let mut bits = Vec::new();
+        for i in 0..upto {
+            bits.extend(cache.layer(0).key(i).iter().map(|x| x.to_bits()));
+        }
+        for i in 0..upto {
+            bits.extend(cache.layer(0).value(i).iter().map(|x| x.to_bits()));
+        }
+        bits
+    }
+
+    /// Forking a prefix clones page tables only: the pool's in-use count
+    /// stays flat, the shared pages read back bit-identically from both
+    /// sides, and resetting the fork keeps the donor's pages alive.
+    #[test]
+    fn fork_prefix_shares_pages_without_copying() {
+        for storage in [KvStorage::Fp16, KvStorage::Anda { mantissa_bits: 6 }] {
+            let pool = PagePool::new(KvPoolConfig {
+                storage,
+                page_positions: 4,
+                max_pages: None,
+            });
+            let mut parent = pool.new_cache(1);
+            let data = rows(10, 64, 21);
+            for r in &data {
+                parent.append_row(0, r, r);
+            }
+            let in_use = pool.pages_in_use();
+            let parent_bits = key_bits(&parent, 8);
+
+            let mut child = parent.fork_prefix(8);
+            assert_eq!(child.len(), 8);
+            assert_eq!(pool.pages_in_use(), in_use, "fork must not lease pages");
+            assert_eq!(child.shared_pages(), 2, "both covered pages shared");
+            assert_eq!(parent.shared_pages(), 2, "donor pages sealed in place");
+            assert_eq!(key_bits(&child, 8), parent_bits, "shared reads are exact");
+
+            child.reset();
+            assert_eq!(
+                pool.pages_in_use(),
+                in_use,
+                "donor leases keep the shared pages alive"
+            );
+            assert_eq!(key_bits(&parent, 8), parent_bits, "donor unaffected");
+        }
+    }
+
+    /// Appending into a fork whose tail page is shared fires
+    /// copy-on-write: the fork gets a private page whose prefix rows are
+    /// a bitwise copy of the donor's, the donor's rows never change, and
+    /// the two caches diverge only past the fork point.
+    #[test]
+    fn copy_on_write_preserves_bits_and_isolates_streams() {
+        for storage in [
+            KvStorage::Fp32,
+            KvStorage::Fp16,
+            KvStorage::Anda { mantissa_bits: 6 },
+        ] {
+            let pool = PagePool::new(KvPoolConfig {
+                storage,
+                page_positions: 4,
+                max_pages: None,
+            });
+            let mut parent = pool.new_cache(1);
+            let data = rows(6, 64, 22); // 6 positions: page + partial tail
+            for r in &data {
+                parent.append_row(0, r, r);
+            }
+            let parent_bits = key_bits(&parent, 6);
+
+            let mut child = parent.fork_prefix(6);
+            let in_use = pool.pages_in_use();
+            let fresh = rows(2, 64, 23);
+            child.append_row(0, &fresh[0], &fresh[0]); // CoW: tail copies out
+            assert_eq!(
+                pool.pages_in_use(),
+                in_use + 1,
+                "CoW leases exactly one private page"
+            );
+            assert_eq!(
+                key_bits(&child, 6),
+                parent_bits,
+                "{storage:?}: CoW page must be a bitwise copy of its parent at fork time"
+            );
+            parent.append_row(0, &fresh[1], &fresh[1]); // donor CoWs its side too
+            assert_eq!(key_bits(&parent, 6), parent_bits, "donor prefix unchanged");
+            assert_ne!(
+                child.layer(0).key(6),
+                parent.layer(0).key(6),
+                "past the fork point the streams are private"
+            );
+        }
+    }
+
+    /// When the fork is the last lease standing, privatize reclaims the
+    /// shared page in place: no copy, no new page, creation stays flat.
+    #[test]
+    fn sole_lease_privatize_reclaims_without_copying() {
+        let pool = PagePool::new(KvPoolConfig {
+            storage: KvStorage::Fp16,
+            page_positions: 4,
+            max_pages: None,
+        });
+        let mut parent = pool.new_cache(1);
+        let data = rows(6, 32, 24);
+        for r in &data {
+            parent.append_row(0, r, r);
+        }
+        let mut child = parent.fork_prefix(6);
+        let expect = key_bits(&parent, 6);
+        parent.reset(); // child is now the sole lease of both pages
+        let created = pool.pages_created();
+        let extra = rows(1, 32, 25);
+        child.append_row(0, &extra[0], &extra[0]);
+        assert_eq!(
+            pool.pages_created(),
+            created,
+            "sole-lease CoW must reclaim, not copy"
+        );
+        assert_eq!(key_bits(&child, 6), expect, "reclaimed rows read exactly");
+    }
+
+    /// A fork truncated mid-page views only its prefix of the shared
+    /// tail: reads, attention row iteration and storage accounting all
+    /// follow the logical length, not the page fill.
+    #[test]
+    fn truncated_fork_masks_the_shared_tail() {
+        let pool = PagePool::new(KvPoolConfig {
+            storage: KvStorage::Anda { mantissa_bits: 8 },
+            page_positions: 4,
+            max_pages: None,
+        });
+        let mut parent = pool.new_cache(1);
+        let data = rows(7, 64, 26);
+        for r in &data {
+            parent.append_row(0, r, r);
+        }
+        let mut child = parent.fork_prefix(5); // page 1 shared, 1 logical row
+        assert_eq!(child.len(), 5);
+        assert_eq!(child.layer(0).storage_bits(), {
+            let full = parent.layer(0).storage_bits();
+            full / 7 * 5
+        });
+        // Attention over the fork must see exactly 5 positions.
+        let q = &rows(1, 64, 27)[0];
+        let mut private = pool.new_cache(1);
+        for r in &data[..5] {
+            private.append_row(0, r, r);
+        }
+        let a = child.layer(0).attend(q, 4);
+        let b = private.layer(0).attend(q, 4);
+        let (abits, bbits): (Vec<u32>, Vec<u32>) = (
+            a.iter().map(|x| x.to_bits()).collect(),
+            b.iter().map(|x| x.to_bits()).collect(),
+        );
+        assert_eq!(abits, bbits, "masked tail must not leak donor rows");
+        // Appending at position 5 CoWs the tail and continues exactly.
+        child.append_row(0, &data[5], &data[5]);
+        private.append_row(0, &data[5], &data[5]);
+        assert_eq!(key_bits(&child, 6), key_bits(&private, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "fork of 9 positions")]
+    fn fork_past_len_panics() {
+        let mut cache = cache_with(KvStorage::Fp16, 4);
+        let data = rows(3, 32, 28);
+        for r in &data {
+            cache.append_row(0, r, r);
+        }
+        let _ = cache.fork_prefix(9);
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign pool")]
+    fn foreign_pool_fork_page_panics() {
+        let pool_a = PagePool::new(KvPoolConfig::default());
+        let pool_b = PagePool::new(KvPoolConfig::default());
+        let page = pool_a.try_alloc(64).unwrap();
+        let shared = pool_a.share(page);
+        let _ = pool_b.fork_page(&shared);
     }
 }

@@ -23,8 +23,9 @@
 //! - [`eval`] — perplexity and relative-accuracy measurement.
 //! - [`opcount`] — analytical operation counting (Fig. 2).
 //! - [`kv`] — the §VI extension: the paged KV subsystem — a block-pool
-//!   page allocator with FP16 or Anda-compressed pages, shared by solo
-//!   decode and the serving layer.
+//!   page allocator with FP16 or Anda-compressed pages, refcounted
+//!   prefix sharing with copy-on-write, shared by solo decode and the
+//!   serving layer.
 
 pub mod config;
 pub mod corpus;
@@ -38,7 +39,7 @@ pub mod zoo;
 
 pub use config::{Family, ModelConfig};
 pub use eval::{perplexity, perplexity_with_scratch, relative_accuracy_loss};
-pub use kv::{KvCache, KvPoolConfig, KvReadScratch, KvStorage, LayerKv, PagePool};
+pub use kv::{KvCache, KvPoolConfig, KvReadScratch, KvStorage, LayerKv, PagePool, SharedPage};
 pub use model::{BatchOutput, DecodeScratch, ForwardScratch, Model, WeightMode};
 pub use modules::{CodecAssignment, ModuleKind, PrecisionCombo};
 pub use zoo::SimModelSpec;

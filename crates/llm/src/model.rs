@@ -513,6 +513,16 @@ impl Model {
     /// last position's next-token logits ([`DecodeScratch::logits`]), ready
     /// for the first sample.
     ///
+    /// Starting at the cache's length is what makes this the
+    /// prefill-into-forked-cache entry point for shared-prefix serving: a
+    /// cache produced by [`KvCache::fork_prefix`] already holds the prefix
+    /// positions, so prefilling only the request's private suffix continues
+    /// at the right positions and is bit-identical to prefilling
+    /// `prefix ++ suffix` contiguously into a fresh cache — decode steps
+    /// depend only on the cached rows, and shared pages hold exactly the
+    /// bits a private prefill would have written (copy-on-write preserves
+    /// them on append).
+    ///
     /// # Panics
     ///
     /// Panics if `tokens` is empty or the cache would grow past `max_seq`.

@@ -444,3 +444,70 @@ fn mismatched_hidden_width_panics() {
     batch.push_hidden(&[1.0, 2.0]);
     batch.push_hidden(&[1.0, 2.0, 3.0]);
 }
+
+/// The prefill-into-forked-cache entry point: prefilling a suffix into
+/// a `fork_prefix` cache continues at the fork's positions and leaves
+/// logits, hidden state and cached rows bit-identical to prefilling
+/// `prefix ++ suffix` contiguously into a fresh same-policy cache —
+/// for every storage policy, page sizes that land the fork mid-page
+/// and on a boundary, and both model families.
+#[test]
+fn prefill_into_forked_cache_matches_contiguous_prefill() {
+    let prefix = [3usize, 141, 59, 26, 5, 7, 19, 44, 2];
+    let suffix = [17usize, 401, 8];
+    for m in [model(), llama()] {
+        for storage in POLICIES {
+            for page_positions in [1usize, 4, 8] {
+                // Donor: the prefix prefilled once.
+                let mut donor = cache_for(m, storage, page_positions);
+                let mut donor_scratch = DecodeScratch::new();
+                m.prefill(&prefix, &mut donor, &mut donor_scratch);
+
+                // Fork + suffix prefill.
+                let mut fork = donor.fork_prefix(prefix.len());
+                assert_eq!(fork.len(), prefix.len());
+                let mut fork_scratch = DecodeScratch::new();
+                m.prefill(&suffix, &mut fork, &mut fork_scratch);
+
+                // Contiguous reference.
+                let mut contiguous = cache_for(m, storage, page_positions);
+                let mut ref_scratch = DecodeScratch::new();
+                let full: Vec<usize> = prefix.iter().chain(&suffix).copied().collect();
+                m.prefill(&full, &mut contiguous, &mut ref_scratch);
+
+                assert_eq!(
+                    bits(fork_scratch.logits()),
+                    bits(ref_scratch.logits()),
+                    "{storage:?} pp={page_positions}: forked prefill logits diverged"
+                );
+                assert_eq!(
+                    bits(fork_scratch.hidden_state()),
+                    bits(ref_scratch.hidden_state())
+                );
+                for l in 0..m.config().n_layers {
+                    for pos in 0..full.len() {
+                        assert_eq!(
+                            bits(fork.layer(l).key(pos)),
+                            bits(contiguous.layer(l).key(pos)),
+                            "{storage:?} pp={page_positions}: K row {pos} layer {l}"
+                        );
+                        assert_eq!(
+                            bits(fork.layer(l).value(pos)),
+                            bits(contiguous.layer(l).value(pos))
+                        );
+                    }
+                }
+                // And the donor still reads its original prefix rows.
+                for l in 0..m.config().n_layers {
+                    for pos in 0..prefix.len() {
+                        assert_eq!(
+                            bits(donor.layer(l).key(pos)),
+                            bits(contiguous.layer(l).key(pos)),
+                            "donor rows must survive the fork's writes"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -41,11 +41,22 @@ impl Default for SamplingParams {
     }
 }
 
-/// A generation request: prompt, generation budget, sampling policy.
+/// A generation request: prompt, generation budget, sampling policy,
+/// and optionally the key of a shared prefix registered with the
+/// scheduler.
 #[derive(Clone, Debug)]
 pub struct Request {
-    /// Prompt token ids (must be non-empty and in-vocab).
+    /// Prompt token ids (must be non-empty and in-vocab). With a
+    /// `prefix`, this is only the request-private suffix: the effective
+    /// prompt is `prefix tokens ++ prompt`.
     pub prompt: Vec<usize>,
+    /// Key of a shared prefix previously registered via
+    /// [`Scheduler::register_prefix`](crate::Scheduler::register_prefix).
+    /// The prefix's KV pages are prefilled once and *shared* into this
+    /// stream's cache at admission (copy-on-write page tables), so the
+    /// stream is charged only its unshared pages and the prefix tokens
+    /// are never re-prefilled. Unknown keys are rejected at submit.
+    pub prefix: Option<String>,
     /// Maximum number of new tokens to generate.
     pub max_new: usize,
     /// Optional end-of-sequence token: generation stops once it is
@@ -56,21 +67,31 @@ pub struct Request {
 }
 
 impl Request {
-    /// A greedy request with no EOS.
+    /// A greedy request with no EOS and no shared prefix.
     pub fn greedy(prompt: Vec<usize>, max_new: usize) -> Self {
         Request {
             prompt,
+            prefix: None,
             max_new,
             eos: None,
             sampling: SamplingParams::greedy(),
         }
     }
 
+    /// This request routed through the shared prefix registered under
+    /// `key` (builder style).
+    pub fn with_prefix(mut self, key: impl Into<String>) -> Self {
+        self.prefix = Some(key.into());
+        self
+    }
+
     /// KV positions the scheduler's page accounting covers for this
-    /// request: the whole prompt plus the worst-case generation length
-    /// (rounded up to whole pages per layer at admission). Saturating,
-    /// so an absurd `max_new` fails the submit-time `max_seq`/capacity
-    /// checks instead of wrapping past them.
+    /// request *beyond its shared prefix*: the private prompt plus the
+    /// worst-case generation length (the scheduler adds the prefix
+    /// length and discounts fully shared pages, both in one place —
+    /// `pages_needed`). Saturating, so an absurd `max_new` fails the
+    /// submit-time `max_seq`/capacity checks instead of wrapping past
+    /// them.
     pub fn reserve_tokens(&self) -> usize {
         self.prompt.len().saturating_add(self.max_new)
     }
@@ -92,9 +113,13 @@ pub enum FinishReason {
 pub struct FinishedRequest {
     /// The id [`Scheduler::submit`](crate::Scheduler::submit) returned.
     pub id: RequestId,
-    /// Prompt followed by every generated token.
+    /// Prompt followed by every generated token. For a request routed
+    /// through a shared prefix, the prompt part is the *effective*
+    /// prompt: the prefix tokens followed by the request's private ones
+    /// — identical to what an unshared submission of the full prompt
+    /// would return.
     pub tokens: Vec<usize>,
-    /// Length of the prompt prefix of `tokens`.
+    /// Length of the (effective) prompt prefix of `tokens`.
     pub prompt_len: usize,
     /// Why decoding stopped.
     pub reason: FinishReason,

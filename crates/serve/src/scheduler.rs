@@ -16,8 +16,18 @@
 //! next admission. With an Anda storage policy the same memory budget
 //! holds `16 / (M + 1 + 5/64)` times more pages, so batches whose FP16
 //! KV would not fit are admitted — the long-context headroom of §VI.
+//!
+//! Shared prompt prefixes compose with both: a prefix registered via
+//! [`Scheduler::register_prefix`] is prefilled **once** into a pinned
+//! cache, every admitted request referencing it gets a
+//! [`KvCache::fork_prefix`] of that cache (refcounted page-table clone,
+//! copy-on-write on the partial tail), and the watermark charges the
+//! stream only its *unshared* worst-case pages — so N streams over a
+//! P-position prefix cost `pages(P) + N·pages(private)`, not
+//! `N·pages(P + private)`, in compressed pages when the policy is
+//! `Anda{m}`.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use anda_llm::kv::{KvPoolConfig, PagePool};
 use anda_llm::model::BatchOutput;
@@ -72,14 +82,22 @@ pub enum SubmitError {
         /// The model's maximum sequence length.
         max_seq: usize,
     },
-    /// The request's worst-case KV page demand exceeds the whole pool,
-    /// so it could never be admitted.
+    /// The request's worst-case KV page demand exceeds what the pool can
+    /// ever offer it (capacity minus the pages pinned by registered
+    /// prefixes), so it could never be admitted.
     ExceedsPoolCapacity {
-        /// Worst-case page demand across all layers.
+        /// Worst-case unshared page demand across all layers.
         pages: usize,
-        /// The pool's capacity in pages.
+        /// The pool's capacity in pages net of pinned prefix pages.
         capacity: usize,
     },
+    /// The request names a prefix key that is not (or no longer) in the
+    /// scheduler's registry.
+    UnknownPrefix,
+    /// [`Scheduler::register_prefix`] was called with a key that is
+    /// already registered (release it first; prefix contents are
+    /// immutable while registered).
+    PrefixAlreadyRegistered,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -97,6 +115,12 @@ impl std::fmt::Display for SubmitError {
                     f,
                     "worst-case KV demand of {pages} pages exceeds the pool's {capacity}"
                 )
+            }
+            SubmitError::UnknownPrefix => {
+                write!(f, "request names a prefix key that is not registered")
+            }
+            SubmitError::PrefixAlreadyRegistered => {
+                write!(f, "a prefix is already registered under this key")
             }
         }
     }
@@ -118,8 +142,13 @@ pub struct SchedulerStats {
     pub peak_active: usize,
     /// Most KV positions ever cached at once across active streams.
     pub peak_cached_tokens: usize,
-    /// Most KV pages ever leased from the pool at once.
+    /// Most KV pages ever leased from the pool at once. Physical,
+    /// deduplicated pages: a prefix page shared by N streams counts
+    /// once, which is exactly the memory win prefix sharing buys.
     pub peak_pages_in_use: usize,
+    /// Streams admitted by forking a registered prefix cache (each one
+    /// skipped re-prefilling its prefix tokens).
+    pub prefix_forks: u64,
 }
 
 /// One active decode stream.
@@ -134,8 +163,13 @@ struct Stream {
     rng: Rng,
     cache: KvCache,
     scratch: DecodeScratch,
-    /// KV pages reserved against the pool for this stream (worst case).
+    /// KV pages reserved against the pool for this stream (worst-case
+    /// *unshared* pages — fully shared prefix pages are pinned by the
+    /// registry, not charged here).
     reserved_pages: usize,
+    /// The registry key this stream's cache was forked from, if any
+    /// (holds the registration alive until the stream retires).
+    prefix: Option<String>,
     /// Admitted this iteration: its first token comes from the prefill
     /// logits, so it skips the decode phase once.
     fresh: bool,
@@ -145,6 +179,19 @@ struct Stream {
 struct Pending {
     id: RequestId,
     request: Request,
+}
+
+/// One registered shared prefix: its tokens, the pinned cache holding
+/// the prefilled pages every admitted stream forks, and bookkeeping.
+struct PrefixEntry {
+    tokens: Vec<usize>,
+    cache: KvCache,
+    /// Pages the pinned cache pins across all layers (charged to the
+    /// registry, not to any stream).
+    pinned_pages: usize,
+    /// Active streams currently forked from this prefix (blocks
+    /// release).
+    active: usize,
 }
 
 /// Continuous-batching request scheduler over [`Model::decode_step`]-style
@@ -172,13 +219,22 @@ pub struct Scheduler<'a> {
     kv_pool: PagePool,
     pending: VecDeque<Pending>,
     slots: Vec<Option<Stream>>,
-    /// Retired caches/scratches awaiting reuse by future admissions
-    /// (their pages are already back on the pool's free list).
-    spares: Vec<(KvCache, DecodeScratch)>,
+    /// Retired caches awaiting reuse by future non-prefix admissions
+    /// (their pages are already back on the pool's free list; prefix
+    /// admissions build their cache by forking the registry's).
+    spare_caches: Vec<KvCache>,
+    /// Retired scratches awaiting reuse by any future admission.
+    spare_scratches: Vec<DecodeScratch>,
+    /// Registered shared prefixes by key.
+    prefixes: HashMap<String, PrefixEntry>,
+    /// Pages pinned by all registered prefix caches (counted against
+    /// the pool capacity alongside stream reservations).
+    pinned_pages: usize,
     batch: BatchOutput,
     finished: Vec<FinishedRequest>,
     next_id: u64,
-    /// Sum of active streams' page reservations (`<= kv.max_pages`).
+    /// Sum of active streams' unshared page reservations
+    /// (`pinned + reserved <= kv.max_pages`).
     reserved_pages: usize,
     stats: SchedulerStats,
 }
@@ -205,7 +261,10 @@ impl<'a> Scheduler<'a> {
             kv_pool: PagePool::new(cfg.kv),
             pending: VecDeque::new(),
             slots: Vec::new(),
-            spares: Vec::new(),
+            spare_caches: Vec::new(),
+            spare_scratches: Vec::new(),
+            prefixes: HashMap::new(),
+            pinned_pages: 0,
             batch: BatchOutput::new(),
             finished: Vec::new(),
             next_id: 0,
@@ -214,14 +273,36 @@ impl<'a> Scheduler<'a> {
         }
     }
 
-    /// Worst-case KV page demand of a request across all layers.
-    fn page_demand(&self, request: &Request) -> usize {
-        self.model.config().n_layers * self.kv_pool.pages_for(request.reserve_tokens())
+    /// Worst-case KV page demand a stream for `request` is charged
+    /// across all layers — the *single* place the per-stream page math
+    /// lives, used by both the submit-time capacity rejection and the
+    /// admission watermark so the two can never drift.
+    ///
+    /// Without a prefix this is `n_layers · pages(prompt + max_new)`.
+    /// With one, the worst-case length includes the prefix but every
+    /// page *fully* covered by it is discounted: those pages are pinned
+    /// once by the registry and only forked (refcounted, never copied)
+    /// into the stream. A partial tail page stays charged — copy-on-
+    /// write will privatize it on the stream's first append.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request names an unregistered prefix (submit
+    /// validates the key first).
+    pub fn pages_needed(&self, request: &Request) -> usize {
+        let prefix_len = request
+            .prefix
+            .as_deref()
+            .map_or(0, |key| self.prefixes[key].tokens.len());
+        let total = prefix_len.saturating_add(request.reserve_tokens());
+        let shared_whole = prefix_len / self.cfg.kv.page_positions;
+        self.model.config().n_layers * (self.cfg.kv.pages_for(total) - shared_whole)
     }
 
-    /// Queues a request, validating it is servable under this model and
-    /// pool. Accepted requests are guaranteed to terminate with exactly
-    /// `min(max_new, first EOS position + 1)` generated tokens.
+    /// Queues a request, validating it is servable under this model,
+    /// pool and prefix registry. Accepted requests are guaranteed to
+    /// terminate with exactly `min(max_new, first EOS position + 1)`
+    /// generated tokens.
     pub fn submit(&mut self, request: Request) -> Result<RequestId, SubmitError> {
         if request.prompt.is_empty() {
             return Err(SubmitError::EmptyPrompt);
@@ -235,13 +316,21 @@ impl<'a> Scheduler<'a> {
                 return Err(SubmitError::TokenOutOfVocab { token: eos, vocab });
             }
         }
-        let total = request.reserve_tokens();
+        let prefix_len = match request.prefix.as_deref() {
+            None => 0,
+            Some(key) => match self.prefixes.get(key) {
+                Some(entry) => entry.tokens.len(),
+                None => return Err(SubmitError::UnknownPrefix),
+            },
+        };
+        let total = prefix_len.saturating_add(request.reserve_tokens());
         let max_seq = self.model.config().max_seq;
         if total > max_seq {
             return Err(SubmitError::ExceedsMaxSeq { total, max_seq });
         }
-        let pages = self.page_demand(&request);
+        let pages = self.pages_needed(&request);
         if let Some(capacity) = self.kv_pool.capacity() {
+            let capacity = capacity - self.pinned_pages;
             if pages > capacity {
                 return Err(SubmitError::ExceedsPoolCapacity { pages, capacity });
             }
@@ -250,6 +339,123 @@ impl<'a> Scheduler<'a> {
         self.next_id += 1;
         self.pending.push_back(Pending { id, request });
         Ok(id)
+    }
+
+    /// Registers a shared prefix under `key`: validates it, prefills it
+    /// **once** into a pinned cache leased from the scheduler's pool,
+    /// and from then on admits `key`-referencing requests by *forking*
+    /// that cache — page-table clones over refcounted pages, no row
+    /// copies, no re-prefill. Returns the page count the pinned cache
+    /// pins (charged against the pool capacity until release).
+    ///
+    /// The pin is counted like a permanent reservation, so registration
+    /// is rejected (`ExceedsPoolCapacity`) unless the prefix fits
+    /// alongside every currently reserved stream page — guaranteeing
+    /// the immediate prefill cannot exhaust the pool mid-flight — *and*
+    /// alongside the worst pending request's demand, so the pin can
+    /// never strand a request that submit already accepted (accepted
+    /// requests stay guaranteed to terminate).
+    pub fn register_prefix(
+        &mut self,
+        key: impl Into<String>,
+        tokens: Vec<usize>,
+    ) -> Result<usize, SubmitError> {
+        let key = key.into();
+        if self.prefixes.contains_key(&key) {
+            return Err(SubmitError::PrefixAlreadyRegistered);
+        }
+        if tokens.is_empty() {
+            return Err(SubmitError::EmptyPrompt);
+        }
+        let vocab = self.model.config().vocab;
+        if let Some(&token) = tokens.iter().find(|&&t| t >= vocab) {
+            return Err(SubmitError::TokenOutOfVocab { token, vocab });
+        }
+        let max_seq = self.model.config().max_seq;
+        if tokens.len() > max_seq {
+            return Err(SubmitError::ExceedsMaxSeq {
+                total: tokens.len(),
+                max_seq,
+            });
+        }
+        let pages = self.model.config().n_layers * self.kv_pool.pages_for(tokens.len());
+        if let Some(cap) = self.kv_pool.capacity() {
+            // The pin must leave room for the immediate prefill next to
+            // every active reservation, and for the largest already-
+            // accepted pending request once the pool drains — otherwise
+            // this registration would strand a request submit promised
+            // to serve.
+            let worst_pending = self
+                .pending
+                .iter()
+                .map(|p| self.pages_needed(&p.request))
+                .max()
+                .unwrap_or(0);
+            let capacity =
+                (cap - self.pinned_pages).saturating_sub(self.reserved_pages.max(worst_pending));
+            if pages > capacity {
+                return Err(SubmitError::ExceedsPoolCapacity { pages, capacity });
+            }
+        }
+        let mut cache = self.kv_pool.new_cache(self.model.config().n_layers);
+        let mut scratch = self.spare_scratches.pop().unwrap_or_default();
+        self.model.prefill(&tokens, &mut cache, &mut scratch);
+        self.spare_scratches.push(scratch);
+        self.stats.prefill_tokens += tokens.len() as u64;
+        self.stats.peak_pages_in_use = self
+            .stats
+            .peak_pages_in_use
+            .max(self.kv_pool.pages_in_use());
+        self.pinned_pages += pages;
+        self.prefixes.insert(
+            key,
+            PrefixEntry {
+                tokens,
+                cache,
+                pinned_pages: pages,
+                active: 0,
+            },
+        );
+        Ok(pages)
+    }
+
+    /// Releases the prefix registered under `key`, recycling the pinned
+    /// pages no live stream still shares. Refuses (returns `false`)
+    /// while any active stream was forked from it or any pending
+    /// request references it — so a successful release means the pinned
+    /// accounting and the physical pages really are reclaimed together.
+    /// Returns `true` when the prefix was released, `false` when it was
+    /// unknown or still in use.
+    pub fn release_prefix(&mut self, key: &str) -> bool {
+        let in_use = match self.prefixes.get(key) {
+            None => return false,
+            Some(entry) => {
+                entry.active > 0
+                    || self
+                        .pending
+                        .iter()
+                        .any(|p| p.request.prefix.as_deref() == Some(key))
+            }
+        };
+        if in_use {
+            return false;
+        }
+        let entry = self.prefixes.remove(key).expect("checked above");
+        self.pinned_pages -= entry.pinned_pages;
+        // Dropping the pinned cache releases its leases; every page no
+        // longer co-owned rejoins the pool's free list.
+        drop(entry.cache);
+        true
+    }
+
+    /// Pages pinned by all registered prefix caches.
+    pub fn pinned_pages(&self) -> usize {
+        self.pinned_pages
+    }
+
+    /// The token length of the prefix registered under `key`.
+    pub fn prefix_len(&self, key: &str) -> Option<usize> {
+        self.prefixes.get(key).map(|e| e.tokens.len())
     }
 
     /// Runs one engine iteration: admit + prefill whatever fits, then
@@ -362,7 +568,8 @@ impl<'a> Scheduler<'a> {
         self.slots.iter().flatten().count()
     }
 
-    /// KV pages reserved by active streams (never exceeds the pool
+    /// Unshared KV pages reserved by active streams
+    /// (`pinned_pages() + reserved_pages()` never exceeds the pool
     /// capacity).
     pub fn reserved_pages(&self) -> usize {
         self.reserved_pages
@@ -390,35 +597,60 @@ impl<'a> Scheduler<'a> {
 
     /// FIFO admission: only the queue head may be admitted, into the
     /// first free slot, while both a slot and free-page headroom exist
-    /// (`reserved + demand <= capacity`, the free-page watermark).
-    /// Prefill runs immediately so the stream can sample its first token
-    /// this iteration.
+    /// (`pinned + reserved + demand <= capacity`, the free-page
+    /// watermark over *unshared* demand). A prefix request's cache is
+    /// forked from the registry's pinned cache — the prefix positions
+    /// arrive as refcounted shared pages, already prefilled — and only
+    /// the private prompt suffix is prefilled, so the stream can still
+    /// sample its first token this iteration.
     fn admit(&mut self) {
         while let Some(front) = self.pending.front() {
-            let demand = self.page_demand(&front.request);
+            let demand = self.pages_needed(&front.request);
             let over_watermark = self
                 .kv_pool
                 .capacity()
-                .is_some_and(|cap| self.reserved_pages + demand > cap);
+                .is_some_and(|cap| self.pinned_pages + self.reserved_pages + demand > cap);
             if self.active_len() >= self.cfg.max_batch || over_watermark {
                 break;
             }
             let Pending { id, request } = self.pending.pop_front().expect("front exists");
-            let (mut cache, mut scratch) = self.spares.pop().unwrap_or_else(|| {
-                (
-                    self.kv_pool.new_cache(self.model.config().n_layers),
-                    DecodeScratch::new(),
-                )
-            });
-            debug_assert!(cache.is_empty(), "spare caches are reset at retirement");
+            let mut scratch = self.spare_scratches.pop().unwrap_or_default();
+            let (mut cache, mut tokens) = match request.prefix.as_deref() {
+                Some(key) => {
+                    let entry = self
+                        .prefixes
+                        .get_mut(key)
+                        .expect("prefix validated at submit, releases refuse while pending");
+                    entry.active += 1;
+                    self.stats.prefix_forks += 1;
+                    (
+                        entry.cache.fork_prefix(entry.tokens.len()),
+                        entry.tokens.clone(),
+                    )
+                }
+                None => {
+                    let cache = self
+                        .spare_caches
+                        .pop()
+                        .unwrap_or_else(|| self.kv_pool.new_cache(self.model.config().n_layers));
+                    debug_assert!(cache.is_empty(), "spare caches are reset at retirement");
+                    (cache, Vec::new())
+                }
+            };
+            let prefix_len = tokens.len();
+            debug_assert_eq!(cache.len(), prefix_len, "fork covers exactly the prefix");
+            tokens.extend_from_slice(&request.prompt);
+            // Prefill only what is not already cached — with a shared
+            // prefix that is the private suffix alone, the latency and
+            // compute win that rides along with the memory one.
             self.model
-                .prefill(&request.prompt, &mut cache, &mut scratch);
-            self.stats.prefill_tokens += request.prompt.len() as u64;
+                .prefill(&tokens[prefix_len..], &mut cache, &mut scratch);
+            self.stats.prefill_tokens += (tokens.len() - prefix_len) as u64;
             self.reserved_pages += demand;
-            let prompt_len = request.prompt.len();
+            let prompt_len = tokens.len();
             let stream = Stream {
                 id,
-                tokens: request.prompt,
+                tokens,
                 prompt_len,
                 max_new: request.max_new,
                 eos: request.eos,
@@ -427,6 +659,7 @@ impl<'a> Scheduler<'a> {
                 cache,
                 scratch,
                 reserved_pages: demand,
+                prefix: request.prefix,
                 fresh: true,
                 done: if request.max_new == 0 {
                     // Nothing to generate: finished before the first sample.
@@ -467,10 +700,21 @@ impl<'a> Scheduler<'a> {
 
     fn finish(&mut self, mut stream: Stream, reason: FinishReason) {
         self.reserved_pages -= stream.reserved_pages;
-        // Reset returns every leased page to the pool's free list, where
-        // the next admission's prefill picks them up.
+        if let Some(key) = &stream.prefix {
+            let entry = self
+                .prefixes
+                .get_mut(key)
+                .expect("registrations outlive their streams");
+            entry.active -= 1;
+        }
+        // Reset returns every owned page to the pool's free list, where
+        // the next admission's prefill picks them up; shared prefix
+        // leases are dropped, leaving the registry's pinned pages alive.
         stream.cache.reset();
-        self.spares.push((stream.cache, stream.scratch));
+        if self.spare_caches.len() < self.cfg.max_batch {
+            self.spare_caches.push(stream.cache);
+        }
+        self.spare_scratches.push(stream.scratch);
         self.finished.push(FinishedRequest {
             id: stream.id,
             tokens: stream.tokens,

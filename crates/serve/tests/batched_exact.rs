@@ -52,6 +52,7 @@ fn workload() -> Vec<Request> {
         Request::greedy(vec![1, 2, 3], 12),
         Request {
             prompt: vec![400, 5],
+            prefix: None,
             max_new: 9,
             eos: None,
             sampling: SamplingParams {
@@ -61,6 +62,7 @@ fn workload() -> Vec<Request> {
         },
         Request {
             prompt: vec![9, 9, 9, 12, 40],
+            prefix: None,
             max_new: 15,
             eos: None,
             sampling: SamplingParams {
@@ -70,6 +72,7 @@ fn workload() -> Vec<Request> {
         },
         Request {
             prompt: vec![17, 250, 3],
+            prefix: None,
             max_new: 6,
             eos: None,
             sampling: SamplingParams {
@@ -212,6 +215,7 @@ fn llama_family_batched_decode_is_exact() {
         Request::greedy(vec![4, 8, 15], 8),
         Request {
             prompt: vec![16, 23],
+            prefix: None,
             max_new: 10,
             eos: None,
             sampling: SamplingParams {
@@ -221,6 +225,7 @@ fn llama_family_batched_decode_is_exact() {
         },
         Request {
             prompt: vec![42, 108, 3, 7],
+            prefix: None,
             max_new: 5,
             eos: None,
             sampling: SamplingParams {
@@ -256,6 +261,7 @@ fn eos_truncation_matches_reference() {
     // and use it as EOS — guaranteeing the EOS path fires mid-stream.
     let base = Request {
         prompt: vec![30, 60, 90],
+        prefix: None,
         max_new: 10,
         eos: None,
         sampling: SamplingParams {

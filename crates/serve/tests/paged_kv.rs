@@ -50,6 +50,7 @@ fn workload() -> Vec<Request> {
         Request::greedy(vec![1, 2, 3], 12),
         Request {
             prompt: vec![400, 5],
+            prefix: None,
             max_new: 9,
             eos: None,
             sampling: SamplingParams {
@@ -59,6 +60,7 @@ fn workload() -> Vec<Request> {
         },
         Request {
             prompt: vec![9, 9, 9, 12, 40],
+            prefix: None,
             max_new: 15,
             eos: None,
             sampling: SamplingParams {
@@ -142,6 +144,7 @@ fn anda_pool_admits_a_batch_fp32_accounting_rejects() {
             prompt: (0..prompt_len)
                 .map(|j| (i * 131 + j * 17 + 1) % cfg.vocab)
                 .collect(),
+            prefix: None,
             max_new,
             eos: None,
             sampling: SamplingParams {

@@ -37,12 +37,25 @@ type RawReq = (Vec<usize>, usize, bool, usize, u64);
 fn build_request((prompt, max_new, has_eos, eos, seed): RawReq, hot: bool) -> Request {
     Request {
         prompt,
+        prefix: None,
         max_new,
         eos: has_eos.then_some(eos),
         sampling: SamplingParams {
             temperature: if hot { 0.9 } else { 0.0 },
             seed,
         },
+    }
+}
+
+/// The request as an unshared full-prompt submission: the prefix tokens
+/// (resolved by the caller) prepended to the private prompt.
+fn flatten(req: &Request, prefix: &[usize]) -> Request {
+    let mut full = prefix.to_vec();
+    full.extend_from_slice(&req.prompt);
+    Request {
+        prompt: full,
+        prefix: None,
+        ..req.clone()
     }
 }
 
@@ -82,10 +95,11 @@ fn run_checked(sched: &mut Scheduler<'_>) -> Vec<FinishedRequest> {
             );
         }
         assert!(
-            sched.kv_pool().pages_in_use() <= sched.reserved_pages(),
-            "leased pages {} outgrew the reservations {}",
+            sched.kv_pool().pages_in_use() <= sched.reserved_pages() + sched.pinned_pages(),
+            "leased pages {} outgrew the reservations {} + pinned {}",
             sched.kv_pool().pages_in_use(),
-            sched.reserved_pages()
+            sched.reserved_pages(),
+            sched.pinned_pages()
         );
         assert!(
             sched.active_len() <= sched.config().max_batch,
@@ -96,8 +110,13 @@ fn run_checked(sched: &mut Scheduler<'_>) -> Vec<FinishedRequest> {
             "scheduler starved: no completion in 10k steps"
         );
     }
-    // Drained: every page is back on the free list for the next wave.
-    assert_eq!(sched.kv_pool().pages_in_use(), 0, "pages leaked at drain");
+    // Drained: every non-pinned page is back on the free list for the
+    // next wave (registered prefixes keep exactly their pin).
+    assert_eq!(
+        sched.kv_pool().pages_in_use(),
+        sched.pinned_pages(),
+        "pages leaked at drain"
+    );
     assert_eq!(sched.reserved_pages(), 0, "reservations leaked at drain");
     sched.take_finished()
 }
@@ -240,6 +259,102 @@ proptest! {
             prop_assert_eq!(a.reason, b.reason);
         }
     }
+
+    /// Random mixes where a subset of requests routes through one
+    /// registered prefix: the page-accounting invariants hold with the
+    /// pin included, nobody starves, and every completion is
+    /// bit-identical to the same workload flattened into unshared full
+    /// prompts.
+    #[test]
+    fn prefix_routed_mixes_stay_exact_and_account_pinned_pages(
+        raw in prop::collection::vec(
+            (
+                prop::collection::vec(0usize..512, 1..5),
+                0usize..5,
+                any::<bool>(),
+                0usize..512,
+                0u64..100_000,
+            ),
+            1..6,
+        ),
+        route in prop::collection::vec(any::<bool>(), 6),
+        prefix_len in 1usize..14,
+        hot in any::<bool>(),
+        max_batch in 1usize..4,
+        page_positions in 1usize..6,
+    ) {
+        let model = model();
+        let prefix: Vec<usize> = (0..prefix_len).map(|i| (i * 37 + 3) % 512).collect();
+        // Capacity: the prefix pin plus room for a couple of worst-case
+        // streams, so admission really has to wait on the watermark.
+        let per_layer = (prefix_len + 10).div_ceil(page_positions);
+        let max_pages = model.config().n_layers * (per_layer * 2 + prefix_len.div_ceil(page_positions));
+        let kv = KvPoolConfig {
+            page_positions,
+            max_pages: Some(max_pages),
+            ..KvPoolConfig::default()
+        };
+        let mut sched = Scheduler::with_pool(
+            model,
+            SchedulerConfig { max_batch, kv },
+            rayon_lite::global(),
+        );
+        let pinned = match sched.register_prefix("sys", prefix.clone()) {
+            Ok(p) => p,
+            // A tiny pool can be too small for this prefix: nothing
+            // left to check in that draw.
+            Err(SubmitError::ExceedsPoolCapacity { .. }) => return,
+            Err(e) => panic!("unexpected registration failure: {e}"),
+        };
+        prop_assert_eq!(sched.pinned_pages(), pinned);
+
+        let mut accepted = Vec::new();
+        for (i, r) in raw.into_iter().enumerate() {
+            let mut req = build_request(r, hot);
+            if route[i] {
+                req.prefix = Some("sys".into());
+            }
+            if let Ok(id) = sched.submit(req.clone()) {
+                accepted.push((id, req));
+            }
+        }
+        let finished = run_checked(&mut sched);
+        prop_assert_eq!(finished.len(), accepted.len(), "someone starved");
+
+        // Flattened reference: the same requests as private full
+        // prompts through a serial unbounded scheduler.
+        let mut solo = Scheduler::with_pool(
+            model,
+            SchedulerConfig { max_batch: 1, kv: KvPoolConfig::default() },
+            rayon_lite::global(),
+        );
+        let mut expect = Vec::new();
+        for (id, req) in &accepted {
+            let flat = if req.prefix.is_some() {
+                flatten(req, &prefix)
+            } else {
+                flatten(req, &[])
+            };
+            expect.push((*id, solo.submit(flat).unwrap()));
+        }
+        let mut solo_done = solo.run_to_completion();
+        solo_done.sort_by_key(|f| f.id);
+        let mut batched = finished;
+        batched.sort_by_key(|f| f.id);
+        for ((shared_id, solo_id), s) in expect.iter().zip(&batched) {
+            prop_assert_eq!(*shared_id, s.id);
+            let solo_fin = solo_done
+                .iter()
+                .find(|f| f.id == *solo_id)
+                .expect("solo twin finished");
+            prop_assert_eq!(&s.tokens, &solo_fin.tokens, "diverged from private twin");
+            prop_assert_eq!(s.prompt_len, solo_fin.prompt_len);
+        }
+
+        // The registration outlives the wave and releases cleanly.
+        prop_assert!(sched.release_prefix("sys"));
+        prop_assert_eq!(sched.kv_pool().pages_in_use(), 0);
+    }
 }
 
 /// With one slot, completion order is exactly submission order — the
@@ -304,6 +419,7 @@ fn submit_rejects_unservable_requests() {
     assert_eq!(
         sched.submit(Request {
             prompt: vec![1],
+            prefix: None,
             max_new: 2,
             eos: Some(vocab + 7),
             sampling: SamplingParams::greedy(),

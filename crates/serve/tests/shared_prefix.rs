@@ -1,0 +1,364 @@
+//! Shared-prefix serving: a scheduler that forks registered prefix
+//! caches into its streams is token/logit bit-exact against fully
+//! private caches, charges each stream only its unshared pages, and
+//! returns every page (pinned ones included) when the work drains.
+
+use std::sync::OnceLock;
+
+use anda_llm::kv::{KvPoolConfig, KvStorage};
+use anda_llm::zoo::{opt_125m_sim, sim_model};
+use anda_llm::Model;
+use anda_serve::{Request, SamplingParams, Scheduler, SchedulerConfig, SubmitError};
+use rayon_lite::ThreadPool;
+
+fn model() -> &'static Model {
+    static MODEL: OnceLock<Model> = OnceLock::new();
+    MODEL.get_or_init(|| opt_125m_sim().build())
+}
+
+fn llama() -> &'static Model {
+    static MODEL: OnceLock<Model> = OnceLock::new();
+    MODEL.get_or_init(|| sim_model("LLaMA-7B").unwrap().build())
+}
+
+/// A batch of requests over one shared prefix: varied private prompts,
+/// budgets, temperatures and one EOS user.
+fn private_parts() -> Vec<Request> {
+    vec![
+        Request::greedy(vec![1, 2, 3], 10),
+        Request {
+            prompt: vec![400, 5],
+            prefix: None,
+            max_new: 8,
+            eos: None,
+            sampling: SamplingParams {
+                temperature: 0.9,
+                seed: 7,
+            },
+        },
+        Request {
+            prompt: vec![9, 9, 12],
+            prefix: None,
+            max_new: 12,
+            eos: Some(40),
+            sampling: SamplingParams {
+                temperature: 1.1,
+                seed: 99,
+            },
+        },
+    ]
+}
+
+/// Runs the same workload twice — once routed through a registered
+/// prefix, once as fully private full-prompt requests — and demands
+/// bit-identical completions, for every storage policy and page size
+/// the satellite matrix names, with the prefix deliberately not
+/// page-aligned at page size 8 so copy-on-write fires in the shared
+/// run.
+#[test]
+fn shared_prefix_serving_is_bit_exact_vs_private_caches() {
+    // 13 tokens: 1-page-misaligned at pp=8 (partial tail page → CoW)
+    // and multi-page at pp=1.
+    let prefix: Vec<usize> = (0..13).map(|i| (i * 29 + 11) % 500).collect();
+    for m in [model(), llama()] {
+        for storage in [
+            KvStorage::Fp32,
+            KvStorage::Fp16,
+            KvStorage::Anda { mantissa_bits: 6 },
+            KvStorage::Anda { mantissa_bits: 11 },
+        ] {
+            for (threads, page_positions) in [(1, 1), (1, 8), (4, 8)] {
+                let pool = ThreadPool::new(threads);
+                let kv = KvPoolConfig {
+                    storage,
+                    page_positions,
+                    max_pages: None,
+                };
+                let cfg = SchedulerConfig { max_batch: 3, kv };
+
+                let mut shared = Scheduler::with_pool(m, cfg, &pool);
+                shared.register_prefix("sys", prefix.clone()).unwrap();
+                for r in private_parts() {
+                    shared.submit(r.with_prefix("sys")).unwrap();
+                }
+                let mut shared_done = shared.run_to_completion();
+                assert_eq!(shared.stats().prefix_forks, 3);
+
+                let mut private = Scheduler::with_pool(m, cfg, &pool);
+                for mut r in private_parts() {
+                    let mut full = prefix.clone();
+                    full.extend_from_slice(&r.prompt);
+                    r.prompt = full;
+                    private.submit(r).unwrap();
+                }
+                let mut private_done = private.run_to_completion();
+
+                shared_done.sort_by_key(|f| f.id);
+                private_done.sort_by_key(|f| f.id);
+                for (s, p) in shared_done.iter().zip(&private_done) {
+                    assert_eq!(
+                        s.tokens, p.tokens,
+                        "{storage:?} pp={page_positions} threads={threads}: \
+                         shared-prefix stream {} diverged from its private twin",
+                        s.id
+                    );
+                    assert_eq!(s.prompt_len, p.prompt_len, "effective prompt length");
+                    assert_eq!(s.reason, p.reason);
+                }
+                // The shared run deduplicated real pages: it never
+                // leased more than the private run, and at pp=8 the
+                // whole-page prefix savings are strict.
+                let (su, pu) = (
+                    shared.stats().peak_pages_in_use,
+                    private.stats().peak_pages_in_use,
+                );
+                assert!(su <= pu, "sharing must not cost pages ({su} > {pu})");
+                if page_positions == 8 {
+                    assert!(su < pu, "whole-page prefix sharing must save pages");
+                }
+            }
+        }
+    }
+}
+
+/// The admission discount as an executable fact: on a pool sized for
+/// `pages(prefix) + N·pages(private)`, the shared batch runs fully
+/// concurrently while the same workload as private full prompts cannot
+/// — the watermark serializes it (and a single private request already
+/// over-demands a pool that sharing would have made roomy).
+#[test]
+fn admission_charges_only_unshared_pages() {
+    let m = model();
+    let n_layers = m.config().n_layers;
+    let batch = 4usize;
+    let pp = 8usize;
+    let prefix_len = 48usize; // page-aligned: 6 shared pages per layer
+    let private_tokens = 8 + 16; // prompt suffix + max_new → 3 pages
+    let prefix: Vec<usize> = (0..prefix_len).map(|i| (i * 7 + 1) % 500).collect();
+
+    let shared_pages = n_layers * (prefix_len / pp);
+    let private_pages = n_layers * ((prefix_len + private_tokens).div_ceil(pp) - prefix_len / pp);
+    let capacity = shared_pages + batch * private_pages;
+
+    let kv = KvPoolConfig {
+        storage: KvStorage::Anda { mantissa_bits: 5 },
+        page_positions: pp,
+        max_pages: Some(capacity),
+    };
+    let mk_req = |i: usize| Request {
+        prompt: (0..8).map(|j| (i * 131 + j * 17 + 1) % 500).collect(),
+        prefix: None,
+        max_new: 16,
+        eos: None,
+        sampling: SamplingParams {
+            temperature: 0.8,
+            seed: i as u64,
+        },
+    };
+
+    // Shared: everything fits at once.
+    let mut shared = Scheduler::new(
+        m,
+        SchedulerConfig {
+            max_batch: batch,
+            kv,
+        },
+    );
+    let pinned = shared.register_prefix("sys", prefix.clone()).unwrap();
+    assert_eq!(pinned, shared_pages);
+    for i in 0..batch {
+        shared.submit(mk_req(i).with_prefix("sys")).unwrap();
+        assert_eq!(
+            shared.pages_needed(&mk_req(i).with_prefix("sys")),
+            private_pages
+        );
+    }
+    let done = shared.run_to_completion();
+    assert_eq!(done.len(), batch);
+    assert_eq!(
+        shared.stats().peak_active,
+        batch,
+        "the shared batch must run fully concurrently"
+    );
+    // Physical peak: the prefix pages once plus each stream's private
+    // pages — `pages(P) + N·pages(private)`, not `N·pages(P+private)`.
+    assert_eq!(shared.stats().peak_pages_in_use, capacity);
+
+    // Private full prompts on the same pool: the watermark must
+    // serialize the batch (each stream now demands its own prefix
+    // pages too).
+    let mut private = Scheduler::new(
+        m,
+        SchedulerConfig {
+            max_batch: batch,
+            kv,
+        },
+    );
+    for i in 0..batch {
+        let mut r = mk_req(i);
+        let mut full = prefix.clone();
+        full.extend_from_slice(&r.prompt);
+        r.prompt = full;
+        private.submit(r).unwrap();
+    }
+    let done = private.run_to_completion();
+    assert_eq!(done.len(), batch, "serialized, not starved");
+    assert!(
+        private.stats().peak_active < batch,
+        "private full prompts must not fit concurrently on this pool"
+    );
+}
+
+/// Registry lifecycle: duplicate and unknown keys are rejected,
+/// release refuses while streams or queued requests depend on the
+/// prefix, and a drained scheduler hands back every page — pinned ones
+/// exactly when the release succeeds.
+#[test]
+fn registry_lifecycle_and_page_drain() {
+    let m = model();
+    let mut sched = Scheduler::new(
+        m,
+        SchedulerConfig {
+            max_batch: 2,
+            kv: KvPoolConfig {
+                storage: KvStorage::Fp16,
+                page_positions: 4,
+                max_pages: Some(m.config().n_layers * 40),
+            },
+        },
+    );
+    let vocab = m.config().vocab;
+    assert_eq!(
+        sched.register_prefix("p", vec![]),
+        Err(SubmitError::EmptyPrompt)
+    );
+    assert_eq!(
+        sched.register_prefix("p", vec![vocab]),
+        Err(SubmitError::TokenOutOfVocab {
+            token: vocab,
+            vocab
+        })
+    );
+    let pinned = sched.register_prefix("p", vec![5, 6, 7, 8, 9]).unwrap();
+    assert_eq!(pinned, m.config().n_layers * 2, "5 tokens → 2 pages/layer");
+    assert_eq!(sched.pinned_pages(), pinned);
+    assert_eq!(sched.prefix_len("p"), Some(5));
+    assert_eq!(
+        sched.register_prefix("p", vec![1]),
+        Err(SubmitError::PrefixAlreadyRegistered)
+    );
+    assert_eq!(
+        sched.submit(Request::greedy(vec![1], 2).with_prefix("nope")),
+        Err(SubmitError::UnknownPrefix)
+    );
+
+    // Queued dependents block release; so do active streams.
+    sched
+        .submit(Request::greedy(vec![1, 2], 3).with_prefix("p"))
+        .unwrap();
+    assert!(!sched.release_prefix("p"), "pending dependent must block");
+    sched.step();
+    assert!(!sched.release_prefix("p"), "active dependent must block");
+    while !sched.is_idle() {
+        sched.step();
+    }
+    let done = sched.take_finished();
+    assert_eq!(done.len(), 1);
+    assert_eq!(
+        &done[0].tokens[..5],
+        &[5, 6, 7, 8, 9],
+        "prefix leads the output"
+    );
+    assert_eq!(done[0].prompt_len, 7);
+
+    // Drained: only the pinned pages remain leased, and releasing the
+    // prefix returns those too.
+    assert_eq!(sched.reserved_pages(), 0);
+    assert_eq!(sched.kv_pool().pages_in_use(), pinned);
+    assert!(!sched.release_prefix("ghost"), "unknown key");
+    assert!(sched.release_prefix("p"));
+    assert_eq!(sched.pinned_pages(), 0);
+    assert_eq!(sched.kv_pool().pages_in_use(), 0, "all pages drained");
+    assert!(!sched.release_prefix("p"), "double release is refused");
+}
+
+/// Mixed batches — prefix and non-prefix streams decoding side by side
+/// — stay bit-exact, and two prefixes can be live at once.
+#[test]
+fn mixed_and_multi_prefix_batches_are_exact() {
+    let m = model();
+    let kv = KvPoolConfig {
+        storage: KvStorage::Anda { mantissa_bits: 8 },
+        page_positions: 8,
+        max_pages: None,
+    };
+    let prefix_a: Vec<usize> = (0..11).map(|i| (i * 3 + 2) % 500).collect();
+    let prefix_b: Vec<usize> = (0..19).map(|i| (i * 13 + 5) % 500).collect();
+
+    let mut sched = Scheduler::new(m, SchedulerConfig { max_batch: 4, kv });
+    sched.register_prefix("a", prefix_a.clone()).unwrap();
+    sched.register_prefix("b", prefix_b.clone()).unwrap();
+    sched
+        .submit(Request::greedy(vec![1, 2], 6).with_prefix("a"))
+        .unwrap();
+    sched
+        .submit(Request::greedy(vec![3, 4], 6).with_prefix("b"))
+        .unwrap();
+    sched.submit(Request::greedy(vec![5, 6], 6)).unwrap();
+    sched
+        .submit(Request::greedy(vec![7], 5).with_prefix("a"))
+        .unwrap();
+    let mut done = sched.run_to_completion();
+    done.sort_by_key(|f| f.id);
+
+    let mut reference = Scheduler::new(m, SchedulerConfig { max_batch: 4, kv });
+    for full in [
+        [prefix_a.clone(), vec![1, 2]].concat(),
+        [prefix_b.clone(), vec![3, 4]].concat(),
+        vec![5, 6],
+        [prefix_a.clone(), vec![7]].concat(),
+    ] {
+        let max_new = if full.ends_with(&[7]) { 5 } else { 6 };
+        reference.submit(Request::greedy(full, max_new)).unwrap();
+    }
+    let mut ref_done = reference.run_to_completion();
+    ref_done.sort_by_key(|f| f.id);
+    for (s, p) in done.iter().zip(&ref_done) {
+        assert_eq!(s.tokens, p.tokens, "stream {} diverged", s.id);
+    }
+}
+
+/// Registration ordered *after* an accepted submit must not strand it:
+/// a pin that would leave the pending request permanently unadmittable
+/// is rejected, the request still completes, and a pin that genuinely
+/// fits alongside the queue is accepted.
+#[test]
+fn late_registration_cannot_strand_accepted_requests() {
+    let m = model();
+    let n_layers = m.config().n_layers;
+    // Capacity: exactly one 4-token request (2 pages/layer at pp=2).
+    let mut sched = Scheduler::new(
+        m,
+        SchedulerConfig {
+            max_batch: 2,
+            kv: KvPoolConfig {
+                storage: KvStorage::Fp16,
+                page_positions: 2,
+                max_pages: Some(n_layers * 2),
+            },
+        },
+    );
+    sched.submit(Request::greedy(vec![1, 2, 3], 1)).unwrap();
+    // Pinning even one page/layer now would make the queued request's
+    // 2-page demand unadmittable forever — must be refused.
+    let err = sched.register_prefix("sys", vec![5, 6]).unwrap_err();
+    assert!(
+        matches!(err, SubmitError::ExceedsPoolCapacity { .. }),
+        "a pin that strands the queue must be rejected: {err}"
+    );
+    assert_eq!(sched.pinned_pages(), 0, "rejected pins charge nothing");
+    let done = sched.run_to_completion();
+    assert_eq!(done.len(), 1, "the accepted request still terminates");
+    // With the queue drained the same registration fits.
+    assert!(sched.register_prefix("sys", vec![5, 6]).is_ok());
+}
