@@ -6,13 +6,18 @@
 //! kernel, per shape, per thread count, plus the speedup over serial.
 //!
 //! The acceptance bar for the threading work is >1.5× on `matmul` at
-//! 4 threads on 512×512×512 (needs ≥4 physical cores, of course).
+//! 4 threads on 512×512×512 (needs ≥4 physical cores, of course). A
+//! second table pits the dispatched SIMD leg against the forced-scalar
+//! oracle on the serial kernels (identical bits, different wall time),
+//! and the run ends by writing a `BENCH_gemm_threads.json` perf
+//! trajectory (see `anda_bench::trajectory`).
 //!
 //! Usage: `gemm_threads [--quick] [--threads A,B,…]`
 
 use std::time::Instant;
 
-use anda_bench::Table;
+use anda_bench::{BenchReport, Table};
+use anda_fp::{active_leg, cpu_features, SimdLeg};
 use anda_quant::{gemm_anda_into_pool, IntWeightMatrix, WeightQuantConfig};
 use anda_tensor::{Matrix, Rng};
 use rayon_lite::ThreadPool;
@@ -47,9 +52,16 @@ fn main() {
 
     println!(
         "GEMM threading bench — serial vs rayon-lite pool \
-         (machine parallelism: {})\n",
+         (machine parallelism: {})",
         std::thread::available_parallelism().map_or(1, usize::from)
     );
+    println!(
+        "SIMD dispatch: {} leg (detected: {})\n",
+        active_leg().name(),
+        cpu_features()
+    );
+    let mut report = BenchReport::new("gemm_threads");
+    report.set_threads(threads.iter().copied().max().unwrap_or(1));
 
     // (m, k, n): square hot-path shape, the acceptance shape, a wide
     // activation panel (prefill-like), and a tall skinny one (LM head).
@@ -78,9 +90,13 @@ fn main() {
         let bt = random(n, k, 3, 1.0);
         let mut out = Matrix::zeros(m, n);
         let flops = 2.0 * (m * k * n) as f64;
+        let acceptance_shape = (m, k, n) == (512, 512, 512);
 
         // Dense matmul.
         let serial = best_of(reps, || a.matmul_into_serial(&b, &mut out));
+        if acceptance_shape {
+            report.metric("matmul_512_serial_gflops", flops / serial / 1e9);
+        }
         let mut cells = vec![
             format!("matmul {m}x{k}x{n}"),
             format!("{:.2}", flops / serial / 1e9),
@@ -88,6 +104,9 @@ fn main() {
         for &t in &threads {
             let pool = ThreadPool::new(t);
             let par = best_of(reps, || a.matmul_into_pool(&b, &mut out, &pool));
+            if acceptance_shape {
+                report.metric(&format!("matmul_512_{t}t_gflops"), flops / par / 1e9);
+            }
             cells.push(format!("{:.2}", flops / par / 1e9));
             cells.push(format!("{:.2}x", serial / par));
         }
@@ -95,6 +114,9 @@ fn main() {
 
         // Transposed matmul (attention scores / LM head shape).
         let serial = best_of(reps, || a.matmul_transposed_into_serial(&bt, &mut out));
+        if acceptance_shape {
+            report.metric("matmul_t_512_serial_gflops", flops / serial / 1e9);
+        }
         let mut cells = vec![
             format!("matmul_t {m}x{k}x{n}"),
             format!("{:.2}", flops / serial / 1e9),
@@ -118,6 +140,7 @@ fn main() {
     let serial = best_of(reps, || {
         gemm_anda_into_pool(&x, &wq, 8, &mut out, &ThreadPool::new(1))
     });
+    report.metric("gemm_anda_serial_gflops", flops / serial / 1e9);
     let mut cells = vec![
         format!("gemm_anda {m}x{k}x{n} M8"),
         format!("{:.2}", flops / serial / 1e9),
@@ -136,4 +159,50 @@ fn main() {
          the cross-thread-count suites in crates/tensor/tests and \
          crates/quant/tests enforce it)"
     );
+
+    // --- SIMD leg vs scalar oracle on the serial kernels ---
+    let leg = active_leg();
+    let (m, k, n) = if quick {
+        (256, 256, 256)
+    } else {
+        (512, 512, 512)
+    };
+    let a = random(m, k, 6, 1.0);
+    let b = random(k, n, 7, 1.0);
+    let bt = random(n, k, 8, 1.0);
+    let mut out = Matrix::zeros(m, n);
+    let flops = 2.0 * (m * k * n) as f64;
+    println!(
+        "\nSIMD vs scalar (serial kernels, {m}x{k}x{n}, dispatched leg: {}):",
+        leg.name()
+    );
+    let mut simd_table = Table::new(&["kernel", "scalar GF/s", "simd GF/s", "simd speedup"]);
+    type Kernel<'a> = &'a dyn Fn(SimdLeg, &mut Matrix);
+    let kernels: [(&str, &str, Kernel); 2] = [
+        (
+            "matmul",
+            "matmul_512_simd_speedup",
+            &|l: SimdLeg, o: &mut Matrix| a.matmul_into_serial_with_leg(&b, o, l),
+        ),
+        (
+            "matmul_t",
+            "matmul_t_512_simd_speedup",
+            &|l: SimdLeg, o: &mut Matrix| a.matmul_transposed_into_serial_with_leg(&bt, o, l),
+        ),
+    ];
+    for (label, key, run) in kernels {
+        let scalar = best_of(reps, || run(SimdLeg::Scalar, &mut out));
+        let vector = best_of(reps, || run(leg, &mut out));
+        simd_table.row_owned(vec![
+            label.to_string(),
+            format!("{:.2}", flops / scalar / 1e9),
+            format!("{:.2}", flops / vector / 1e9),
+            format!("{:.2}x", scalar / vector),
+        ]);
+        report.metric(key, scalar / vector);
+    }
+    simd_table.print();
+    println!("(both legs produce bit-identical outputs — the scalar twin is the oracle)");
+
+    report.write_and_announce();
 }

@@ -21,7 +21,7 @@
 
 use std::time::Instant;
 
-use anda_bench::{arg_val, workload_prompt, Table};
+use anda_bench::{arg_val, workload_prompt, BenchReport, Table};
 use anda_llm::kv::{KvPoolConfig, KvStorage, PagePool};
 use anda_llm::zoo::opt_125m_sim;
 use anda_llm::DecodeScratch;
@@ -31,6 +31,7 @@ fn policy_name(storage: KvStorage) -> String {
     match storage {
         KvStorage::Fp32 => "FP32".into(),
         KvStorage::Fp16 => "FP16".into(),
+        KvStorage::Bf16 => "BF16".into(),
         KvStorage::Anda { mantissa_bits } => format!("Anda M={mantissa_bits}"),
     }
 }
@@ -53,17 +54,24 @@ fn main() {
     let policies = [
         KvStorage::Fp32,
         KvStorage::Fp16,
+        KvStorage::Bf16,
         KvStorage::Anda { mantissa_bits: 8 },
         KvStorage::Anda { mantissa_bits: 5 },
     ];
 
     println!(
-        "KV memory — decode on {} (d={}, {} layers), page size {} positions\n",
+        "KV memory — decode on {} (d={}, {} layers), page size {} positions",
         cfg.name,
         cfg.d_model,
         cfg.n_layers,
         anda_llm::kv::DEFAULT_PAGE_POSITIONS
     );
+    println!(
+        "SIMD dispatch: {} leg (detected: {})\n",
+        anda_fp::active_leg().name(),
+        anda_fp::cpu_features()
+    );
+    let mut report = BenchReport::new("kv_memory");
     let mut table = Table::new(&[
         "KV storage",
         "context",
@@ -89,6 +97,13 @@ fn main() {
             let elapsed = t0.elapsed().as_secs_f64();
             let elems = (2 * cfg.n_layers * context * cfg.d_model) as f64;
             let fp16_bits = elems * 16.0;
+            if context == *contexts.last().expect("nonempty contexts") {
+                let key = policy_name(storage).to_lowercase().replace([' ', '='], "_");
+                report.metric(
+                    &format!("{key}_ctx{context}_tokens_per_s"),
+                    context as f64 / elapsed,
+                );
+            }
             table.row_owned(vec![
                 policy_name(storage),
                 context.to_string(),
@@ -206,4 +221,7 @@ fn main() {
         "the Anda pool must hold the whole batch concurrently"
     );
     println!("\n(compressed pages turn the same memory budget into admission headroom)");
+    report.metric("anda_accepted", anda_accepted as f64);
+    report.metric("fp32_accepted", fp32_accepted as f64);
+    report.write_and_announce();
 }

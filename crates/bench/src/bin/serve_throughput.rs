@@ -20,7 +20,7 @@
 
 use std::time::Instant;
 
-use anda_bench::{arg_val, workload_prompt, Table};
+use anda_bench::{arg_val, workload_prompt, BenchReport, Table};
 use anda_llm::zoo::opt_125m_sim;
 use anda_llm::Model;
 use anda_serve::{KvPoolConfig, Request, SamplingParams, Scheduler, SchedulerConfig};
@@ -83,10 +83,15 @@ fn main() {
     let reqs = workload(&model, requests, prompt_len, max_new);
     println!(
         "Serving throughput — {} requests × (prompt {prompt_len} + {max_new} new) on {}, \
-         pool threads: {}\n",
+         pool threads: {}",
         requests,
         model.config().name,
         rayon_lite::global().threads()
+    );
+    println!(
+        "SIMD dispatch: {} leg (detected: {})\n",
+        anda_fp::active_leg().name(),
+        anda_fp::cpu_features()
     );
 
     let mut measured = Vec::new();
@@ -120,9 +125,15 @@ fn main() {
     }
     println!("{}", table.render());
 
+    let mut report = BenchReport::new("serve_throughput");
+    for &(b, _, _, tps) in &measured {
+        report.metric(&format!("batch{b}_tokens_per_s"), tps);
+    }
+
     let b1 = measured.iter().find(|(b, ..)| *b == 1);
     let b4 = measured.iter().find(|(b, ..)| *b == 4);
     if let (Some(&(.., t1)), Some(&(.., t4))) = (b1, b4) {
+        report.metric("batch4_vs_batch1", t4 / t1);
         println!(
             "batch 4 vs batch 1: {:.2}x aggregate tokens/s{}",
             t4 / t1,
@@ -139,8 +150,10 @@ fn main() {
         // it is skipped like the single-threaded pool.
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         if enforce && rayon_lite::global().threads() > 1 && cores > 1 && t4 <= t1 {
+            report.write_and_announce();
             eprintln!("FAIL: batch 4 must beat batch 1 on a multi-threaded pool");
             std::process::exit(1);
         }
     }
+    report.write_and_announce();
 }

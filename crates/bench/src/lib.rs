@@ -7,11 +7,15 @@
 //! - [`table`] — fixed-width console table rendering.
 //! - [`runs`] — memoized construction of models, corpora and searches so
 //!   the experiment binaries stay fast and consistent with each other.
+//! - [`trajectory`] — machine-readable `BENCH_<name>.json` perf reports
+//!   (commit, threads, SIMD leg, metrics) the CI smokes emit.
 
 pub mod runs;
 pub mod table;
+pub mod trajectory;
 
 pub use table::Table;
+pub use trajectory::BenchReport;
 
 /// The value following `flag` in a binary's argument list, if present
 /// (shared flag parsing for the `src/bin/` experiment binaries).

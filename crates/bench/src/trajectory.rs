@@ -1,0 +1,200 @@
+//! Perf-trajectory reports: machine-readable `BENCH_<name>.json` files.
+//!
+//! Every perf-sensitive bench binary writes one JSON report per run so CI
+//! can track throughput across commits (the perf trajectory): which
+//! commit ran, how many pool threads, which SIMD leg the dispatcher
+//! picked, the detected CPU features, and a flat map of named metrics
+//! (tokens/s, GFLOP/s, speedups). The format is hand-rolled — flat
+//! strings and finite numbers only — so nothing outside the workspace is
+//! needed to produce or diff it.
+//!
+//! Reports land in the current directory by default; set
+//! `ANDA_BENCH_DIR` to redirect them (CI points this at its artifact
+//! directory).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use anda_fp::{active_leg, cpu_features};
+
+/// One bench run's perf report, serialized as `BENCH_<name>.json`.
+///
+/// ```
+/// let mut report = anda_bench::BenchReport::new("doc_example");
+/// report.metric("tokens_per_s", 123.4);
+/// let path = report.write().unwrap();
+/// # std::fs::remove_file(path).unwrap();
+/// ```
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    name: String,
+    commit: String,
+    threads: usize,
+    simd: &'static str,
+    cpu_features: String,
+    metrics: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// A report for the bench `name` (lowercase identifier; it becomes
+    /// the file stem). Captures the commit (from `GITHUB_SHA` or
+    /// `git rev-parse`), the global pool width, the dispatched SIMD leg
+    /// and the detected CPU features at construction time.
+    pub fn new(name: &str) -> Self {
+        BenchReport {
+            name: name.to_string(),
+            commit: commit_id(),
+            threads: rayon_lite::global().threads(),
+            simd: active_leg().name(),
+            cpu_features: cpu_features(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Overrides the recorded thread count (benches that sweep explicit
+    /// pools record the widest pool they measured).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// Records one named metric. Non-finite values are recorded as `0`
+    /// (JSON has no NaN/infinity).
+    pub fn metric(&mut self, key: &str, value: f64) {
+        let value = if value.is_finite() { value } else { 0.0 };
+        self.metrics.push((key.to_string(), value));
+    }
+
+    /// The path this report will be written to:
+    /// `$ANDA_BENCH_DIR/BENCH_<name>.json` (or the current directory).
+    pub fn path(&self) -> PathBuf {
+        let dir = std::env::var_os("ANDA_BENCH_DIR").map_or_else(PathBuf::new, PathBuf::from);
+        dir.join(format!("BENCH_{}.json", self.name))
+    }
+
+    /// Serializes the report (pretty-printed, stable key order).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"name\": {},\n", json_str(&self.name)));
+        s.push_str(&format!("  \"commit\": {},\n", json_str(&self.commit)));
+        s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str(&format!("  \"simd\": {},\n", json_str(self.simd)));
+        s.push_str(&format!(
+            "  \"cpu_features\": {},\n",
+            json_str(&self.cpu_features)
+        ));
+        s.push_str("  \"metrics\": {");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            s.push_str(&format!("{sep}\n    {}: {v}", json_str(k)));
+        }
+        if self.metrics.is_empty() {
+            s.push_str("}\n");
+        } else {
+            s.push_str("\n  }\n");
+        }
+        s.push('}');
+        s.push('\n');
+        s
+    }
+
+    /// Writes `BENCH_<name>.json` and returns its path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = self.path();
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+
+    /// [`BenchReport::write`] with a console confirmation — the one-liner
+    /// the bench binaries end on. Failures are reported, not fatal: a
+    /// read-only working directory must not fail the bench itself.
+    pub fn write_and_announce(&self) {
+        match self.write() {
+            Ok(path) => println!("perf trajectory written to {}", path.display()),
+            Err(e) => eprintln!("perf trajectory not written: {e}"),
+        }
+    }
+}
+
+/// The commit the bench ran at: `GITHUB_SHA` in CI, `git rev-parse
+/// --short HEAD` locally, `"unknown"` outside a checkout.
+fn commit_id() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Minimal JSON string quoting (control characters, quote, backslash).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_all_fields_in_order() {
+        let mut r = BenchReport::new("unit");
+        r.set_threads(4);
+        r.metric("tokens_per_s", 128.5);
+        r.metric("gflops", f64::NAN); // recorded as 0
+        let json = r.to_json();
+        assert!(json.starts_with("{\n  \"name\": \"unit\","));
+        for key in [
+            "\"commit\":",
+            "\"threads\": 4",
+            "\"simd\":",
+            "\"cpu_features\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("\"tokens_per_s\": 128.5"));
+        assert!(json.contains("\"gflops\": 0"));
+        let name = json.find("\"name\"").unwrap();
+        let metrics = json.find("\"metrics\"").unwrap();
+        assert!(name < metrics, "stable key order");
+    }
+
+    #[test]
+    fn empty_metrics_and_escaping_stay_valid() {
+        let r = BenchReport::new("weird \"name\"\\with\nescapes");
+        let json = r.to_json();
+        assert!(json.contains(r#""weird \"name\"\\with\nescapes""#));
+        assert!(json.contains("\"metrics\": {}"));
+    }
+
+    #[test]
+    fn path_honors_bench_dir_env() {
+        // Read-only check against the ambient env (tests must not set
+        // global env vars: other tests read them concurrently).
+        let r = BenchReport::new("pathcheck");
+        let p = r.path();
+        assert!(p.ends_with("BENCH_pathcheck.json"));
+    }
+}

@@ -194,23 +194,10 @@ impl BfpTensor {
 }
 
 /// Rounds an `f32` to FP16, clamping overflow to ±65504 (finite).
-pub fn saturate_to_f16(v: f32) -> F16 {
-    if v.is_nan() {
-        return F16::ZERO;
-    }
-    let clamped = v.clamp(-65504.0, 65504.0);
-    let h = F16::from_f32(clamped);
-    if h.is_infinite() {
-        // RNE can still round 65504 < |v| ≤ 65504+ε to ∞; force the max.
-        if h.is_sign_negative() {
-            F16::MIN
-        } else {
-            F16::MAX
-        }
-    } else {
-        h
-    }
-}
+///
+/// Re-exported from `anda-fp` so the SIMD batch kernels there and the
+/// format/KV layers here agree on one saturation definition.
+pub use anda_fp::f16::saturate_to_f16;
 
 /// Convenience: quantize → dequantize an `f32` slice through BFP, returning
 /// the values a BFP-converted activation tensor would carry.

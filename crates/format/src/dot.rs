@@ -98,6 +98,166 @@ pub fn dot_group_bit_serial(group: &BitPlaneGroup, weights: &[i8]) -> (i64, BitS
     )
 }
 
+/// Allocation-free integer group dot over flat bit-plane storage (sign
+/// word + MSB-first planes, as written by [`crate::rowcodec`]), on the
+/// active SIMD dispatch leg. Equal to [`dot_group_bit_serial`]'s integer
+/// result for the same group — the dot is exact integer arithmetic, so
+/// every summation order (bit-serial, scalar, vector) produces the same
+/// value — but without building the trace or allocating.
+///
+/// Lanes at or beyond `weights.len()` must have zero plane and sign bits
+/// (the row codec guarantees this for trailing lanes).
+///
+/// # Panics
+///
+/// Panics if `weights` holds more than [`crate::bitplane::LANES`] lanes.
+pub fn dot_group_int_flat(sign_word: u64, planes: &[u64], weights: &[i8]) -> i64 {
+    dot_group_int_flat_with_leg(anda_fp::simd::active_leg(), sign_word, planes, weights)
+}
+
+/// [`dot_group_int_flat`] on an explicit leg (oracle tests and benches).
+///
+/// # Panics
+///
+/// As [`dot_group_int_flat`], or if the leg is unavailable on this host.
+pub fn dot_group_int_flat_with_leg(
+    leg: anda_fp::simd::SimdLeg,
+    sign_word: u64,
+    planes: &[u64],
+    weights: &[i8],
+) -> i64 {
+    use anda_fp::simd::SimdLeg;
+    match leg {
+        SimdLeg::Scalar => dot_group_int_flat_scalar(sign_word, planes, weights),
+        #[cfg(target_arch = "x86_64")]
+        SimdLeg::Avx2 => unsafe { dot_group_int_flat_avx2(sign_word, planes, weights) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLeg::Neon => unsafe { dot_group_int_flat_neon(sign_word, planes, weights) },
+        #[allow(unreachable_patterns)]
+        other => panic!("SIMD leg {} unavailable on this host", other.name()),
+    }
+}
+
+/// The scalar oracle of [`dot_group_int_flat`]: the bit-serial schedule
+/// with signs applied on the fly instead of staged into a buffer.
+pub fn dot_group_int_flat_scalar(sign_word: u64, planes: &[u64], weights: &[i8]) -> i64 {
+    assert!(
+        weights.len() <= crate::bitplane::LANES,
+        "a group holds at most 64 lanes"
+    );
+    let mut acc = 0i64;
+    for plane in planes {
+        let mut partial = 0i64;
+        let mut bits = *plane;
+        while bits != 0 {
+            let lane = bits.trailing_zeros() as usize;
+            let w = i64::from(weights[lane]);
+            partial += if (sign_word >> lane) & 1 == 1 { -w } else { w };
+            bits &= bits - 1;
+        }
+        acc = (acc << 1) + partial;
+    }
+    acc
+}
+
+/// AVX2 leg of [`dot_group_int_flat`]: signs are applied to the weights
+/// once into an i16 staging array; each plane then expands 16 plane bits
+/// at a time into full-lane masks (compare-against-bit-mask), ANDs them
+/// with the signed weights and pairwise-sums with `_mm256_madd_epi16` —
+/// the adder tree of the paper's APU, four chunks wide.
+///
+/// # Safety
+///
+/// Requires AVX2 (callers go through the dispatch layer).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_group_int_flat_avx2(sign_word: u64, planes: &[u64], weights: &[i8]) -> i64 {
+    use core::arch::x86_64::*;
+    assert!(
+        weights.len() <= crate::bitplane::LANES,
+        "a group holds at most 64 lanes"
+    );
+    // Lanes beyond the group tail keep weight 0, so stray reads are inert.
+    let mut sw = [0i16; crate::bitplane::LANES];
+    for (i, &w) in weights.iter().enumerate() {
+        let w = i16::from(w);
+        sw[i] = if (sign_word >> i) & 1 == 1 { -w } else { w };
+    }
+    let lane_bits = _mm256_setr_epi16(
+        1,
+        1 << 1,
+        1 << 2,
+        1 << 3,
+        1 << 4,
+        1 << 5,
+        1 << 6,
+        1 << 7,
+        1 << 8,
+        1 << 9,
+        1 << 10,
+        1 << 11,
+        1 << 12,
+        1 << 13,
+        1 << 14,
+        i16::MIN, // 1 << 15 as i16
+    );
+    let mut acc = 0i64;
+    for plane in planes {
+        let mut sums = _mm256_setzero_si256();
+        for chunk in 0..4 {
+            let bits16 = _mm256_set1_epi16(((plane >> (chunk * 16)) & 0xFFFF) as i16);
+            let hit = _mm256_cmpeq_epi16(_mm256_and_si256(bits16, lane_bits), lane_bits);
+            let w = _mm256_loadu_si256(sw.as_ptr().add(chunk * 16).cast());
+            let masked = _mm256_and_si256(hit, w);
+            // Pairwise i16·1 + i16·1 → i32 partial sums (no i16 overflow).
+            sums = _mm256_add_epi32(sums, _mm256_madd_epi16(masked, _mm256_set1_epi16(1)));
+        }
+        let mut lanes = [0i32; 8];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), sums);
+        let partial: i64 = lanes.iter().map(|&x| i64::from(x)).sum();
+        acc = (acc << 1) + partial;
+    }
+    acc
+}
+
+/// NEON leg of [`dot_group_int_flat`]: the 8-lane i16 mirror of the AVX2
+/// leg using `vaddlvq_s16` for the per-chunk adder tree.
+///
+/// # Safety
+///
+/// Requires NEON.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn dot_group_int_flat_neon(sign_word: u64, planes: &[u64], weights: &[i8]) -> i64 {
+    use core::arch::aarch64::*;
+    assert!(
+        weights.len() <= crate::bitplane::LANES,
+        "a group holds at most 64 lanes"
+    );
+    let mut sw = [0i16; crate::bitplane::LANES];
+    for (i, &w) in weights.iter().enumerate() {
+        let w = i16::from(w);
+        sw[i] = if (sign_word >> i) & 1 == 1 { -w } else { w };
+    }
+    let lane_bits = {
+        let bits: [u16; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+        vld1q_u16(bits.as_ptr())
+    };
+    let mut acc = 0i64;
+    for plane in planes {
+        let mut partial = 0i64;
+        for chunk in 0..8 {
+            let bits8 = vdupq_n_u16(((plane >> (chunk * 8)) & 0xFF) as u16);
+            let hit = vceqq_u16(vandq_u16(bits8, lane_bits), lane_bits);
+            let w = vld1q_s16(sw.as_ptr().add(chunk * 8));
+            let masked = vandq_s16(w, vreinterpretq_s16_u16(hit));
+            partial += i64::from(vaddlvq_s16(masked));
+        }
+        acc = (acc << 1) + partial;
+    }
+    acc
+}
+
 /// Full APU result for one group: integer dot product rescaled to `f32`.
 ///
 /// `weight_scale` is the INT-weight group's dequantization scale.
@@ -310,6 +470,44 @@ mod tests {
         let wide = reduction_costs(12, 64, 4);
         assert!(wide.plane_adds > 2 * narrow.plane_adds);
         assert!(wide.naive_register_bits > narrow.naive_register_bits);
+    }
+
+    #[test]
+    fn flat_dot_matches_bit_serial_on_every_leg() {
+        let vals: Vec<f32> = (0..64)
+            .map(|i| ((i * 37) % 61) as f32 * 0.21 - 6.0)
+            .collect();
+        let weights: Vec<i8> = (0..64).map(|i| ((i * 13) % 255) as i8).collect();
+        for leg in anda_fp::simd::available_legs() {
+            for m in [1u32, 4, 8, 11, 16] {
+                for len in [1usize, 7, 16, 33, 64] {
+                    let (_, bp) = group_of(&vals[..len], m);
+                    let expected = dot_group_bit_serial(&bp, &weights[..len]).0;
+                    let flat =
+                        dot_group_int_flat_with_leg(leg, bp.signs(), bp.planes(), &weights[..len]);
+                    assert_eq!(flat, expected, "leg={} m={m} len={len}", leg.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_dot_extreme_weights_all_lanes() {
+        // ±127 on all 64 lanes at m=16 stresses the widest partials.
+        let vals = vec![65504.0f32; 64];
+        let weights: Vec<i8> = (0..64)
+            .map(|i| if i % 2 == 0 { 127 } else { -128 })
+            .collect();
+        let (_, bp) = group_of(&vals, 16);
+        let expected = dot_group_bit_serial(&bp, &weights).0;
+        for leg in anda_fp::simd::available_legs() {
+            assert_eq!(
+                dot_group_int_flat_with_leg(leg, bp.signs(), bp.planes(), &weights),
+                expected,
+                "leg={}",
+                leg.name()
+            );
+        }
     }
 
     #[test]

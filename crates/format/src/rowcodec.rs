@@ -13,7 +13,20 @@
 //! `encode_row_into` followed by `decode_row_into` reproduces
 //! `AndaTensor::from_f32(row, cfg).to_f32()` bit for bit (the property
 //! suite pins this), so callers can mix the two freely.
+//!
+//! # SIMD
+//!
+//! The codec is the per-token hot path, so encode and decode carry AVX2
+//! and NEON legs behind [`anda_fp::simd`]'s runtime dispatch. The
+//! bit-plane layout is plane-parallel by construction: a decode spreads
+//! one plane byte across 8 lanes with a compare-against-bit-mask, ORs the
+//! plane's weight into integer magnitudes, and reconstructs the f32 lanes
+//! with one exact `i32→f32` convert, one multiply by the group ULP and a
+//! sign-bit XOR — no per-lane branches. Every vector leg is
+//! `f32::to_bits`-identical to the `*_scalar` twin (its oracle), which
+//! the property suites assert on every available leg.
 
+use anda_fp::simd::{active_leg, SimdLeg};
 use anda_fp::F16;
 
 use crate::align::{align_element, exp2f};
@@ -42,7 +55,8 @@ pub fn row_storage_bits(len: usize, cfg: AndaConfig) -> usize {
     groups_per_row(len, cfg) * (LANES + 5 + LANES * cfg.mantissa_bits() as usize)
 }
 
-/// Encodes one row into flat caller-owned buffers without allocating.
+/// Encodes one row into flat caller-owned buffers without allocating,
+/// on the active SIMD dispatch leg.
 ///
 /// Inputs round through FP16 with saturation (non-finite values become
 /// ±65504), exactly like [`crate::AndaTensor::from_f32`]. Buffers are
@@ -59,13 +73,47 @@ pub fn encode_row_into(
     exps: &mut [u16],
     planes: &mut [u64],
 ) {
-    assert!(!values.is_empty(), "cannot encode an empty row");
-    let g = groups_per_row(values.len(), cfg);
-    let m = cfg.mantissa_bits();
-    assert!(signs.len() >= g, "sign buffer too small");
-    assert!(exps.len() >= g, "exponent buffer too small");
-    assert!(planes.len() >= g * m as usize, "plane buffer too small");
+    encode_row_into_with_leg(active_leg(), values, cfg, signs, exps, planes);
+}
 
+/// [`encode_row_into`] on an explicit leg (oracle tests and benches).
+///
+/// # Panics
+///
+/// As [`encode_row_into`], or if the leg is unavailable on this host.
+pub fn encode_row_into_with_leg(
+    leg: SimdLeg,
+    values: &[f32],
+    cfg: AndaConfig,
+    signs: &mut [u64],
+    exps: &mut [u16],
+    planes: &mut [u64],
+) {
+    match leg {
+        SimdLeg::Scalar => encode_row_into_scalar(values, cfg, signs, exps, planes),
+        #[cfg(target_arch = "x86_64")]
+        SimdLeg::Avx2 => unsafe { avx2::encode_row(values, cfg, signs, exps, planes) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLeg::Neon => unsafe { neon::encode_row(values, cfg, signs, exps, planes) },
+        #[allow(unreachable_patterns)]
+        other => panic!("SIMD leg {} unavailable on this host", other.name()),
+    }
+}
+
+/// The scalar oracle of [`encode_row_into`].
+///
+/// # Panics
+///
+/// As [`encode_row_into`].
+pub fn encode_row_into_scalar(
+    values: &[f32],
+    cfg: AndaConfig,
+    signs: &mut [u64],
+    exps: &mut [u16],
+    planes: &mut [u64],
+) {
+    check_encode_buffers(values, cfg, signs, exps, planes);
+    let m = cfg.mantissa_bits();
     let mut f16s = [F16::from_bits(0); LANES];
     for (gi, chunk) in values.chunks(cfg.group_size()).enumerate() {
         let staged = &mut f16s[..chunk.len()];
@@ -98,8 +146,24 @@ pub fn encode_row_into(
     }
 }
 
+fn check_encode_buffers(
+    values: &[f32],
+    cfg: AndaConfig,
+    signs: &[u64],
+    exps: &[u16],
+    planes: &[u64],
+) {
+    assert!(!values.is_empty(), "cannot encode an empty row");
+    let g = groups_per_row(values.len(), cfg);
+    let m = cfg.mantissa_bits();
+    assert!(signs.len() >= g, "sign buffer too small");
+    assert!(exps.len() >= g, "exponent buffer too small");
+    assert!(planes.len() >= g * m as usize, "plane buffer too small");
+}
+
 /// Decodes a row previously written by [`encode_row_into`] into `out`
-/// without allocating. `out.len()` determines the row width.
+/// without allocating, on the active SIMD dispatch leg. `out.len()`
+/// determines the row width.
 ///
 /// # Panics
 ///
@@ -112,16 +176,50 @@ pub fn decode_row_into(
     planes: &[u64],
     out: &mut [f32],
 ) {
-    assert!(!out.is_empty(), "cannot decode into an empty row");
-    let g = groups_per_row(out.len(), cfg);
-    let m = cfg.mantissa_bits();
-    assert!(signs.len() >= g, "sign buffer too small");
-    assert!(exps.len() >= g, "exponent buffer too small");
-    assert!(planes.len() >= g * m as usize, "plane buffer too small");
+    decode_row_into_with_leg(active_leg(), cfg, signs, exps, planes, out);
+}
 
+/// [`decode_row_into`] on an explicit leg (oracle tests and benches).
+///
+/// # Panics
+///
+/// As [`decode_row_into`], or if the leg is unavailable on this host.
+pub fn decode_row_into_with_leg(
+    leg: SimdLeg,
+    cfg: AndaConfig,
+    signs: &[u64],
+    exps: &[u16],
+    planes: &[u64],
+    out: &mut [f32],
+) {
+    match leg {
+        SimdLeg::Scalar => decode_row_into_scalar(cfg, signs, exps, planes, out),
+        #[cfg(target_arch = "x86_64")]
+        SimdLeg::Avx2 => unsafe { avx2::decode_row(cfg, signs, exps, planes, out) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLeg::Neon => unsafe { neon::decode_row(cfg, signs, exps, planes, out) },
+        #[allow(unreachable_patterns)]
+        other => panic!("SIMD leg {} unavailable on this host", other.name()),
+    }
+}
+
+/// The scalar oracle of [`decode_row_into`].
+///
+/// # Panics
+///
+/// As [`decode_row_into`].
+pub fn decode_row_into_scalar(
+    cfg: AndaConfig,
+    signs: &[u64],
+    exps: &[u16],
+    planes: &[u64],
+    out: &mut [f32],
+) {
+    check_decode_buffers(cfg, signs, exps, planes, out);
+    let m = cfg.mantissa_bits();
     for (gi, chunk) in out.chunks_mut(cfg.group_size()).enumerate() {
         let ulp = exp2f(i32::from(exps[gi]) - 14 - m as i32);
-        decode_group_into(
+        decode_group_into_scalar(
             signs[gi],
             ulp,
             &planes[gi * m as usize..(gi + 1) * m as usize],
@@ -130,15 +228,57 @@ pub fn decode_row_into(
     }
 }
 
+fn check_decode_buffers(cfg: AndaConfig, signs: &[u64], exps: &[u16], planes: &[u64], out: &[f32]) {
+    assert!(!out.is_empty(), "cannot decode into an empty row");
+    let g = groups_per_row(out.len(), cfg);
+    let m = cfg.mantissa_bits();
+    assert!(signs.len() >= g, "sign buffer too small");
+    assert!(exps.len() >= g, "exponent buffer too small");
+    assert!(planes.len() >= g * m as usize, "plane buffer too small");
+}
+
 /// Dequantizes one bit-plane group (sign word, mantissa-LSB weight,
 /// MSB-first planes) into `out` — the single definition of the plane
 /// transpose + sign/magnitude dequant rule, shared by the flat row
-/// codec and [`crate::AndaTensor`]'s in-place decode.
+/// codec and [`crate::AndaTensor`]'s in-place decode. Dispatches on the
+/// active SIMD leg.
 ///
 /// # Panics
 ///
 /// Panics if `out` holds more than [`LANES`] elements.
 pub fn decode_group_into(sign_word: u64, ulp: f32, planes: &[u64], out: &mut [f32]) {
+    decode_group_into_with_leg(active_leg(), sign_word, ulp, planes, out);
+}
+
+/// [`decode_group_into`] on an explicit leg (oracle tests and benches).
+///
+/// # Panics
+///
+/// As [`decode_group_into`], or if the leg is unavailable on this host.
+pub fn decode_group_into_with_leg(
+    leg: SimdLeg,
+    sign_word: u64,
+    ulp: f32,
+    planes: &[u64],
+    out: &mut [f32],
+) {
+    match leg {
+        SimdLeg::Scalar => decode_group_into_scalar(sign_word, ulp, planes, out),
+        #[cfg(target_arch = "x86_64")]
+        SimdLeg::Avx2 => unsafe { avx2::decode_group(sign_word, ulp, planes, out) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLeg::Neon => unsafe { neon::decode_group(sign_word, ulp, planes, out) },
+        #[allow(unreachable_patterns)]
+        other => panic!("SIMD leg {} unavailable on this host", other.name()),
+    }
+}
+
+/// The scalar oracle of [`decode_group_into`].
+///
+/// # Panics
+///
+/// As [`decode_group_into`].
+pub fn decode_group_into_scalar(sign_word: u64, ulp: f32, planes: &[u64], out: &mut [f32]) {
     assert!(out.len() <= LANES, "a group holds at most {LANES} lanes");
     let m = planes.len();
     for (i, o) in out.iter_mut().enumerate() {
@@ -152,10 +292,388 @@ pub fn decode_group_into(sign_word: u64, ulp: f32, planes: &[u64], out: &mut [f3
     }
 }
 
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::*;
+    use anda_fp::RoundingMode;
+    use core::arch::x86_64::*;
+
+    /// AVX2 leg of [`decode_group_into`]: 8 lanes per step. A plane byte
+    /// is spread across the lanes (compare-against-bit-mask), each hit
+    /// ORs the plane's power-of-two weight into an integer magnitude; the
+    /// `i32→f32` convert is exact (magnitudes < 2^16) and the sign is a
+    /// sign-bit XOR, so every lane matches the scalar oracle bit for bit.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 (callers go through the dispatch layer, which only
+    /// selects this leg when the CPU reports it).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn decode_group(sign_word: u64, ulp: f32, planes: &[u64], out: &mut [f32]) {
+        assert!(out.len() <= LANES, "a group holds at most {LANES} lanes");
+        let m = planes.len();
+        let lane_bits = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+        let sign_sel = _mm256_set1_epi32(i32::MIN);
+        let ulp_v = _mm256_set1_ps(ulp);
+        let full = out.len() / 8;
+        for c in 0..full {
+            let mut mags = _mm256_setzero_si256();
+            for (b, plane) in planes.iter().enumerate() {
+                let byte = _mm256_set1_epi32(((plane >> (c * 8)) & 0xFF) as i32);
+                let hit = _mm256_cmpeq_epi32(_mm256_and_si256(byte, lane_bits), lane_bits);
+                let weight = _mm256_set1_epi32(1 << (m - 1 - b));
+                mags = _mm256_or_si256(mags, _mm256_and_si256(hit, weight));
+            }
+            let v = _mm256_mul_ps(_mm256_cvtepi32_ps(mags), ulp_v);
+            let sbyte = _mm256_set1_epi32(((sign_word >> (c * 8)) & 0xFF) as i32);
+            let shit = _mm256_cmpeq_epi32(_mm256_and_si256(sbyte, lane_bits), lane_bits);
+            let signed = _mm256_xor_ps(v, _mm256_castsi256_ps(_mm256_and_si256(shit, sign_sel)));
+            _mm256_storeu_ps(out.as_mut_ptr().add(c * 8), signed);
+        }
+        for (i, slot) in out.iter_mut().enumerate().skip(full * 8) {
+            let mut mag = 0u16;
+            for (b, plane) in planes.iter().enumerate() {
+                mag |= (((plane >> i) & 1) as u16) << (m - 1 - b);
+            }
+            let v = f32::from(mag) * ulp;
+            *slot = if (sign_word >> i) & 1 == 1 { -v } else { v };
+        }
+    }
+
+    /// AVX2 leg of [`decode_row_into`].
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn decode_row(
+        cfg: AndaConfig,
+        signs: &[u64],
+        exps: &[u16],
+        planes: &[u64],
+        out: &mut [f32],
+    ) {
+        check_decode_buffers(cfg, signs, exps, planes, out);
+        let m = cfg.mantissa_bits();
+        for (gi, chunk) in out.chunks_mut(cfg.group_size()).enumerate() {
+            let ulp = exp2f(i32::from(exps[gi]) - 14 - m as i32);
+            decode_group(
+                signs[gi],
+                ulp,
+                &planes[gi * m as usize..(gi + 1) * m as usize],
+                chunk,
+            );
+        }
+    }
+
+    /// AVX2 leg of [`encode_row_into`]: two passes of 8 lanes per step.
+    ///
+    /// Pass 1 saturates to FP16 (NaN→0, clamp to ±65504 — matching
+    /// `saturate_to_f16`), decomposes the f16 bits into explicit-hidden-bit
+    /// magnitudes and effective biased exponents with masked selects, and
+    /// keeps a running vector max for the shared exponent. Pass 2 replays
+    /// `align_element` branchlessly: the variable right-shift-with-rounding
+    /// uses `_mm256_srlv_epi32` with the shift clamped to 28 (magnitudes
+    /// are < 2^27, so every shift ≥ 28 yields 0 under both rounding modes
+    /// and the nearest-even adjustment stays within i32), then scatters
+    /// mantissa bits into the MSB-first planes via sign-bit movemasks.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn encode_row(
+        values: &[f32],
+        cfg: AndaConfig,
+        signs: &mut [u64],
+        exps: &mut [u16],
+        planes: &mut [u64],
+    ) {
+        check_encode_buffers(values, cfg, signs, exps, planes);
+        let m = cfg.mantissa_bits();
+        let max_f16 = _mm256_set1_ps(65504.0);
+        let min_f16 = _mm256_set1_ps(-65504.0);
+        let one = _mm256_set1_epi32(1);
+        let m_v = _mm256_set1_epi32(m as i32);
+        let max_mag_v = _mm256_set1_epi32(((1u32 << m) - 1) as i32);
+        for (gi, chunk) in values.chunks(cfg.group_size()).enumerate() {
+            let full = chunk.len() / 8;
+            let mut mags = [0i32; LANES];
+            let mut lane_exps = [0i32; LANES];
+            let mut sign_word = 0u64;
+            let mut max_v = one;
+            // Pass 1: saturate → f16 bits → (magnitude, effective exponent).
+            for c in 0..full {
+                let v = _mm256_loadu_ps(chunk.as_ptr().add(c * 8));
+                let nan = _mm256_cmp_ps::<_CMP_UNORD_Q>(v, v);
+                let clamped =
+                    _mm256_andnot_ps(nan, _mm256_max_ps(_mm256_min_ps(v, max_f16), min_f16));
+                let h = anda_fp::simd::x86::f32x8_to_f16_bits(clamped);
+                // f16 sign bit 15 → lane bit 31 → movemask byte.
+                let neg = _mm256_slli_epi32(h, 16);
+                let smask = _mm256_movemask_ps(_mm256_castsi256_ps(neg)) as u64;
+                sign_word |= (smask & 0xFF) << (c * 8);
+                let e = _mm256_and_si256(_mm256_srli_epi32(h, 10), _mm256_set1_epi32(0x1F));
+                let frac = _mm256_and_si256(h, _mm256_set1_epi32(0x3FF));
+                let subnormal = _mm256_cmpeq_epi32(e, _mm256_setzero_si256());
+                let mag = _mm256_or_si256(
+                    frac,
+                    _mm256_andnot_si256(subnormal, _mm256_set1_epi32(0x400)),
+                );
+                let be = _mm256_max_epi32(e, one);
+                _mm256_storeu_si256(mags.as_mut_ptr().add(c * 8).cast(), mag);
+                _mm256_storeu_si256(lane_exps.as_mut_ptr().add(c * 8).cast(), be);
+                max_v = _mm256_max_epi32(max_v, be);
+            }
+            let mut lanes8 = [0i32; 8];
+            _mm256_storeu_si256(lanes8.as_mut_ptr().cast(), max_v);
+            let mut shared = lanes8.iter().copied().max().unwrap_or(1);
+            for i in full * 8..chunk.len() {
+                let sig = saturate_to_f16(chunk[i]).significand();
+                if sig.negative {
+                    sign_word |= 1 << i;
+                }
+                mags[i] = i32::from(sig.magnitude);
+                lane_exps[i] = i32::from(sig.biased_exp);
+                shared = shared.max(i32::from(sig.biased_exp));
+            }
+            // Pass 2: align to the shared exponent and scatter bit-planes.
+            let group_planes = &mut planes[gi * m as usize..(gi + 1) * m as usize];
+            group_planes.fill(0);
+            let shared_v = _mm256_set1_epi32(shared);
+            for c in 0..full {
+                let mag = _mm256_loadu_si256(mags.as_ptr().add(c * 8).cast());
+                let be = _mm256_loadu_si256(lane_exps.as_ptr().add(c * 8).cast());
+                let shift = _mm256_min_epi32(
+                    _mm256_add_epi32(_mm256_set1_epi32(11), _mm256_sub_epi32(shared_v, be)),
+                    _mm256_set1_epi32(28),
+                );
+                let value = _mm256_sllv_epi32(mag, m_v);
+                let truncated = _mm256_srlv_epi32(value, shift);
+                let shifted = match cfg.rounding() {
+                    RoundingMode::Truncate => truncated,
+                    RoundingMode::NearestEven => {
+                        // (v + 2^(s-1) - 1 + ((v>>s)&1)) >> s == RNE(v >> s)
+                        let half = _mm256_sllv_epi32(one, _mm256_sub_epi32(shift, one));
+                        let lsb = _mm256_and_si256(truncated, one);
+                        let bump = _mm256_add_epi32(_mm256_sub_epi32(half, one), lsb);
+                        _mm256_srlv_epi32(_mm256_add_epi32(value, bump), shift)
+                    }
+                };
+                let aligned = _mm256_min_epi32(shifted, max_mag_v);
+                for b in 0..m {
+                    // Move mantissa bit (m-1-b) to lane bit 31, movemask it.
+                    let shifted_up =
+                        _mm256_sllv_epi32(aligned, _mm256_set1_epi32((32 - m + b) as i32));
+                    let byte = _mm256_movemask_ps(_mm256_castsi256_ps(shifted_up)) as u64 & 0xFF;
+                    group_planes[b as usize] |= byte << (c * 8);
+                }
+            }
+            let max_mag = ((1u32 << m) - 1) as u16;
+            for i in full * 8..chunk.len() {
+                let shift = (11 + (shared - lane_exps[i])) as u32;
+                let shifted =
+                    anda_fp::shift_right_round((mags[i] as u64) << m, shift, cfg.rounding());
+                let aligned = (shifted as u16).min(max_mag);
+                for b in 0..m {
+                    let bit = (aligned >> (m - 1 - b)) & 1;
+                    group_planes[b as usize] |= u64::from(bit) << i;
+                }
+            }
+            signs[gi] = sign_word;
+            exps[gi] = shared as u16;
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::*;
+    use anda_fp::RoundingMode;
+    use core::arch::aarch64::*;
+
+    /// NEON leg of [`decode_group_into`]: the 4-lane mirror of the AVX2
+    /// leg (plane nibble spread via compare-against-bit-mask, exact
+    /// `u32→f32` convert, sign-bit XOR).
+    ///
+    /// # Safety
+    ///
+    /// Requires NEON.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn decode_group(sign_word: u64, ulp: f32, planes: &[u64], out: &mut [f32]) {
+        assert!(out.len() <= LANES, "a group holds at most {LANES} lanes");
+        let m = planes.len();
+        let lane_bits = {
+            let bits: [u32; 4] = [1, 2, 4, 8];
+            vld1q_u32(bits.as_ptr())
+        };
+        let sign_sel = vdupq_n_u32(0x8000_0000);
+        let ulp_v = vdupq_n_f32(ulp);
+        let full = out.len() / 4;
+        for c in 0..full {
+            let mut mags = vdupq_n_u32(0);
+            for (b, plane) in planes.iter().enumerate() {
+                let nib = vdupq_n_u32(((plane >> (c * 4)) & 0xF) as u32);
+                let hit = vceqq_u32(vandq_u32(nib, lane_bits), lane_bits);
+                let weight = vdupq_n_u32(1 << (m - 1 - b));
+                mags = vorrq_u32(mags, vandq_u32(hit, weight));
+            }
+            let v = vmulq_f32(vcvtq_f32_u32(mags), ulp_v);
+            let snib = vdupq_n_u32(((sign_word >> (c * 4)) & 0xF) as u32);
+            let shit = vceqq_u32(vandq_u32(snib, lane_bits), lane_bits);
+            let signed = veorq_u32(vreinterpretq_u32_f32(v), vandq_u32(shit, sign_sel));
+            vst1q_f32(out.as_mut_ptr().add(c * 4), vreinterpretq_f32_u32(signed));
+        }
+        for i in full * 4..out.len() {
+            let mut mag = 0u16;
+            for (b, plane) in planes.iter().enumerate() {
+                mag |= (((plane >> i) & 1) as u16) << (m - 1 - b);
+            }
+            let v = f32::from(mag) * ulp;
+            out[i] = if (sign_word >> i) & 1 == 1 { -v } else { v };
+        }
+    }
+
+    /// NEON leg of [`decode_row_into`].
+    ///
+    /// # Safety
+    ///
+    /// Requires NEON.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn decode_row(
+        cfg: AndaConfig,
+        signs: &[u64],
+        exps: &[u16],
+        planes: &[u64],
+        out: &mut [f32],
+    ) {
+        check_decode_buffers(cfg, signs, exps, planes, out);
+        let m = cfg.mantissa_bits();
+        for (gi, chunk) in out.chunks_mut(cfg.group_size()).enumerate() {
+            let ulp = exp2f(i32::from(exps[gi]) - 14 - m as i32);
+            decode_group(
+                signs[gi],
+                ulp,
+                &planes[gi * m as usize..(gi + 1) * m as usize],
+                chunk,
+            );
+        }
+    }
+
+    /// NEON leg of [`encode_row_into`]: the 4-lane mirror of the AVX2
+    /// leg (see that leg for the two-pass structure and the shift-clamp
+    /// argument; NEON variable shifts use `vshlq_u32` with negated
+    /// counts, which is well-defined for the clamped range).
+    ///
+    /// # Safety
+    ///
+    /// Requires NEON.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn encode_row(
+        values: &[f32],
+        cfg: AndaConfig,
+        signs: &mut [u64],
+        exps: &mut [u16],
+        planes: &mut [u64],
+    ) {
+        check_encode_buffers(values, cfg, signs, exps, planes);
+        let m = cfg.mantissa_bits();
+        let max_f16 = vdupq_n_f32(65504.0);
+        let min_f16 = vdupq_n_f32(-65504.0);
+        let one = vdupq_n_u32(1);
+        let lane_weights = {
+            let w: [u32; 4] = [1, 2, 4, 8];
+            vld1q_u32(w.as_ptr())
+        };
+        for (gi, chunk) in values.chunks(cfg.group_size()).enumerate() {
+            let full = chunk.len() / 4;
+            let mut mags = [0u32; LANES];
+            let mut lane_exps = [0u32; LANES];
+            let mut sign_word = 0u64;
+            let mut max_v = one;
+            for c in 0..full {
+                let v = vld1q_f32(chunk.as_ptr().add(c * 4));
+                let nan = vmvnq_u32(vceqq_f32(v, v));
+                let clamped = vreinterpretq_f32_u32(vbicq_u32(
+                    vreinterpretq_u32_f32(vmaxq_f32(vminq_f32(v, max_f16), min_f16)),
+                    nan,
+                ));
+                let h = anda_fp::simd::neon::f32x4_to_f16_bits(clamped);
+                let neg = vshrq_n_u32(h, 15); // f16 sign bit → 0/1
+                let snib = vaddvq_u32(vmulq_u32(neg, lane_weights)) as u64;
+                sign_word |= snib << (c * 4);
+                let e = vandq_u32(vshrq_n_u32(h, 10), vdupq_n_u32(0x1F));
+                let frac = vandq_u32(h, vdupq_n_u32(0x3FF));
+                let subnormal = vceqq_u32(e, vdupq_n_u32(0));
+                let mag = vorrq_u32(frac, vbicq_u32(vdupq_n_u32(0x400), subnormal));
+                let be = vmaxq_u32(e, one);
+                vst1q_u32(mags.as_mut_ptr().add(c * 4), mag);
+                vst1q_u32(lane_exps.as_mut_ptr().add(c * 4), be);
+                max_v = vmaxq_u32(max_v, be);
+            }
+            let mut shared = vmaxvq_u32(max_v);
+            for i in full * 4..chunk.len() {
+                let sig = saturate_to_f16(chunk[i]).significand();
+                if sig.negative {
+                    sign_word |= 1 << i;
+                }
+                mags[i] = u32::from(sig.magnitude);
+                lane_exps[i] = u32::from(sig.biased_exp);
+                shared = shared.max(u32::from(sig.biased_exp));
+            }
+            let group_planes = &mut planes[gi * m as usize..(gi + 1) * m as usize];
+            group_planes.fill(0);
+            let shared_v = vdupq_n_u32(shared);
+            for c in 0..full {
+                let mag = vld1q_u32(mags.as_ptr().add(c * 4));
+                let be = vld1q_u32(lane_exps.as_ptr().add(c * 4));
+                let shift = vminq_u32(
+                    vaddq_u32(vdupq_n_u32(11), vsubq_u32(shared_v, be)),
+                    vdupq_n_u32(28),
+                );
+                let value = vshlq_u32(mag, vdupq_n_s32(m as i32));
+                let neg_shift = vnegq_s32(vreinterpretq_s32_u32(shift));
+                let truncated = vshlq_u32(value, neg_shift);
+                let shifted = match cfg.rounding() {
+                    RoundingMode::Truncate => truncated,
+                    RoundingMode::NearestEven => {
+                        let half = vshlq_u32(one, vreinterpretq_s32_u32(vsubq_u32(shift, one)));
+                        let lsb = vandq_u32(truncated, one);
+                        let bump = vaddq_u32(vsubq_u32(half, one), lsb);
+                        vshlq_u32(vaddq_u32(value, bump), neg_shift)
+                    }
+                };
+                let aligned = vminq_u32(shifted, vdupq_n_u32((1u32 << m) - 1));
+                for b in 0..m {
+                    let bit =
+                        vandq_u32(vshlq_u32(aligned, vdupq_n_s32(-((m - 1 - b) as i32))), one);
+                    let nib = vaddvq_u32(vmulq_u32(bit, lane_weights)) as u64;
+                    group_planes[b as usize] |= nib << (c * 4);
+                }
+            }
+            let max_mag = ((1u32 << m) - 1) as u16;
+            for i in full * 4..chunk.len() {
+                let shift = 11 + (shared - lane_exps[i]);
+                let shifted =
+                    anda_fp::shift_right_round(u64::from(mags[i]) << m, shift, cfg.rounding());
+                let aligned = (shifted as u16).min(max_mag);
+                for b in 0..m {
+                    let bit = (aligned >> (m - 1 - b)) & 1;
+                    group_planes[b as usize] |= u64::from(bit) << i;
+                }
+            }
+            signs[gi] = sign_word;
+            exps[gi] = shared as u16;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::AndaTensor;
+    use anda_fp::simd::available_legs;
+    use anda_fp::RoundingMode;
 
     fn row(len: usize, seed: u64) -> Vec<f32> {
         let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
@@ -238,5 +756,108 @@ mod tests {
         let mut exps = [0u16; 1];
         let mut planes = [0u64; 7];
         encode_row_into(&[1.0; 64], cfg, &mut signs, &mut exps, &mut planes);
+    }
+
+    /// Adversarial inputs: zeros, subnormal-f16 magnitudes, huge dynamic
+    /// range inside one group, NaN/∞ (saturated), negative zero.
+    fn adversarial_row(len: usize, seed: u64) -> Vec<f32> {
+        let specials = [
+            0.0,
+            -0.0,
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            6.0e-8,  // f16 subnormal range
+            -5.0e-5, // near the f16 normal/subnormal boundary
+            65504.0,
+            -65504.0,
+            1.0e-3,
+            123.456,
+        ];
+        let mut state = seed | 1;
+        (0..len)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if i % 3 == 0 {
+                    specials[(state as usize) % specials.len()]
+                } else {
+                    f32::from_bits((state as u32) & 0x7FFF_FFFF | ((state as u32) & 0x8000_0000))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_leg_matches_the_scalar_oracle() {
+        for leg in available_legs() {
+            for &rounding in &[RoundingMode::Truncate, RoundingMode::NearestEven] {
+                for &(len, m) in &[
+                    (1usize, 1u32),
+                    (3, 4),
+                    (7, 8),
+                    (8, 11),
+                    (9, 16),
+                    (63, 5),
+                    (64, 8),
+                    (65, 8),
+                    (100, 6),
+                    (127, 12),
+                    (128, 3),
+                    (320, 16),
+                ] {
+                    let cfg = AndaConfig::with_rounding(LANES, m, rounding).unwrap();
+                    let data = adversarial_row(len, (len * 131 + m as usize) as u64);
+                    let g = groups_per_row(len, cfg);
+                    let pw = plane_words_per_row(len, cfg);
+
+                    let mut s_signs = vec![0u64; g];
+                    let mut s_exps = vec![0u16; g];
+                    let mut s_planes = vec![0u64; pw];
+                    encode_row_into_scalar(&data, cfg, &mut s_signs, &mut s_exps, &mut s_planes);
+
+                    let mut v_signs = vec![0u64; g];
+                    let mut v_exps = vec![0u16; g];
+                    let mut v_planes = vec![0u64; pw];
+                    encode_row_into_with_leg(
+                        leg,
+                        &data,
+                        cfg,
+                        &mut v_signs,
+                        &mut v_exps,
+                        &mut v_planes,
+                    );
+                    let ctx = format!("leg={} len={len} m={m} {rounding:?}", leg.name());
+                    assert_eq!(s_signs, v_signs, "signs {ctx}");
+                    assert_eq!(s_exps, v_exps, "exps {ctx}");
+                    assert_eq!(s_planes, v_planes, "planes {ctx}");
+
+                    let mut s_out = vec![0.0f32; len];
+                    decode_row_into_scalar(cfg, &s_signs, &s_exps, &s_planes, &mut s_out);
+                    let mut v_out = vec![0.0f32; len];
+                    decode_row_into_with_leg(leg, cfg, &s_signs, &s_exps, &s_planes, &mut v_out);
+                    assert_eq!(bits(&s_out), bits(&v_out), "decode {ctx}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_group_sizes_match_on_every_leg() {
+        // Non-64 group sizes exercise ragged in-group tails on each leg.
+        for leg in available_legs() {
+            for &gs in &[1usize, 3, 5, 8, 17, 33] {
+                let cfg = AndaConfig::new(gs, 7).unwrap();
+                let data = adversarial_row(61, gs as u64 * 977);
+                let g = groups_per_row(61, cfg);
+                let pw = plane_words_per_row(61, cfg);
+                let mut s = (vec![0u64; g], vec![0u16; g], vec![0u64; pw]);
+                let mut v = (vec![0u64; g], vec![0u16; g], vec![0u64; pw]);
+                encode_row_into_scalar(&data, cfg, &mut s.0, &mut s.1, &mut s.2);
+                encode_row_into_with_leg(leg, &data, cfg, &mut v.0, &mut v.1, &mut v.2);
+                assert_eq!(s, v, "leg={} gs={gs}", leg.name());
+            }
+        }
     }
 }

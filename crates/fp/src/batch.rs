@@ -1,0 +1,450 @@
+//! Batched FP16/BF16 row conversions with runtime SIMD dispatch.
+//!
+//! The KV cache's rounded row policies (`Fp16`, `Bf16` in `anda-llm`)
+//! convert whole `d_model`-wide rows per cached position, and the Anda
+//! row codec stages every group through FP16 — per-element calls into
+//! the branchy scalar converters dominate those paths. The slice kernels
+//! here process 8 (AVX2) or 4 (NEON) lanes per step using branchless
+//! bit manipulation (masked selects instead of per-element branches on
+//! subnormals/NaN), and every kernel is `to_bits`-identical to its
+//! scalar twin — the twin *is* the oracle, enforced by the property
+//! suites on every available [`SimdLeg`].
+
+use crate::bf16::{saturate_to_bf16, BF16};
+use crate::f16::{saturate_to_f16, F16};
+use crate::simd::{active_leg, SimdLeg};
+
+/// Converts `src` to binary16 with round-to-nearest-even, element-wise
+/// identical to [`F16::from_f32`], on the active dispatch leg.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn f32_to_f16_slice(src: &[f32], dst: &mut [F16]) {
+    f32_to_f16_slice_with_leg(active_leg(), src, dst);
+}
+
+/// [`f32_to_f16_slice`] on an explicit leg (oracle tests and benches).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ or the leg is unavailable on this
+/// host.
+pub fn f32_to_f16_slice_with_leg(leg: SimdLeg, src: &[f32], dst: &mut [F16]) {
+    assert_eq!(src.len(), dst.len(), "length mismatch");
+    match leg {
+        SimdLeg::Scalar => f32_to_f16_scalar(src, dst),
+        #[cfg(target_arch = "x86_64")]
+        SimdLeg::Avx2 => unsafe { f32_to_f16_avx2(src, dst) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLeg::Neon => unsafe { f32_to_f16_neon(src, dst) },
+        #[allow(unreachable_patterns)]
+        other => panic!("SIMD leg {} unavailable on this host", other.name()),
+    }
+}
+
+/// The scalar oracle of [`f32_to_f16_slice`].
+pub fn f32_to_f16_scalar(src: &[f32], dst: &mut [F16]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = F16::from_f32(s);
+    }
+}
+
+/// Widens binary16 values to `f32` exactly, element-wise identical to
+/// [`F16::to_f32`], on the active dispatch leg.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn f16_to_f32_slice(src: &[F16], dst: &mut [f32]) {
+    f16_to_f32_slice_with_leg(active_leg(), src, dst);
+}
+
+/// [`f16_to_f32_slice`] on an explicit leg (oracle tests and benches).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ or the leg is unavailable on this
+/// host.
+pub fn f16_to_f32_slice_with_leg(leg: SimdLeg, src: &[F16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "length mismatch");
+    match leg {
+        SimdLeg::Scalar => f16_to_f32_scalar(src, dst),
+        #[cfg(target_arch = "x86_64")]
+        SimdLeg::Avx2 => unsafe { f16_to_f32_avx2(src, dst) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLeg::Neon => unsafe { f16_to_f32_neon(src, dst) },
+        #[allow(unreachable_patterns)]
+        other => panic!("SIMD leg {} unavailable on this host", other.name()),
+    }
+}
+
+/// The scalar oracle of [`f16_to_f32_slice`].
+pub fn f16_to_f32_scalar(src: &[F16], dst: &mut [f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = s.to_f32();
+    }
+}
+
+/// Rounds every element through saturating binary16 and widens it back:
+/// `dst[i] = saturate_to_f16(src[i]).to_f32()` — the `Fp16` KV row
+/// policy's push-path kernel — on the active dispatch leg.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn saturate_f16_widen_slice(src: &[f32], dst: &mut [f32]) {
+    saturate_f16_widen_slice_with_leg(active_leg(), src, dst);
+}
+
+/// [`saturate_f16_widen_slice`] on an explicit leg.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ or the leg is unavailable on this
+/// host.
+pub fn saturate_f16_widen_slice_with_leg(leg: SimdLeg, src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "length mismatch");
+    match leg {
+        SimdLeg::Scalar => saturate_f16_widen_scalar(src, dst),
+        #[cfg(target_arch = "x86_64")]
+        SimdLeg::Avx2 => unsafe { saturate_f16_widen_avx2(src, dst) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLeg::Neon => unsafe { saturate_f16_widen_neon(src, dst) },
+        #[allow(unreachable_patterns)]
+        other => panic!("SIMD leg {} unavailable on this host", other.name()),
+    }
+}
+
+/// The scalar oracle of [`saturate_f16_widen_slice`].
+pub fn saturate_f16_widen_scalar(src: &[f32], dst: &mut [f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = saturate_to_f16(s).to_f32();
+    }
+}
+
+/// Rounds every element through saturating bfloat16 and widens it back:
+/// `dst[i] = saturate_to_bf16(src[i]).to_f32()` — the `Bf16` KV row
+/// policy's push-path kernel — on the active dispatch leg.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn saturate_bf16_widen_slice(src: &[f32], dst: &mut [f32]) {
+    saturate_bf16_widen_slice_with_leg(active_leg(), src, dst);
+}
+
+/// [`saturate_bf16_widen_slice`] on an explicit leg.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ or the leg is unavailable on this
+/// host.
+pub fn saturate_bf16_widen_slice_with_leg(leg: SimdLeg, src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "length mismatch");
+    match leg {
+        SimdLeg::Scalar => saturate_bf16_widen_scalar(src, dst),
+        #[cfg(target_arch = "x86_64")]
+        SimdLeg::Avx2 => unsafe { saturate_bf16_widen_avx2(src, dst) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLeg::Neon => unsafe { saturate_bf16_widen_neon(src, dst) },
+        #[allow(unreachable_patterns)]
+        other => panic!("SIMD leg {} unavailable on this host", other.name()),
+    }
+}
+
+/// The scalar oracle of [`saturate_bf16_widen_slice`].
+pub fn saturate_bf16_widen_scalar(src: &[f32], dst: &mut [f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = saturate_to_bf16(s).to_f32();
+    }
+}
+
+/// Converts `src` to bfloat16 with round-to-nearest-even, element-wise
+/// identical to [`BF16::from_f32`]. The scalar conversion is already
+/// branchless (see [`crate::bf16::f32_to_bf16_bits`]), so this has no
+/// vector legs — it exists for API symmetry with [`f32_to_f16_slice`].
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn f32_to_bf16_slice(src: &[f32], dst: &mut [BF16]) {
+    assert_eq!(src.len(), dst.len(), "length mismatch");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = BF16::from_f32(s);
+    }
+}
+
+/// Widens bfloat16 values to `f32` exactly (a 16-bit shift per element).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn bf16_to_f32_slice(src: &[BF16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "length mismatch");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = s.to_f32();
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn f32_to_f16_avx2(src: &[f32], dst: &mut [F16]) {
+    use core::arch::x86_64::*;
+    let chunks = src.len() / 8;
+    for c in 0..chunks {
+        let v = _mm256_loadu_ps(src.as_ptr().add(c * 8));
+        let h = crate::simd::x86::f32x8_to_f16_bits(v);
+        let mut lanes = [0u32; 8];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), h);
+        for (i, &lane) in lanes.iter().enumerate() {
+            dst[c * 8 + i] = F16::from_bits(lane as u16);
+        }
+    }
+    f32_to_f16_scalar(&src[chunks * 8..], &mut dst[chunks * 8..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn f16_to_f32_avx2(src: &[F16], dst: &mut [f32]) {
+    use core::arch::x86_64::*;
+    let chunks = src.len() / 8;
+    for c in 0..chunks {
+        let mut lanes = [0u32; 8];
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            *lane = u32::from(src[c * 8 + i].to_bits());
+        }
+        let h = _mm256_loadu_si256(lanes.as_ptr().cast());
+        let w = crate::simd::x86::f16_bits_to_f32x8(h);
+        _mm256_storeu_ps(dst.as_mut_ptr().add(c * 8), w);
+    }
+    f16_to_f32_scalar(&src[chunks * 8..], &mut dst[chunks * 8..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn saturate_f16_widen_avx2(src: &[f32], dst: &mut [f32]) {
+    use core::arch::x86_64::*;
+    let max = _mm256_set1_ps(65504.0);
+    let neg_max = _mm256_set1_ps(-65504.0);
+    let chunks = src.len() / 8;
+    for c in 0..chunks {
+        let v = _mm256_loadu_ps(src.as_ptr().add(c * 8));
+        // NaN lanes become +0 (the saturation convention); the clamp
+        // keeps every remaining lane finite so the f16 conversion can
+        // never produce an infinity.
+        let nan = _mm256_cmp_ps::<_CMP_UNORD_Q>(v, v);
+        let clamped = _mm256_andnot_ps(nan, _mm256_max_ps(_mm256_min_ps(v, max), neg_max));
+        let h = crate::simd::x86::f32x8_to_f16_bits(clamped);
+        let w = crate::simd::x86::f16_bits_to_f32x8(h);
+        _mm256_storeu_ps(dst.as_mut_ptr().add(c * 8), w);
+    }
+    saturate_f16_widen_scalar(&src[chunks * 8..], &mut dst[chunks * 8..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn saturate_bf16_widen_avx2(src: &[f32], dst: &mut [f32]) {
+    use core::arch::x86_64::*;
+    let chunks = src.len() / 8;
+    for c in 0..chunks {
+        let v = _mm256_loadu_ps(src.as_ptr().add(c * 8));
+        let bits = _mm256_castps_si256(v);
+        // Branchless RNE to the upper half-word, then zero the low half:
+        // the widened bfloat16 bit pattern in place.
+        let lsb = _mm256_and_si256(_mm256_srli_epi32(bits, 16), _mm256_set1_epi32(1));
+        let rounded = _mm256_add_epi32(bits, _mm256_add_epi32(_mm256_set1_epi32(0x7FFF), lsb));
+        // -65536 == 0xFFFF_0000: keep the upper half-word.
+        let mut res = _mm256_and_si256(rounded, _mm256_set1_epi32(-65536));
+        // NaN → +0.
+        let nan = _mm256_castps_si256(_mm256_cmp_ps::<_CMP_UNORD_Q>(v, v));
+        res = _mm256_andnot_si256(nan, res);
+        // Post-round infinities clamp to ±MAX (widened 0x7F7F_0000).
+        let exp_mask = _mm256_set1_epi32(0x7F80_0000u32 as i32);
+        let inf = _mm256_cmpeq_epi32(_mm256_and_si256(res, exp_mask), exp_mask);
+        let sat = _mm256_or_si256(
+            _mm256_and_si256(res, _mm256_set1_epi32(i32::MIN)),
+            _mm256_set1_epi32(0x7F7F_0000),
+        );
+        res = _mm256_blendv_epi8(res, sat, inf);
+        _mm256_storeu_ps(dst.as_mut_ptr().add(c * 8), _mm256_castsi256_ps(res));
+    }
+    saturate_bf16_widen_scalar(&src[chunks * 8..], &mut dst[chunks * 8..]);
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn f32_to_f16_neon(src: &[f32], dst: &mut [F16]) {
+    use core::arch::aarch64::*;
+    let chunks = src.len() / 4;
+    for c in 0..chunks {
+        let v = vld1q_f32(src.as_ptr().add(c * 4));
+        let h = crate::simd::neon::f32x4_to_f16_bits(v);
+        let mut lanes = [0u32; 4];
+        vst1q_u32(lanes.as_mut_ptr(), h);
+        for (i, &lane) in lanes.iter().enumerate() {
+            dst[c * 4 + i] = F16::from_bits(lane as u16);
+        }
+    }
+    f32_to_f16_scalar(&src[chunks * 4..], &mut dst[chunks * 4..]);
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn f16_to_f32_neon(src: &[F16], dst: &mut [f32]) {
+    use core::arch::aarch64::*;
+    let chunks = src.len() / 4;
+    for c in 0..chunks {
+        let mut lanes = [0u32; 4];
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            *lane = u32::from(src[c * 4 + i].to_bits());
+        }
+        let h = vld1q_u32(lanes.as_ptr());
+        let w = crate::simd::neon::f16_bits_to_f32x4(h);
+        vst1q_f32(dst.as_mut_ptr().add(c * 4), w);
+    }
+    f16_to_f32_scalar(&src[chunks * 4..], &mut dst[chunks * 4..]);
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn saturate_f16_widen_neon(src: &[f32], dst: &mut [f32]) {
+    use core::arch::aarch64::*;
+    let max = vdupq_n_f32(65504.0);
+    let neg_max = vdupq_n_f32(-65504.0);
+    let chunks = src.len() / 4;
+    for c in 0..chunks {
+        let v = vld1q_f32(src.as_ptr().add(c * 4));
+        let nan = vmvnq_u32(vceqq_f32(v, v));
+        let clamped = vreinterpretq_f32_u32(vbicq_u32(
+            vreinterpretq_u32_f32(vmaxq_f32(vminq_f32(v, max), neg_max)),
+            nan,
+        ));
+        let h = crate::simd::neon::f32x4_to_f16_bits(clamped);
+        let w = crate::simd::neon::f16_bits_to_f32x4(h);
+        vst1q_f32(dst.as_mut_ptr().add(c * 4), w);
+    }
+    saturate_f16_widen_scalar(&src[chunks * 4..], &mut dst[chunks * 4..]);
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn saturate_bf16_widen_neon(src: &[f32], dst: &mut [f32]) {
+    use core::arch::aarch64::*;
+    let chunks = src.len() / 4;
+    for c in 0..chunks {
+        let v = vld1q_f32(src.as_ptr().add(c * 4));
+        let bits = vreinterpretq_u32_f32(v);
+        let lsb = vandq_u32(vshrq_n_u32(bits, 16), vdupq_n_u32(1));
+        let rounded = vaddq_u32(bits, vaddq_u32(vdupq_n_u32(0x7FFF), lsb));
+        let mut res = vandq_u32(rounded, vdupq_n_u32(0xFFFF_0000));
+        let nan = vmvnq_u32(vceqq_f32(v, v));
+        res = vbicq_u32(res, nan);
+        let exp_mask = vdupq_n_u32(0x7F80_0000);
+        let inf = vceqq_u32(vandq_u32(res, exp_mask), exp_mask);
+        let sat = vorrq_u32(
+            vandq_u32(res, vdupq_n_u32(0x8000_0000)),
+            vdupq_n_u32(0x7F7F_0000),
+        );
+        res = vbslq_u32(inf, sat, res);
+        vst1q_f32(dst.as_mut_ptr().add(c * 4), vreinterpretq_f32_u32(res));
+    }
+    saturate_bf16_widen_scalar(&src[chunks * 4..], &mut dst[chunks * 4..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simd::available_legs;
+
+    fn adversarial_values() -> Vec<f32> {
+        let mut v: Vec<f32> = vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            65504.0,
+            -65504.0,
+            65520.0,
+            1e-8,
+            -2.0f32.powi(-25),
+            2.0f32.powi(-24),
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            f32::MAX,
+            f32::MIN_POSITIVE,
+            f32::from_bits(1),
+        ];
+        // Deterministic pseudo-random bit patterns (all classes).
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        for _ in 0..300 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            v.push(f32::from_bits(state as u32));
+        }
+        v
+    }
+
+    #[test]
+    fn all_legs_match_scalar_on_adversarial_lengths() {
+        let vals = adversarial_values();
+        for leg in available_legs() {
+            // Lengths below one vector width, exactly one, and ragged tails.
+            for len in [0usize, 1, 3, 4, 7, 8, 9, 16, 31, 300] {
+                let src = &vals[..len.min(vals.len())];
+                let mut a = vec![0.0f32; src.len()];
+                let mut b = vec![0.0f32; src.len()];
+                saturate_f16_widen_scalar(src, &mut a);
+                saturate_f16_widen_slice_with_leg(leg, src, &mut b);
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "f16 widen leg {}", leg.name());
+                }
+                saturate_bf16_widen_scalar(src, &mut a);
+                saturate_bf16_widen_slice_with_leg(leg, src, &mut b);
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "bf16 widen leg {}", leg.name());
+                }
+
+                let mut ha = vec![F16::ZERO; src.len()];
+                let mut hb = vec![F16::ZERO; src.len()];
+                f32_to_f16_scalar(src, &mut ha);
+                f32_to_f16_slice_with_leg(leg, src, &mut hb);
+                for (x, y) in ha.iter().zip(&hb) {
+                    if x.is_nan() {
+                        assert!(y.is_nan());
+                    } else {
+                        assert_eq!(x.to_bits(), y.to_bits(), "narrow leg {}", leg.name());
+                    }
+                }
+                f16_to_f32_scalar(&ha, &mut a);
+                f16_to_f32_slice_with_leg(leg, &ha, &mut b);
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "widen leg {}", leg.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_entry_points_run() {
+        let src = [1.0f32, -2.5, f32::NAN, 1e9];
+        let mut out = [0.0f32; 4];
+        saturate_f16_widen_slice(&src, &mut out);
+        assert_eq!(out[0], 1.0);
+        assert_eq!(out[2], 0.0);
+        saturate_bf16_widen_slice(&src, &mut out);
+        assert_eq!(out[1], -2.5);
+        let mut h = [F16::ZERO; 4];
+        f32_to_f16_slice(&src, &mut h);
+        let mut back = [0.0f32; 4];
+        f16_to_f32_slice(&h, &mut back);
+        assert_eq!(back[0], 1.0);
+        let mut bh = [BF16::ZERO; 4];
+        f32_to_bf16_slice(&src, &mut bh);
+        let mut bb = [0.0f32; 4];
+        bf16_to_f32_slice(&bh, &mut bb);
+        assert_eq!(bb[1], -2.5);
+    }
+}

@@ -1,0 +1,217 @@
+//! The [`BF16`] type: a bit-exact software bfloat16 value.
+//!
+//! bfloat16 is the top 16 bits of an IEEE 754 binary32 value: 1 sign bit,
+//! the full 8-bit binary32 exponent, and 7 fraction bits. Because the
+//! exponent field matches `f32` exactly, conversion is a pure mantissa
+//! rounding — no subnormal rebiasing is needed — which makes the
+//! round-to-nearest-even conversion naturally branchless (one add and a
+//! shift, plus a NaN select). That is why `Bf16` is the cheapest rounded
+//! KV-row policy in `anda-llm`.
+
+use core::fmt;
+
+const SIGN_MASK: u16 = 0x8000;
+const EXP_MASK: u16 = 0x7F80;
+const FRAC_MASK: u16 = 0x007F;
+
+/// A bfloat16 value: the high half of an IEEE 754 binary32 encoding.
+///
+/// Conversions to `f32` are exact (append 16 zero bits); conversions from
+/// `f32` round to nearest-even. NaNs are quieted but keep their sign and
+/// payload top bits.
+///
+/// # Example
+///
+/// ```
+/// use anda_fp::BF16;
+///
+/// let x = BF16::from_f32(1.0 + 1.0 / 256.0);
+/// assert_eq!(x.to_f32(), 1.0); // 9th mantissa bit rounds away, ties-to-even
+/// assert_eq!(BF16::from_f32(3.0).to_f32(), 3.0);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct BF16(u16);
+
+impl BF16 {
+    /// Positive zero.
+    pub const ZERO: BF16 = BF16(0x0000);
+    /// One.
+    pub const ONE: BF16 = BF16(0x3F80);
+    /// Positive infinity.
+    pub const INFINITY: BF16 = BF16(0x7F80);
+    /// Negative infinity.
+    pub const NEG_INFINITY: BF16 = BF16(0xFF80);
+    /// A quiet NaN.
+    pub const NAN: BF16 = BF16(0x7FC0);
+    /// Largest finite value (≈ 3.39e38).
+    pub const MAX: BF16 = BF16(0x7F7F);
+    /// Smallest finite value (≈ -3.39e38).
+    pub const MIN: BF16 = BF16(0xFF7F);
+
+    /// Creates a `BF16` from its raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        BF16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` to `BF16` with round-to-nearest-even.
+    #[inline]
+    pub fn from_f32(value: f32) -> Self {
+        BF16(f32_to_bf16_bits(value))
+    }
+
+    /// Converts this value to `f32` exactly (bfloat16 ⊂ binary32).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits(u32::from(self.0) << 16)
+    }
+
+    /// Returns the sign bit (`true` for negative, including `-0.0`).
+    #[inline]
+    pub const fn is_sign_negative(self) -> bool {
+        self.0 & SIGN_MASK != 0
+    }
+
+    /// Returns `true` for NaN.
+    #[inline]
+    pub const fn is_nan(self) -> bool {
+        self.0 & EXP_MASK == EXP_MASK && self.0 & FRAC_MASK != 0
+    }
+
+    /// Returns `true` for ±∞.
+    #[inline]
+    pub const fn is_infinite(self) -> bool {
+        self.0 & EXP_MASK == EXP_MASK && self.0 & FRAC_MASK == 0
+    }
+
+    /// Returns `true` for any finite value.
+    #[inline]
+    pub const fn is_finite(self) -> bool {
+        self.0 & EXP_MASK != EXP_MASK
+    }
+}
+
+/// Rounds an `f32` to bfloat16 bits: one branchless nearest-even add for
+/// every non-NaN input (subnormals, zeros and infinities all fall out of
+/// the same expression), plus a quieting select for NaN.
+#[inline]
+pub fn f32_to_bf16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    if value.is_nan() {
+        // Quiet the NaN, keep sign and payload top bits.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    let lsb = (bits >> 16) & 1;
+    ((bits + 0x7FFF + lsb) >> 16) as u16
+}
+
+/// Rounds an `f32` through bfloat16 with saturation: NaN becomes `+0`,
+/// values beyond the finite range (including ±∞) clamp to
+/// [`BF16::MAX`]/[`BF16::MIN`] — the same convention as the FP16
+/// saturation used by the KV row policies.
+#[inline]
+pub fn saturate_to_bf16(v: f32) -> BF16 {
+    if v.is_nan() {
+        return BF16::ZERO;
+    }
+    let b = BF16::from_f32(v);
+    if b.is_infinite() {
+        if b.is_sign_negative() {
+            BF16::MIN
+        } else {
+            BF16::MAX
+        }
+    } else {
+        b
+    }
+}
+
+impl From<f32> for BF16 {
+    fn from(value: f32) -> Self {
+        BF16::from_f32(value)
+    }
+}
+
+impl From<BF16> for f32 {
+    fn from(value: BF16) -> Self {
+        value.to_f32()
+    }
+}
+
+impl fmt::Debug for BF16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BF16({} = {:#06x})", self.to_f32(), self.0)
+    }
+}
+
+impl fmt::Display for BF16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_have_expected_values() {
+        assert_eq!(BF16::ONE.to_f32(), 1.0);
+        assert_eq!(BF16::MAX.to_f32(), f32::from_bits(0x7F7F_0000));
+        assert!(BF16::INFINITY.is_infinite());
+        assert!(BF16::NAN.is_nan());
+    }
+
+    #[test]
+    fn every_bf16_bit_pattern_round_trips_through_f32() {
+        for bits in 0..=u16::MAX {
+            let x = BF16::from_bits(bits);
+            let back = BF16::from_f32(x.to_f32());
+            if x.is_nan() {
+                assert!(back.is_nan(), "bits {bits:#06x}");
+            } else {
+                assert_eq!(back.to_bits(), bits, "bits {bits:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1 + 2^-8 is halfway between 1.0 and 1 + 2^-7; even is 1.0.
+        assert_eq!(BF16::from_f32(1.0 + 2.0f32.powi(-8)).to_f32(), 1.0);
+        // 1 + 3·2^-8 is halfway between 1+2^-7 and 1+2^-6; even is 1+2^-6.
+        assert_eq!(
+            BF16::from_f32(1.0 + 3.0 * 2.0f32.powi(-8)).to_f32(),
+            1.0 + 2.0f32.powi(-6)
+        );
+        // Just above halfway rounds up.
+        assert_eq!(
+            BF16::from_f32(1.0 + 2.0f32.powi(-8) + 2.0f32.powi(-20)).to_f32(),
+            1.0 + 2.0f32.powi(-7)
+        );
+    }
+
+    #[test]
+    fn overflow_and_signs() {
+        assert!(BF16::from_f32(f32::MAX).is_infinite());
+        assert!(BF16::from_f32(-f32::MAX).is_sign_negative());
+        assert_eq!(BF16::from_f32(-0.0).to_bits(), 0x8000);
+        // f32 subnormals round through the same expression.
+        assert_eq!(BF16::from_f32(f32::from_bits(1)).to_bits(), 0x0000);
+    }
+
+    #[test]
+    fn saturation_convention() {
+        assert_eq!(saturate_to_bf16(f32::NAN).to_bits(), BF16::ZERO.to_bits());
+        assert_eq!(saturate_to_bf16(f32::INFINITY), BF16::MAX);
+        assert_eq!(saturate_to_bf16(f32::NEG_INFINITY), BF16::MIN);
+        assert_eq!(saturate_to_bf16(f32::MAX), BF16::MAX);
+        assert_eq!(saturate_to_bf16(1.5), BF16::from_f32(1.5));
+    }
+}

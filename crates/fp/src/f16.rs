@@ -255,6 +255,27 @@ pub fn exp2i(e: i32) -> f32 {
     f32::from_bits(((e + 127) as u32) << 23)
 }
 
+/// Rounds an `f32` to FP16, clamping overflow to ±65504 (finite) and mapping
+/// NaN to `+0` — the saturation convention shared by the block-floating-point
+/// compressors in `anda-format` and the rounded KV row policies in `anda-llm`.
+pub fn saturate_to_f16(v: f32) -> F16 {
+    if v.is_nan() {
+        return F16::ZERO;
+    }
+    let clamped = v.clamp(-65504.0, 65504.0);
+    let h = F16::from_f32(clamped);
+    if h.is_infinite() {
+        // RNE can still round 65504 < |v| ≤ 65504+ε to ∞; force the max.
+        if h.is_sign_negative() {
+            F16::MIN
+        } else {
+            F16::MAX
+        }
+    } else {
+        h
+    }
+}
+
 fn f32_to_f16_bits(value: f32) -> u16 {
     let bits = value.to_bits();
     let sign = ((bits >> 16) & 0x8000) as u16;

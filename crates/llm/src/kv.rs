@@ -8,9 +8,12 @@
 //! rows), every [`KvCache`] is a per-layer page table over pages leased
 //! from a pool, and the storage policy ([`KvStorage`]) decides whether a
 //! page holds raw `f32` rows (the exact-reference policy), FP16-rounded
-//! rows (the paper's §V-A baseline) — both read in place — or Anda
-//! bit-plane rows (decoded on read into caller scratch via
-//! `anda_format::rowcodec`, with zero per-token allocation).
+//! rows (the paper's §V-A baseline), BF16-rounded rows (same footprint,
+//! full exponent range) — all read in place — or Anda bit-plane rows
+//! (decoded on read into caller scratch via `anda_format::rowcodec`,
+//! with zero per-token allocation). The rounded-policy appends and the
+//! Anda encode/decode all run through the SIMD-dispatched kernels in
+//! `anda_fp::simd` (scalar-oracle bit-exact on every leg).
 //!
 //! Pages move by value between the pool's free list and the caches, so a
 //! page can never be double-freed; retiring a stream ([`KvCache::reset`])
@@ -44,9 +47,9 @@
 
 use std::sync::{Arc, Mutex};
 
-use anda_format::bfp::saturate_to_f16;
 use anda_format::rowcodec;
 use anda_format::AndaConfig;
+use anda_fp::batch::{saturate_bf16_widen_slice, saturate_f16_widen_slice};
 
 /// Storage policy for cached K/V rows.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,6 +60,11 @@ pub enum KvStorage {
     Fp32,
     /// FP16-rounded rows (the paper's §V-A baseline), read in place.
     Fp16,
+    /// BF16-rounded rows, read in place — same 16-bit footprint as FP16
+    /// but trading mantissa for the full `f32` exponent range (no
+    /// saturation below ±3.4e38), matching accelerators that keep KV in
+    /// bfloat16.
+    Bf16,
     /// Anda-format rows with the given mantissa length, decoded on read.
     Anda {
         /// Mantissa length (1..=16).
@@ -73,7 +81,7 @@ impl KvStorage {
     /// Panics if an Anda policy has mantissa bits outside 1..=16.
     fn anda_config(self) -> Option<AndaConfig> {
         match self {
-            KvStorage::Fp32 | KvStorage::Fp16 => None,
+            KvStorage::Fp32 | KvStorage::Fp16 | KvStorage::Bf16 => None,
             KvStorage::Anda { mantissa_bits } => {
                 Some(AndaConfig::hardware(mantissa_bits).expect("mantissa bits must be 1..=16"))
             }
@@ -85,7 +93,7 @@ impl KvStorage {
     pub fn row_bits(self, dim: usize) -> usize {
         match self {
             KvStorage::Fp32 => dim * 32,
-            KvStorage::Fp16 => dim * 16,
+            KvStorage::Fp16 | KvStorage::Bf16 => dim * 16,
             KvStorage::Anda { .. } => {
                 rowcodec::row_storage_bits(dim, self.anda_config().expect("anda policy"))
             }
@@ -95,7 +103,7 @@ impl KvStorage {
     /// `true` when rows are stored as plain `f32` words the attention
     /// kernel can read in place (no decode step).
     pub fn reads_in_place(self) -> bool {
-        matches!(self, KvStorage::Fp32 | KvStorage::Fp16)
+        matches!(self, KvStorage::Fp32 | KvStorage::Fp16 | KvStorage::Bf16)
     }
 }
 
@@ -175,7 +183,7 @@ pub struct Page {
 #[derive(Debug)]
 enum PageData {
     /// `positions × dim` plain `f32` words (raw for [`KvStorage::Fp32`],
-    /// FP16-rounded then widened for [`KvStorage::Fp16`]).
+    /// rounded then widened for [`KvStorage::Fp16`] / [`KvStorage::Bf16`]).
     Float { k: Vec<f32>, v: Vec<f32> },
     Anda {
         cfg: AndaConfig,
@@ -288,21 +296,29 @@ impl Page {
         assert_eq!(key.len(), self.dim, "key width");
         assert_eq!(value.len(), self.dim, "value width");
         let slot = self.used;
-        let round = self.storage == KvStorage::Fp16;
         match &mut self.data {
             PageData::Float { k, v } => {
                 let kd = &mut k[slot * self.dim..(slot + 1) * self.dim];
                 let vd = &mut v[slot * self.dim..(slot + 1) * self.dim];
-                if round {
-                    for (d, &x) in kd.iter_mut().zip(key) {
-                        *d = saturate_to_f16(x).to_f32();
+                match self.storage {
+                    KvStorage::Fp32 => {
+                        kd.copy_from_slice(key);
+                        vd.copy_from_slice(value);
                     }
-                    for (d, &x) in vd.iter_mut().zip(value) {
-                        *d = saturate_to_f16(x).to_f32();
+                    KvStorage::Fp16 => {
+                        // Batch round-trip through the SIMD-dispatched
+                        // conversion kernels (bit-identical to the
+                        // element-wise `saturate_to_f16(x).to_f32()`).
+                        saturate_f16_widen_slice(key, kd);
+                        saturate_f16_widen_slice(value, vd);
                     }
-                } else {
-                    kd.copy_from_slice(key);
-                    vd.copy_from_slice(value);
+                    KvStorage::Bf16 => {
+                        saturate_bf16_widen_slice(key, kd);
+                        saturate_bf16_widen_slice(value, vd);
+                    }
+                    KvStorage::Anda { .. } => {
+                        unreachable!("float page under an Anda policy")
+                    }
                 }
             }
             PageData::Anda { cfg, k, v } => {
@@ -1374,6 +1390,7 @@ impl Drop for KvCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use anda_format::bfp::saturate_to_f16;
     use anda_tensor::Rng;
 
     fn rows(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
@@ -1405,6 +1422,25 @@ mod tests {
             for (a, &b) in cache.layer(0).key(i).iter().zip(r) {
                 assert!((a - b).abs() < 1e-3);
                 assert_eq!(a.to_bits(), saturate_to_f16(b).to_f32().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_store_round_trips_to_bf16_precision() {
+        use anda_fp::saturate_to_bf16;
+        let mut cache = cache_with(KvStorage::Bf16, 2);
+        let k = rows(3, 64, 1);
+        for r in &k {
+            cache.append_row(0, r, r);
+        }
+        assert_eq!(cache.len(), 3);
+        // Same 16-bit row accounting as FP16.
+        assert_eq!(KvStorage::Bf16.row_bits(64), KvStorage::Fp16.row_bits(64));
+        for (i, r) in k.iter().enumerate() {
+            for (a, &b) in cache.layer(0).key(i).iter().zip(r) {
+                assert!((a - b).abs() < 1e-2 * b.abs().max(1.0));
+                assert_eq!(a.to_bits(), saturate_to_bf16(b).to_f32().to_bits());
             }
         }
     }
@@ -1608,7 +1644,11 @@ mod tests {
     /// sides, and resetting the fork keeps the donor's pages alive.
     #[test]
     fn fork_prefix_shares_pages_without_copying() {
-        for storage in [KvStorage::Fp16, KvStorage::Anda { mantissa_bits: 6 }] {
+        for storage in [
+            KvStorage::Fp16,
+            KvStorage::Bf16,
+            KvStorage::Anda { mantissa_bits: 6 },
+        ] {
             let pool = PagePool::new(KvPoolConfig {
                 storage,
                 page_positions: 4,
@@ -1648,6 +1688,7 @@ mod tests {
         for storage in [
             KvStorage::Fp32,
             KvStorage::Fp16,
+            KvStorage::Bf16,
             KvStorage::Anda { mantissa_bits: 6 },
         ] {
             let pool = PagePool::new(KvPoolConfig {

@@ -666,7 +666,7 @@ impl Model {
             // per layer into the read scratch, and every head reads the
             // same decoded planes.
             let rows = match storage {
-                KvStorage::Fp32 | KvStorage::Fp16 => KvRows::InPlace(kv),
+                KvStorage::Fp32 | KvStorage::Fp16 | KvStorage::Bf16 => KvRows::InPlace(kv),
                 KvStorage::Anda { .. } => {
                     kv.decode_rows(&mut s.kv_read.k, &mut s.kv_read.v);
                     KvRows::Decoded {

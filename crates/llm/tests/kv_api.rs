@@ -263,9 +263,10 @@ fn cache_for(model: &Model, storage: KvStorage, page_positions: usize) -> KvCach
 }
 
 /// Every storage policy the paged backend supports, exercised broadly.
-const POLICIES: [KvStorage; 4] = [
+const POLICIES: [KvStorage; 5] = [
     KvStorage::Fp32,
     KvStorage::Fp16,
+    KvStorage::Bf16,
     KvStorage::Anda { mantissa_bits: 6 },
     KvStorage::Anda { mantissa_bits: 12 },
 ];

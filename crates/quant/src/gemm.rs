@@ -15,12 +15,9 @@
 //!   (quantize→dequantize), then `f32` math; numerically equivalent to the
 //!   integer path for the Anda codec and used by the accuracy sweeps.
 
-use anda_format::align::align_group;
 use anda_format::anda::AndaConfig;
-use anda_format::bfp::saturate_to_f16;
-use anda_format::bitplane::BitPlaneGroup;
-use anda_format::dot::{dot_group_bit_serial, rescale_int_dot};
-use anda_fp::{RoundingMode, F16};
+use anda_format::dot::{dot_group_int_flat_with_leg, rescale_int_dot};
+use anda_format::rowcodec::{encode_row_into, groups_per_row, plane_words_per_row};
 use anda_tensor::Matrix;
 use rayon_lite::ThreadPool;
 
@@ -197,11 +194,18 @@ fn anda_check_shapes(x: &Matrix, w: &IntWeightMatrix, out: &Matrix) {
 }
 
 /// The Anda GeMM kernel over output rows `[row0, row0 + rows_here)`,
-/// where `rows_here = out_rows.len() / w.n()`. Conversion and weight
-/// gathering buffers are private to the call, so concurrent shards never
-/// share state; the per-element accumulation (FP32 across groups, groups
-/// in ascending k order) is independent of the sharding, which keeps the
-/// parallel result bit-identical to the serial one.
+/// where `rows_here = out_rows.len() / w.n()`. Each activation row is
+/// encoded once into flat, reused sign/exponent/plane buffers through
+/// the SIMD-dispatched row codec (no per-group allocation), and every
+/// group dot runs through the allocation-free dispatched integer kernel.
+/// Buffers are private to the call, so concurrent shards never share
+/// state; the per-element accumulation (FP32 across groups, groups in
+/// ascending k order) is independent of the sharding, which keeps the
+/// parallel result bit-identical to the serial one. The flat codec is
+/// pinned bit-identical to the owning `align_group`/`BitPlaneGroup`
+/// construction and the integer dot is exact, so this kernel reproduces
+/// the bit-serial reference path bit for bit (the unit test below pins
+/// it).
 fn anda_rows(x: &Matrix, w: &IntWeightMatrix, cfg: &AndaConfig, out_rows: &mut [f32], row0: usize) {
     let lanes = ANDA_LANES;
     let k = x.cols();
@@ -210,36 +214,42 @@ fn anda_rows(x: &Matrix, w: &IntWeightMatrix, cfg: &AndaConfig, out_rows: &mut [
         return;
     }
     let rows_here = out_rows.len() / n;
+    if k == 0 {
+        // Empty-k product: every dot is empty (and the row codec rejects
+        // empty rows).
+        out_rows.fill(0.0);
+        return;
+    }
 
-    // Buffers hoisted out of the row/column loops: conversion and weight
-    // gathering reuse the same allocations for the whole shard.
-    let mut acts: Vec<F16> = Vec::with_capacity(k);
-    let mut groups: Vec<BitPlaneGroup> = Vec::with_capacity(k.div_ceil(lanes));
+    // Flat encode buffers hoisted out of the row loop: one allocation set
+    // serves the whole shard.
+    let m = cfg.mantissa_bits() as usize;
+    let g = groups_per_row(k, *cfg);
+    let mut signs = vec![0u64; g];
+    let mut exps = vec![0u16; g];
+    let mut planes = vec![0u64; plane_words_per_row(k, *cfg)];
     let mut weights: Vec<i8> = Vec::with_capacity(lanes);
+    let leg = anda_fp::simd::active_leg();
 
     for li in 0..rows_here {
         let row = row0 + li;
-        // Convert this activation row to Anda groups along k.
-        acts.clear();
-        acts.extend(x.row(row).iter().map(|&v| saturate_to_f16(v)));
-        groups.clear();
-        groups.extend(acts.chunks(lanes).map(|chunk| {
-            let aligned = align_group(chunk, cfg.mantissa_bits(), RoundingMode::Truncate)
-                .expect("saturated activations are finite");
-            BitPlaneGroup::from_aligned(&aligned)
-        }));
-
+        encode_row_into(x.row(row), *cfg, &mut signs, &mut exps, &mut planes);
         let out_row = &mut out_rows[li * n..(li + 1) * n];
         for (col, out_val) in out_row.iter_mut().enumerate() {
             let mut acc = 0.0f32;
-            for (g, group) in groups.iter().enumerate() {
-                let k_start = g * lanes;
-                let k_end = (k_start + group.len()).min(k);
+            for gi in 0..g {
+                let k_start = gi * lanes;
+                let k_end = (k_start + lanes).min(k);
                 weights.clear();
                 weights.extend((k_start..k_end).map(|r| w.value(r, col)));
-                let (int_dot, _) = dot_group_bit_serial(group, &weights);
+                let int_dot = dot_group_int_flat_with_leg(
+                    leg,
+                    signs[gi],
+                    &planes[gi * m..(gi + 1) * m],
+                    &weights,
+                );
                 let scale = w.scale_at(k_start, col);
-                acc += rescale_int_dot(int_dot, group.shared_exp(), group.mantissa_bits(), scale);
+                acc += rescale_int_dot(int_dot, exps[gi], cfg.mantissa_bits(), scale);
             }
             *out_val = acc;
         }
@@ -366,6 +376,73 @@ mod tests {
 
             gemm_fake_quant_into(&x, &w, &codec, &mut scratch, &mut out);
             assert_eq!(out, gemm_fake_quant(&x, &w, &codec));
+        }
+    }
+
+    #[test]
+    fn flat_codec_kernel_is_bit_identical_to_bit_serial_reference() {
+        // `anda_rows` runs on the flat SIMD-dispatched row codec and the
+        // allocation-free integer dot. Pin it bit-for-bit against an
+        // inline reference built the original way: saturate to FP16,
+        // align each 64-lane group, build owning bit planes, bit-serial
+        // dot, identical rescale/accumulation.
+        use anda_format::align::align_group;
+        use anda_format::bitplane::BitPlaneGroup;
+        use anda_format::dot::dot_group_bit_serial;
+        use anda_fp::{saturate_to_f16, RoundingMode};
+
+        for (seed, (rows, k, n)) in [
+            (30u64, (1, 64, 1)),
+            (31, (3, 96, 5)), // partial trailing group
+            (32, (2, 256, 7)),
+            (33, (4, 129, 3)), // lone-element trailing group
+        ] {
+            let (x, w) = random_case(rows, k, n, seed);
+            for m_bits in [1u32, 4, 8, 11, 16] {
+                let fast = gemm_anda(&x, &w, m_bits);
+
+                let mut reference = Matrix::zeros(rows, n);
+                for i in 0..rows {
+                    let acts: Vec<_> = x.row(i).iter().map(|&v| saturate_to_f16(v)).collect();
+                    let groups: Vec<BitPlaneGroup> = acts
+                        .chunks(ANDA_LANES)
+                        .map(|chunk| {
+                            let aligned =
+                                align_group(chunk, m_bits, RoundingMode::Truncate).expect("finite");
+                            BitPlaneGroup::from_aligned(&aligned)
+                        })
+                        .collect();
+                    for j in 0..n {
+                        let mut acc = 0.0f32;
+                        for (g, group) in groups.iter().enumerate() {
+                            let k_start = g * ANDA_LANES;
+                            let k_end = (k_start + group.len()).min(k);
+                            let weights: Vec<i8> =
+                                (k_start..k_end).map(|r| w.value(r, j)).collect();
+                            let (int_dot, _) = dot_group_bit_serial(group, &weights);
+                            acc += rescale_int_dot(
+                                int_dot,
+                                group.shared_exp(),
+                                group.mantissa_bits(),
+                                w.scale_at(k_start, j),
+                            );
+                        }
+                        reference[(i, j)] = acc;
+                    }
+                }
+
+                for i in 0..rows {
+                    for j in 0..n {
+                        assert_eq!(
+                            fast[(i, j)].to_bits(),
+                            reference[(i, j)].to_bits(),
+                            "m={m_bits} ({i},{j}): {} vs {}",
+                            fast[(i, j)],
+                            reference[(i, j)]
+                        );
+                    }
+                }
+            }
         }
     }
 

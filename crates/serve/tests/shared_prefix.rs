@@ -64,6 +64,7 @@ fn shared_prefix_serving_is_bit_exact_vs_private_caches() {
         for storage in [
             KvStorage::Fp32,
             KvStorage::Fp16,
+            KvStorage::Bf16,
             KvStorage::Anda { mantissa_bits: 6 },
             KvStorage::Anda { mantissa_bits: 11 },
         ] {

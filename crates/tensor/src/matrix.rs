@@ -1,8 +1,17 @@
 //! Row-major `f32` matrices.
+//!
+//! The GeMM kernels carry AVX2/NEON legs behind [`anda_fp::simd`]'s
+//! runtime dispatch. Vectorization is across output columns — each
+//! vector lane owns one output element and accumulates over k in the
+//! same ascending order as the scalar kernel, with separate multiply
+//! and add (no FMA contraction) — so every leg is `f32::to_bits`-
+//! identical to the scalar oracle on any input, preserving the
+//! bit-exactness invariant the serving stack is built on.
 
 use core::fmt;
 use core::ops::{Index, IndexMut};
 
+use anda_fp::simd::{active_leg, SimdLeg};
 use rayon_lite::ThreadPool;
 
 /// Below this many multiply-adds a GeMM runs serially even when the
@@ -215,13 +224,24 @@ impl Matrix {
     ///
     /// Panics on any shape mismatch.
     pub fn matmul_into_serial(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_into_serial_with_leg(rhs, out, active_leg());
+    }
+
+    /// [`Matrix::matmul_into_serial`] on an explicit SIMD leg (oracle
+    /// tests and benches; production code lets the dispatch layer pick).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch, or if the leg is unavailable on
+    /// this host.
+    pub fn matmul_into_serial_with_leg(&self, rhs: &Matrix, out: &mut Matrix, leg: SimdLeg) {
         self.matmul_check_shapes(rhs, out);
         if rhs.cols == 0 {
             // Degenerate m×0 output: nothing to accumulate (and the
             // kernel's chunks_exact requires a non-zero width).
             return;
         }
-        self.matmul_rows(rhs, &mut out.data, 0);
+        self.matmul_rows_leg(rhs, &mut out.data, 0, leg);
     }
 
     /// [`Matrix::matmul_into`] on an explicit pool, always sharding the
@@ -263,6 +283,22 @@ impl Matrix {
     /// tile boundaries, which is what makes any row sharding bit-identical
     /// to the full-range serial call.
     fn matmul_rows(&self, rhs: &Matrix, out_rows: &mut [f32], row0: usize) {
+        self.matmul_rows_leg(rhs, out_rows, row0, active_leg());
+    }
+
+    fn matmul_rows_leg(&self, rhs: &Matrix, out_rows: &mut [f32], row0: usize, leg: SimdLeg) {
+        match leg {
+            SimdLeg::Scalar => self.matmul_rows_scalar(rhs, out_rows, row0),
+            #[cfg(target_arch = "x86_64")]
+            SimdLeg::Avx2 => unsafe { self.matmul_rows_avx2(rhs, out_rows, row0) },
+            #[cfg(target_arch = "aarch64")]
+            SimdLeg::Neon => unsafe { self.matmul_rows_neon(rhs, out_rows, row0) },
+            #[allow(unreachable_patterns)]
+            other => panic!("SIMD leg {} unavailable on this host", other.name()),
+        }
+    }
+
+    fn matmul_rows_scalar(&self, rhs: &Matrix, out_rows: &mut [f32], row0: usize) {
         // Tile sizes: an i-tile of output rows shares one pass over a
         // KB-row panel of rhs (≈ KB·cols f32 ≤ a few hundred KiB, L2-sized).
         const IB: usize = 32;
@@ -284,6 +320,103 @@ impl Matrix {
                             continue;
                         }
                         for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// AVX2 leg of the blocked ikj kernel: identical blocking, but the
+    /// inner j-loop broadcasts `a` and updates 8 output columns per step
+    /// with separate multiply and add. Each output element still
+    /// accumulates over k in ascending order with one rounding per
+    /// multiply and per add, so the result is bit-identical to
+    /// [`Matrix::matmul_rows_scalar`]. The `a == 0` skip is preserved
+    /// (adding `0·b` would be bit-identical too, but skipping keeps the
+    /// scalar kernel's sparsity win).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 (callers go through the dispatch layer).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn matmul_rows_avx2(&self, rhs: &Matrix, out_rows: &mut [f32], row0: usize) {
+        use core::arch::x86_64::*;
+        const IB: usize = 32;
+        const KB: usize = 256;
+        let n = rhs.cols;
+        let nv = n - n % 8;
+        let rows_here = out_rows.len() / n;
+        out_rows.fill(0.0);
+        for li0 in (0..rows_here).step_by(IB) {
+            let li1 = (li0 + IB).min(rows_here);
+            for k0 in (0..self.cols).step_by(KB) {
+                let k1 = (k0 + KB).min(self.cols);
+                for li in li0..li1 {
+                    let i = row0 + li;
+                    let a_row = &self.data[i * self.cols + k0..i * self.cols + k1];
+                    let out_row = &mut out_rows[li * n..(li + 1) * n];
+                    let b_panel = rhs.data[k0 * n..k1 * n].chunks_exact(n);
+                    for (&a, b_row) in a_row.iter().zip(b_panel) {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let av = _mm256_set1_ps(a);
+                        for j in (0..nv).step_by(8) {
+                            let o = _mm256_loadu_ps(out_row.as_ptr().add(j));
+                            let b = _mm256_loadu_ps(b_row.as_ptr().add(j));
+                            let sum = _mm256_add_ps(o, _mm256_mul_ps(av, b));
+                            _mm256_storeu_ps(out_row.as_mut_ptr().add(j), sum);
+                        }
+                        for (o, &b) in out_row[nv..].iter_mut().zip(&b_row[nv..]) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// NEON leg of the blocked ikj kernel: the 4-lane mirror of the AVX2
+    /// leg.
+    ///
+    /// # Safety
+    ///
+    /// Requires NEON.
+    #[cfg(target_arch = "aarch64")]
+    #[target_feature(enable = "neon")]
+    unsafe fn matmul_rows_neon(&self, rhs: &Matrix, out_rows: &mut [f32], row0: usize) {
+        use core::arch::aarch64::*;
+        const IB: usize = 32;
+        const KB: usize = 256;
+        let n = rhs.cols;
+        let nv = n - n % 4;
+        let rows_here = out_rows.len() / n;
+        out_rows.fill(0.0);
+        for li0 in (0..rows_here).step_by(IB) {
+            let li1 = (li0 + IB).min(rows_here);
+            for k0 in (0..self.cols).step_by(KB) {
+                let k1 = (k0 + KB).min(self.cols);
+                for li in li0..li1 {
+                    let i = row0 + li;
+                    let a_row = &self.data[i * self.cols + k0..i * self.cols + k1];
+                    let out_row = &mut out_rows[li * n..(li + 1) * n];
+                    let b_panel = rhs.data[k0 * n..k1 * n].chunks_exact(n);
+                    for (&a, b_row) in a_row.iter().zip(b_panel) {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let av = vdupq_n_f32(a);
+                        for j in (0..nv).step_by(4) {
+                            let o = vld1q_f32(out_row.as_ptr().add(j));
+                            let b = vld1q_f32(b_row.as_ptr().add(j));
+                            // vaddq+vmulq, not vfmaq: the scalar kernel
+                            // rounds the product before the add.
+                            vst1q_f32(out_row.as_mut_ptr().add(j), vaddq_f32(o, vmulq_f32(av, b)));
+                        }
+                        for (o, &b) in out_row[nv..].iter_mut().zip(&b_row[nv..]) {
                             *o += a * b;
                         }
                     }
@@ -335,11 +468,27 @@ impl Matrix {
     ///
     /// Panics on any shape mismatch.
     pub fn matmul_transposed_into_serial(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_transposed_into_serial_with_leg(rhs, out, active_leg());
+    }
+
+    /// [`Matrix::matmul_transposed_into_serial`] on an explicit SIMD leg
+    /// (oracle tests and benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch, or if the leg is unavailable on
+    /// this host.
+    pub fn matmul_transposed_into_serial_with_leg(
+        &self,
+        rhs: &Matrix,
+        out: &mut Matrix,
+        leg: SimdLeg,
+    ) {
         self.matmul_transposed_check_shapes(rhs, out);
         if rhs.rows == 0 {
             return;
         }
-        self.matmul_transposed_rows(rhs, &mut out.data, 0);
+        self.matmul_transposed_rows_leg(rhs, &mut out.data, 0, leg);
     }
 
     /// [`Matrix::matmul_transposed_into`] on an explicit pool, always
@@ -381,6 +530,28 @@ impl Matrix {
     /// within a shard cannot change any value, and row sharding is
     /// bit-identical to the full-range serial call.
     fn matmul_transposed_rows(&self, rhs: &Matrix, out_rows: &mut [f32], row0: usize) {
+        self.matmul_transposed_rows_leg(rhs, out_rows, row0, active_leg());
+    }
+
+    fn matmul_transposed_rows_leg(
+        &self,
+        rhs: &Matrix,
+        out_rows: &mut [f32],
+        row0: usize,
+        leg: SimdLeg,
+    ) {
+        match leg {
+            SimdLeg::Scalar => self.matmul_transposed_rows_scalar(rhs, out_rows, row0),
+            #[cfg(target_arch = "x86_64")]
+            SimdLeg::Avx2 => unsafe { self.matmul_transposed_rows_avx2(rhs, out_rows, row0) },
+            #[cfg(target_arch = "aarch64")]
+            SimdLeg::Neon => unsafe { self.matmul_transposed_rows_neon(rhs, out_rows, row0) },
+            #[allow(unreachable_patterns)]
+            other => panic!("SIMD leg {} unavailable on this host", other.name()),
+        }
+    }
+
+    fn matmul_transposed_rows_scalar(&self, rhs: &Matrix, out_rows: &mut [f32], row0: usize) {
         const T: usize = 4;
         let k = self.cols;
         let n = rhs.rows;
@@ -419,6 +590,195 @@ impl Matrix {
         }
         // Edge rows/columns fall back to plain sequential dots (same
         // accumulation order as the tiles).
+        let edge_dot = |i: usize, j: usize| -> f32 {
+            let mut acc = 0.0f32;
+            for (&x, &y) in self.row(i).iter().zip(rhs.row(j)) {
+                acc += x * y;
+            }
+            acc
+        };
+        for li in 0..rows_here {
+            let j_start = if li < mi { nj } else { 0 };
+            for j in j_start..n {
+                out_rows[li * n + j] = edge_dot(row0 + li, j);
+            }
+        }
+    }
+
+    /// AVX2 leg of the transposed kernel: 4 output rows × 8 output
+    /// columns of vector accumulators. Per 8-wide k-tile the 8×8 block
+    /// of `rhs` is loaded row-wise and transposed in registers, after
+    /// which lane `j` of every accumulator walks k in ascending order
+    /// with separate multiply and add — the same per-element operation
+    /// sequence as the scalar kernel, hence bit-identical. Ragged rows,
+    /// columns and k-tails fall back to the scalar edge dot.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 (callers go through the dispatch layer).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn matmul_transposed_rows_avx2(&self, rhs: &Matrix, out_rows: &mut [f32], row0: usize) {
+        use core::arch::x86_64::*;
+
+        /// In-register 8×8 f32 transpose (unpack/shuffle/permute ladder).
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        unsafe fn transpose8(r: &mut [__m256; 8]) {
+            let t0 = _mm256_unpacklo_ps(r[0], r[1]);
+            let t1 = _mm256_unpackhi_ps(r[0], r[1]);
+            let t2 = _mm256_unpacklo_ps(r[2], r[3]);
+            let t3 = _mm256_unpackhi_ps(r[2], r[3]);
+            let t4 = _mm256_unpacklo_ps(r[4], r[5]);
+            let t5 = _mm256_unpackhi_ps(r[4], r[5]);
+            let t6 = _mm256_unpacklo_ps(r[6], r[7]);
+            let t7 = _mm256_unpackhi_ps(r[6], r[7]);
+            let s0 = _mm256_shuffle_ps::<0x44>(t0, t2);
+            let s1 = _mm256_shuffle_ps::<0xEE>(t0, t2);
+            let s2 = _mm256_shuffle_ps::<0x44>(t1, t3);
+            let s3 = _mm256_shuffle_ps::<0xEE>(t1, t3);
+            let s4 = _mm256_shuffle_ps::<0x44>(t4, t6);
+            let s5 = _mm256_shuffle_ps::<0xEE>(t4, t6);
+            let s6 = _mm256_shuffle_ps::<0x44>(t5, t7);
+            let s7 = _mm256_shuffle_ps::<0xEE>(t5, t7);
+            r[0] = _mm256_permute2f128_ps::<0x20>(s0, s4);
+            r[1] = _mm256_permute2f128_ps::<0x20>(s1, s5);
+            r[2] = _mm256_permute2f128_ps::<0x20>(s2, s6);
+            r[3] = _mm256_permute2f128_ps::<0x20>(s3, s7);
+            r[4] = _mm256_permute2f128_ps::<0x31>(s0, s4);
+            r[5] = _mm256_permute2f128_ps::<0x31>(s1, s5);
+            r[6] = _mm256_permute2f128_ps::<0x31>(s2, s6);
+            r[7] = _mm256_permute2f128_ps::<0x31>(s3, s7);
+        }
+
+        const TI: usize = 4;
+        let k = self.cols;
+        let n = rhs.rows;
+        let rows_here = out_rows.len() / n;
+        let mi = rows_here - rows_here % TI;
+        let nj = n - n % 8;
+        let kb = k - k % 8;
+        for li0 in (0..mi).step_by(TI) {
+            let i0 = row0 + li0;
+            for j0 in (0..nj).step_by(8) {
+                let mut acc = [_mm256_setzero_ps(); TI];
+                for k0 in (0..kb).step_by(8) {
+                    let mut bt = [
+                        _mm256_loadu_ps(rhs.data.as_ptr().add(j0 * k + k0)),
+                        _mm256_loadu_ps(rhs.data.as_ptr().add((j0 + 1) * k + k0)),
+                        _mm256_loadu_ps(rhs.data.as_ptr().add((j0 + 2) * k + k0)),
+                        _mm256_loadu_ps(rhs.data.as_ptr().add((j0 + 3) * k + k0)),
+                        _mm256_loadu_ps(rhs.data.as_ptr().add((j0 + 4) * k + k0)),
+                        _mm256_loadu_ps(rhs.data.as_ptr().add((j0 + 5) * k + k0)),
+                        _mm256_loadu_ps(rhs.data.as_ptr().add((j0 + 6) * k + k0)),
+                        _mm256_loadu_ps(rhs.data.as_ptr().add((j0 + 7) * k + k0)),
+                    ];
+                    transpose8(&mut bt);
+                    for (t, &bv) in bt.iter().enumerate() {
+                        for (di, accv) in acc.iter_mut().enumerate() {
+                            let a = self.data[(i0 + di) * k + k0 + t];
+                            *accv = _mm256_add_ps(*accv, _mm256_mul_ps(_mm256_set1_ps(a), bv));
+                        }
+                    }
+                }
+                for kk in kb..k {
+                    let bv = _mm256_setr_ps(
+                        rhs.data[j0 * k + kk],
+                        rhs.data[(j0 + 1) * k + kk],
+                        rhs.data[(j0 + 2) * k + kk],
+                        rhs.data[(j0 + 3) * k + kk],
+                        rhs.data[(j0 + 4) * k + kk],
+                        rhs.data[(j0 + 5) * k + kk],
+                        rhs.data[(j0 + 6) * k + kk],
+                        rhs.data[(j0 + 7) * k + kk],
+                    );
+                    for (di, accv) in acc.iter_mut().enumerate() {
+                        let a = self.data[(i0 + di) * k + kk];
+                        *accv = _mm256_add_ps(*accv, _mm256_mul_ps(_mm256_set1_ps(a), bv));
+                    }
+                }
+                for (di, &accv) in acc.iter().enumerate() {
+                    _mm256_storeu_ps(out_rows.as_mut_ptr().add((li0 + di) * n + j0), accv);
+                }
+            }
+        }
+        let edge_dot = |i: usize, j: usize| -> f32 {
+            let mut acc = 0.0f32;
+            for (&x, &y) in self.row(i).iter().zip(rhs.row(j)) {
+                acc += x * y;
+            }
+            acc
+        };
+        for li in 0..rows_here {
+            let j_start = if li < mi { nj } else { 0 };
+            for j in j_start..n {
+                out_rows[li * n + j] = edge_dot(row0 + li, j);
+            }
+        }
+    }
+
+    /// NEON leg of the transposed kernel: 4 output rows × 4 output
+    /// columns of vector accumulators with an in-register 4×4 `rhs`
+    /// transpose per k-tile; same ascending-k multiply-then-add order as
+    /// the scalar kernel.
+    ///
+    /// # Safety
+    ///
+    /// Requires NEON.
+    #[cfg(target_arch = "aarch64")]
+    #[target_feature(enable = "neon")]
+    unsafe fn matmul_transposed_rows_neon(&self, rhs: &Matrix, out_rows: &mut [f32], row0: usize) {
+        use core::arch::aarch64::*;
+        const TI: usize = 4;
+        let k = self.cols;
+        let n = rhs.rows;
+        let rows_here = out_rows.len() / n;
+        let mi = rows_here - rows_here % TI;
+        let nj = n - n % 4;
+        let kb = k - k % 4;
+        for li0 in (0..mi).step_by(TI) {
+            let i0 = row0 + li0;
+            for j0 in (0..nj).step_by(4) {
+                let mut acc = [vdupq_n_f32(0.0); TI];
+                for k0 in (0..kb).step_by(4) {
+                    let r0 = vld1q_f32(rhs.data.as_ptr().add(j0 * k + k0));
+                    let r1 = vld1q_f32(rhs.data.as_ptr().add((j0 + 1) * k + k0));
+                    let r2 = vld1q_f32(rhs.data.as_ptr().add((j0 + 2) * k + k0));
+                    let r3 = vld1q_f32(rhs.data.as_ptr().add((j0 + 3) * k + k0));
+                    let t01 = vtrnq_f32(r0, r1);
+                    let t23 = vtrnq_f32(r2, r3);
+                    let bt = [
+                        vcombine_f32(vget_low_f32(t01.0), vget_low_f32(t23.0)),
+                        vcombine_f32(vget_low_f32(t01.1), vget_low_f32(t23.1)),
+                        vcombine_f32(vget_high_f32(t01.0), vget_high_f32(t23.0)),
+                        vcombine_f32(vget_high_f32(t01.1), vget_high_f32(t23.1)),
+                    ];
+                    for (t, &bv) in bt.iter().enumerate() {
+                        for (di, accv) in acc.iter_mut().enumerate() {
+                            let a = self.data[(i0 + di) * k + k0 + t];
+                            // vaddq+vmulq, not vfmaq: match scalar rounding.
+                            *accv = vaddq_f32(*accv, vmulq_f32(vdupq_n_f32(a), bv));
+                        }
+                    }
+                }
+                for kk in kb..k {
+                    let b: [f32; 4] = [
+                        rhs.data[j0 * k + kk],
+                        rhs.data[(j0 + 1) * k + kk],
+                        rhs.data[(j0 + 2) * k + kk],
+                        rhs.data[(j0 + 3) * k + kk],
+                    ];
+                    let bv = vld1q_f32(b.as_ptr());
+                    for (di, accv) in acc.iter_mut().enumerate() {
+                        let a = self.data[(i0 + di) * k + kk];
+                        *accv = vaddq_f32(*accv, vmulq_f32(vdupq_n_f32(a), bv));
+                    }
+                }
+                for (di, &accv) in acc.iter().enumerate() {
+                    vst1q_f32(out_rows.as_mut_ptr().add((li0 + di) * n + j0), accv);
+                }
+            }
+        }
         let edge_dot = |i: usize, j: usize| -> f32 {
             let mut acc = 0.0f32;
             for (&x, &y) in self.row(i).iter().zip(rhs.row(j)) {
@@ -724,6 +1084,63 @@ mod tests {
             let blocked = a.matmul_transposed(&b);
             let naive = a.matmul(&b.transposed());
             assert_eq!(blocked, naive, "shape {m}x{k}·({n}x{k})ᵀ");
+        }
+    }
+
+    #[test]
+    fn every_simd_leg_matches_the_scalar_oracle() {
+        use anda_fp::simd::available_legs;
+        // Adversarial shapes: below one vector width, exact multiples,
+        // ragged tails in every dimension, and a zero-heavy A (exercises
+        // the sparsity skip).
+        for (m, k, n) in [
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 8, 8),
+            (5, 9, 12),
+            (8, 16, 17),
+            (9, 33, 31),
+            (13, 40, 25),
+        ] {
+            let mut a = Matrix::from_vec(
+                m,
+                k,
+                (0..m * k)
+                    .map(|i| ((i as f32) * 0.37).sin() * 3.0)
+                    .collect(),
+            );
+            for i in (0..m * k).step_by(3) {
+                a.as_mut_slice()[i] = 0.0;
+            }
+            let b = Matrix::from_vec(k, n, (0..k * n).map(|i| (i as f32 * 0.11).cos()).collect());
+            let bt = Matrix::from_vec(n, k, (0..n * k).map(|i| (i as f32 * 0.23).sin()).collect());
+            let mut reference = Matrix::zeros(m, n);
+            a.matmul_into_serial_with_leg(&b, &mut reference, anda_fp::SimdLeg::Scalar);
+            let mut reference_t = Matrix::zeros(m, n);
+            a.matmul_transposed_into_serial_with_leg(
+                &bt,
+                &mut reference_t,
+                anda_fp::SimdLeg::Scalar,
+            );
+            for leg in available_legs() {
+                let mut out = Matrix::zeros(m, n);
+                a.matmul_into_serial_with_leg(&b, &mut out, leg);
+                let same = out
+                    .as_slice()
+                    .iter()
+                    .zip(reference.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(same, "matmul leg={} shape {m}x{k}x{n}", leg.name());
+
+                let mut out_t = Matrix::zeros(m, n);
+                a.matmul_transposed_into_serial_with_leg(&bt, &mut out_t, leg);
+                let same_t = out_t
+                    .as_slice()
+                    .iter()
+                    .zip(reference_t.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(same_t, "matmul_t leg={} shape {m}x{k}x{n}", leg.name());
+            }
         }
     }
 

@@ -106,4 +106,43 @@ proptest! {
         let right = a.slice_cols(split, 12 - split);
         prop_assert_eq!(Matrix::concat_cols(&[&left, &right]), a);
     }
+
+    /// Both GEMM kernels are `to_bits`-identical across every available
+    /// SIMD dispatch leg, on arbitrary shapes crossing the vector-lane
+    /// boundaries (the scalar leg is the oracle).
+    #[test]
+    fn gemm_legs_are_bit_identical(
+        m in 1usize..10,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut a = Matrix::zeros(m, k);
+        Rng::new(seed).fill_normal(a.as_mut_slice(), 1.0);
+        let mut b = Matrix::zeros(k, n);
+        Rng::new(seed ^ 1).fill_normal(b.as_mut_slice(), 1.0);
+        let mut bt = Matrix::zeros(n, k);
+        Rng::new(seed ^ 2).fill_normal(bt.as_mut_slice(), 1.0);
+        // Zero-heavy A exercises the skip-zero fast path on every leg.
+        for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = 0.0;
+            }
+        }
+
+        let mut oracle = Matrix::zeros(m, n);
+        a.matmul_into_serial_with_leg(&b, &mut oracle, anda_fp::SimdLeg::Scalar);
+        let mut oracle_t = Matrix::zeros(m, n);
+        a.matmul_transposed_into_serial_with_leg(&bt, &mut oracle_t, anda_fp::SimdLeg::Scalar);
+        let bits = |mat: &Matrix| -> Vec<u32> {
+            mat.as_slice().iter().map(|x| x.to_bits()).collect()
+        };
+        for leg in anda_fp::available_legs() {
+            let mut out = Matrix::zeros(m, n);
+            a.matmul_into_serial_with_leg(&b, &mut out, leg);
+            prop_assert_eq!(bits(&out), bits(&oracle), "matmul leg={}", leg.name());
+            a.matmul_transposed_into_serial_with_leg(&bt, &mut out, leg);
+            prop_assert_eq!(bits(&out), bits(&oracle_t), "matmul_t leg={}", leg.name());
+        }
+    }
 }
