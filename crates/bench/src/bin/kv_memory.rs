@@ -172,6 +172,7 @@ fn main() {
             SchedulerConfig {
                 max_batch: batch,
                 kv,
+                ..SchedulerConfig::default()
             },
         );
         let mut accepted = 0usize;

@@ -18,7 +18,7 @@
 //!
 //! Usage: `kv_sharing [--smoke] [--prefixes A,B,…] [--batch N]`
 
-use anda_bench::{arg_val, workload_prompt, Table};
+use anda_bench::{arg_val, workload_prompt, BenchReport, Table};
 use anda_llm::kv::{KvPoolConfig, KvStorage};
 use anda_llm::zoo::opt_125m_sim;
 use anda_serve::{FinishedRequest, Request, SamplingParams, Scheduler, SchedulerConfig};
@@ -97,6 +97,7 @@ fn main() {
                 SchedulerConfig {
                     max_batch: batch,
                     kv,
+                    ..SchedulerConfig::default()
                 },
             );
             if shared {
@@ -190,6 +191,7 @@ fn main() {
             SchedulerConfig {
                 max_batch: batch,
                 kv,
+                ..SchedulerConfig::default()
             },
         );
         if shared {
@@ -259,4 +261,21 @@ fn main() {
          — sharing turned the same pool into batch headroom)",
         shared_stats.peak_active, shared_stats.peak_pages_in_use, private_stats.peak_active
     );
+
+    // Perf trajectory: the admission-gap numbers from part 2.
+    let mut report = BenchReport::new("kv_sharing");
+    report.metric("batch", batch as f64);
+    report.metric("prefix_len", prefix_len as f64);
+    report.metric("pool_pages", capacity as f64);
+    report.metric("shared_peak_active", shared_stats.peak_active as f64);
+    report.metric("private_peak_active", private_stats.peak_active as f64);
+    report.metric("shared_peak_pages", shared_stats.peak_pages_in_use as f64);
+    report.metric("private_peak_pages", private_stats.peak_pages_in_use as f64);
+    report.metric("shared_prefill_tokens", shared_stats.prefill_tokens as f64);
+    report.metric(
+        "private_prefill_tokens",
+        private_stats.prefill_tokens as f64,
+    );
+    report.metric("shared_pages_decoded", shared_stats.pages_decoded as f64);
+    report.write_and_announce();
 }

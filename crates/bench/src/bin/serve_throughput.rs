@@ -23,7 +23,7 @@ use std::time::Instant;
 use anda_bench::{arg_val, workload_prompt, BenchReport, Table};
 use anda_llm::zoo::opt_125m_sim;
 use anda_llm::Model;
-use anda_serve::{KvPoolConfig, Request, SamplingParams, Scheduler, SchedulerConfig};
+use anda_serve::{KvPoolConfig, KvStorage, Request, SamplingParams, Scheduler, SchedulerConfig};
 
 /// The benchmark workload: `n` requests with staggered prompts and seeds.
 fn workload(model: &Model, n: usize, prompt_len: usize, max_new: usize) -> Vec<Request> {
@@ -49,6 +49,7 @@ fn serve_once(model: &Model, reqs: &[Request], max_batch: usize) -> (f64, u64) {
         SchedulerConfig {
             max_batch,
             kv: KvPoolConfig::default(),
+            ..SchedulerConfig::default()
         },
     );
     for r in reqs {
@@ -59,6 +60,43 @@ fn serve_once(model: &Model, reqs: &[Request], max_batch: usize) -> (f64, u64) {
     let elapsed = t.elapsed().as_secs_f64();
     assert_eq!(done.len(), reqs.len());
     (elapsed, sched.stats().sampled_tokens)
+}
+
+/// Wall time, sampled tokens and Anda pages decoded for the
+/// shared-prefix scenario: every request rides a registered prefix on
+/// an Anda-compressed pool, served by the grouped batched-attention
+/// path or the per-stream oracle (`grouped_attention: false`).
+fn serve_prefix_once(
+    model: &Model,
+    reqs: &[Request],
+    prefix: &[usize],
+    max_batch: usize,
+    grouped: bool,
+) -> (f64, u64, u64) {
+    let mut sched = Scheduler::new(
+        model,
+        SchedulerConfig {
+            max_batch,
+            kv: KvPoolConfig {
+                storage: KvStorage::Anda { mantissa_bits: 5 },
+                page_positions: 8,
+                max_pages: None,
+            },
+            grouped_attention: grouped,
+        },
+    );
+    sched.register_prefix("sys", prefix.to_vec()).unwrap();
+    for r in reqs {
+        let mut r = r.clone();
+        r.prefix = Some("sys".into());
+        sched.submit(r).expect("bench workload is servable");
+    }
+    let t = Instant::now();
+    let done = sched.run_to_completion();
+    let elapsed = t.elapsed().as_secs_f64();
+    assert_eq!(done.len(), reqs.len());
+    let stats = sched.stats();
+    (elapsed, stats.sampled_tokens, stats.pages_decoded)
 }
 
 fn main() {
@@ -128,6 +166,53 @@ fn main() {
     let mut report = BenchReport::new("serve_throughput");
     for &(b, _, _, tps) in &measured {
         report.metric(&format!("batch{b}_tokens_per_s"), tps);
+    }
+
+    // Grouped batched attention vs the per-stream oracle on the
+    // workload it targets: a batch of streams forked from one shared
+    // Anda-compressed prefix, where the per-stream walk re-decodes the
+    // prefix pages once per attending stream per step and the grouped
+    // walk decodes them once for the whole batch.
+    let shared_batch = 4usize;
+    let shared_prefix_len = if smoke { 48 } else { 128 };
+    let prefix: Vec<usize> = (0..shared_prefix_len)
+        .map(|i| (i * 29 + 11) % model.config().vocab)
+        .collect();
+    let mut grouped_best = f64::INFINITY;
+    let mut oracle_best = f64::INFINITY;
+    let mut shared_tokens = 0u64;
+    let mut pages_decoded = 0u64;
+    for _ in 0..reps {
+        let (g, tokens, decoded) = serve_prefix_once(&model, &reqs, &prefix, shared_batch, true);
+        let (o, o_tokens, _) = serve_prefix_once(&model, &reqs, &prefix, shared_batch, false);
+        assert_eq!(
+            tokens, o_tokens,
+            "grouped serving must sample the same tokens"
+        );
+        grouped_best = grouped_best.min(g);
+        oracle_best = oracle_best.min(o);
+        shared_tokens = tokens;
+        pages_decoded = decoded;
+    }
+    let grouped_tps = shared_tokens as f64 / grouped_best;
+    let oracle_tps = shared_tokens as f64 / oracle_best;
+    let ratio = grouped_tps / oracle_tps;
+    println!(
+        "shared {shared_prefix_len}-token Anda prefix, batch {shared_batch}: grouped {:.0} tok/s \
+         vs per-stream {:.0} tok/s ({ratio:.2}x, {pages_decoded} pages decoded)",
+        grouped_tps, oracle_tps
+    );
+    report.metric("shared_prefix_grouped_tokens_per_s", grouped_tps);
+    report.metric("shared_prefix_per_stream_tokens_per_s", oracle_tps);
+    report.metric("shared_prefix_grouped_vs_per_stream", ratio);
+    report.metric("shared_prefix_pages_decoded", pages_decoded as f64);
+    // Acceptance: the grouped path must be no worse than the per-stream
+    // baseline on its own workload (generous margin for timer noise on
+    // loaded CI runners).
+    if enforce && ratio < 0.9 {
+        report.write_and_announce();
+        eprintln!("FAIL: grouped batched attention must not regress shared-prefix serving");
+        std::process::exit(1);
     }
 
     let b1 = measured.iter().find(|(b, ..)| *b == 1);

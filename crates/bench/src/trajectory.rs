@@ -8,9 +8,12 @@
 //! strings and finite numbers only — so nothing outside the workspace is
 //! needed to produce or diff it.
 //!
-//! Reports land in the current directory by default; set
-//! `ANDA_BENCH_DIR` to redirect them (CI points this at its artifact
-//! directory).
+//! Reports land in the **workspace root** by default — the directory is
+//! found by walking up from this crate's baked-in manifest dir to the
+//! `Cargo.toml` declaring `[workspace]` — so `cargo run -p anda-bench`
+//! drops `BENCH_*.json` in one predictable place no matter which
+//! directory the command ran from. Set `ANDA_BENCH_DIR` to redirect
+//! them (CI points this at its artifact directory).
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -65,9 +68,12 @@ impl BenchReport {
     }
 
     /// The path this report will be written to:
-    /// `$ANDA_BENCH_DIR/BENCH_<name>.json` (or the current directory).
+    /// `$ANDA_BENCH_DIR/BENCH_<name>.json`, or
+    /// `<workspace root>/BENCH_<name>.json` when the variable is unset.
     pub fn path(&self) -> PathBuf {
-        let dir = std::env::var_os("ANDA_BENCH_DIR").map_or_else(PathBuf::new, PathBuf::from);
+        let dir = std::env::var_os("ANDA_BENCH_DIR")
+            .filter(|v| !v.is_empty())
+            .map_or_else(workspace_root, PathBuf::from);
         dir.join(format!("BENCH_{}.json", self.name))
     }
 
@@ -112,6 +118,25 @@ impl BenchReport {
         match self.write() {
             Ok(path) => println!("perf trajectory written to {}", path.display()),
             Err(e) => eprintln!("perf trajectory not written: {e}"),
+        }
+    }
+}
+
+/// The workspace root: walk up from this crate's compile-time manifest
+/// dir to the first `Cargo.toml` declaring `[workspace]`. Falls back to
+/// the current directory if the source tree has moved since compile
+/// time (an installed binary, say) — the pre-PR-7 behaviour.
+fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::new();
         }
     }
 }
@@ -196,5 +221,20 @@ mod tests {
         let r = BenchReport::new("pathcheck");
         let p = r.path();
         assert!(p.ends_with("BENCH_pathcheck.json"));
+        match std::env::var_os("ANDA_BENCH_DIR").filter(|v| !v.is_empty()) {
+            Some(dir) => assert!(p.starts_with(dir)),
+            None => assert_eq!(p.parent().unwrap(), workspace_root()),
+        }
+    }
+
+    #[test]
+    fn default_report_dir_is_the_workspace_root() {
+        // The walk-up must land on the manifest declaring `[workspace]`,
+        // not on this crate's own Cargo.toml — so reports land in one
+        // predictable place regardless of the invocation directory.
+        let root = workspace_root();
+        let manifest = std::fs::read_to_string(root.join("Cargo.toml")).unwrap();
+        assert!(manifest.contains("[workspace]"));
+        assert_ne!(root, PathBuf::from(env!("CARGO_MANIFEST_DIR")));
     }
 }

@@ -22,6 +22,9 @@
 //! - [`rowcodec`] — allocation-free flat encode/decode of fixed-width rows
 //!   over caller-owned sign/exponent/plane buffers (the primitive behind
 //!   the paged Anda KV cache's per-token hot path).
+//! - [`metrics`] — decode-count instrumentation: a global rows-decoded
+//!   counter bumped by every row decode, so redundant-decode regressions
+//!   on shared KV pages stay measurable.
 //! - [`serialize`] — the byte-exact memory image of an Anda tensor
 //!   (header + per-group sign/exponent/plane records).
 //! - [`stats`] — quantization-error metrics shared by the experiments.
@@ -51,6 +54,7 @@ pub mod bitplane;
 pub mod compressor;
 pub mod dot;
 pub mod error;
+pub mod metrics;
 pub mod rowcodec;
 pub mod serialize;
 pub mod stats;

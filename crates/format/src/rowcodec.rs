@@ -192,6 +192,9 @@ pub fn decode_row_into_with_leg(
     planes: &[u64],
     out: &mut [f32],
 ) {
+    // Decode-count instrumentation (see `crate::metrics`): one relaxed
+    // atomic add per row keeps redundant-decode regressions measurable.
+    crate::metrics::note_rows_decoded(1);
     match leg {
         SimdLeg::Scalar => decode_row_into_scalar(cfg, signs, exps, planes, out),
         #[cfg(target_arch = "x86_64")]

@@ -382,6 +382,25 @@ impl Page {
         }
     }
 
+    /// Decodes the first `fill` cached rows of an Anda page into
+    /// row-major `fill × dim` K/V planes — the grouped decode path's
+    /// arena fill, bit-identical to `fill` calls of [`Page::row_into`].
+    ///
+    /// # Panics
+    ///
+    /// Unreachable on float-policy pages (they are read in place, never
+    /// staged for decode).
+    pub(crate) fn decode_rows_into(&self, fill: usize, k_dst: &mut [f32], v_dst: &mut [f32]) {
+        let PageData::Anda { cfg, k, v } = &self.data else {
+            unreachable!("float pages are read in place, not decoded")
+        };
+        for slot in 0..fill {
+            let dst = slot * self.dim;
+            k.decode(slot, *cfg, &mut k_dst[dst..dst + self.dim]);
+            v.decode(slot, *cfg, &mut v_dst[dst..dst + self.dim]);
+        }
+    }
+
     /// Decodes row `slot`'s K (or V) into `out` without allocating.
     fn row_into(&self, slot: usize, want_v: bool, out: &mut [f32]) {
         assert!(slot < self.used, "row {slot} not written");
@@ -789,6 +808,10 @@ impl TablePage {
 pub struct LayerKv {
     pages: Vec<TablePage>,
     len: usize,
+    /// This layer's index in its owning cache (0 for a standalone
+    /// `LayerKv::default()`), carried so misuse panics can name the
+    /// layer instead of pointing at an anonymous table.
+    idx: usize,
 }
 
 impl LayerKv {
@@ -829,6 +852,12 @@ impl LayerKv {
     fn rows_in_page(&self, i: usize) -> usize {
         let pp = self.page_positions();
         (self.len - i * pp).min(pp)
+    }
+
+    /// The physical page behind table slot `i` — the grouped decode
+    /// executor's resolver for [`PendingDecode`] records.
+    pub(crate) fn page_at(&self, i: usize) -> &Page {
+        self.pages[i].page()
     }
 
     /// Appends one position's key and value rows, leasing a fresh page
@@ -904,6 +933,7 @@ impl LayerKv {
         LayerKv {
             pages,
             len: positions,
+            idx: self.idx,
         }
     }
 
@@ -1015,6 +1045,26 @@ impl LayerKv {
         self.pages.iter().map(|p| p.page().capacity_bits()).sum()
     }
 
+    /// Validates that this layer can be attended at all: attention over
+    /// zero cached positions is always a caller bug (softmax over an
+    /// empty score row, or a grouped walk indexing past its offsets
+    /// buffer), so every attend entry point rejects it *here*, at the
+    /// API surface, with a message naming the layer and the misuse —
+    /// instead of surfacing as a NaN or a slice panic deep inside the
+    /// head kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer is empty.
+    pub fn assert_attendable(&self) {
+        assert!(
+            !self.is_empty(),
+            "attention over an empty cache: layer {} has no cached K/V positions — \
+             prefill or append at least one row before attending",
+            self.idx
+        );
+    }
+
     /// Single-query multi-head attention over the cached positions into a
     /// caller buffer, allocation-free: softmax(q·Kᵀ/√d_head)·V per head,
     /// heads concatenated. FP16 pages are read in place; Anda pages
@@ -1022,8 +1072,10 @@ impl LayerKv {
     ///
     /// # Panics
     ///
-    /// Panics if the layer is empty, `q`/`out` are not `dim` wide, or
-    /// `dim` is not divisible by `n_heads`.
+    /// Panics if the layer is empty (a clear API-surface message naming
+    /// the layer — see [`LayerKv::assert_attendable`] — instead of a
+    /// confusing failure deep in the head kernel), `q`/`out` are not
+    /// `dim` wide, or `dim` is not divisible by `n_heads`.
     pub fn attend_into(
         &self,
         q: &[f32],
@@ -1031,7 +1083,7 @@ impl LayerKv {
         out: &mut [f32],
         scratch: &mut KvReadScratch,
     ) {
-        assert!(!self.is_empty(), "attention over an empty cache");
+        self.assert_attendable();
         let dim = self.dim();
         assert_eq!(q.len(), dim, "query width");
         assert_eq!(out.len(), dim, "output width");
@@ -1109,8 +1161,205 @@ impl KvReadScratch {
     }
 }
 
-/// A borrowed row-major view of one layer's cached K/V rows: either the
-/// FP16 pages themselves (read in place) or flat decoded scratch.
+/// One contiguous span of a layer's staged KV rows for a grouped attend:
+/// the `rows` *logical* rows of one page, resolved either in place (a
+/// float page, indexed into the layer's own table) or in the shared
+/// decode arena (an Anda page, addressed by its float offset). Segments
+/// are index-based on purpose — carrying no borrow lets a scheduler
+/// stage every stream's segments serially and consume them later from
+/// parallel attend jobs.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct KvSegment {
+    rows: usize,
+    src: SegSrc,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum SegSrc {
+    /// Page-table index of a float page read in place.
+    Page(usize),
+    /// Float offset of a decoded Anda page in the arena.
+    Arena(usize),
+}
+
+/// Page-identity-keyed decode cache for grouped batched attention: one
+/// per-layer arena of decoded K/V rows shared by every stream in the
+/// batch, so each physical Anda page decodes **at most once per step**
+/// no matter how many streams attend through it (the fix for the N×
+/// redundant decode of shared prefix pages).
+///
+/// Usage per layer per step: [`PageDecodeCache::begin_layer`] once, then
+/// the crate-internal `stage_layer` for every stream's [`LayerKv`]. A
+/// page's identity is its stable address for the duration of the layer
+/// epoch — the `Arc` pointer of a shared lease (the same physical prefix
+/// page yields the same pointer in every forking stream) or the owned
+/// page's own address. Staging decodes a page's full physical fill, not
+/// one table's logical view of it: a truncated fork and its donor share
+/// an identity but view different row counts, and per-row decode is
+/// independent, so the union costs nothing in exactness. Float pages
+/// never enter the arena — they stage as in-place segments.
+///
+/// The arena keeps its capacity across layers and steps (`begin_layer`
+/// only clears the identity index), so steady-state grouped decode
+/// allocates nothing once the deepest layer has been staged.
+#[derive(Debug, Default)]
+pub struct PageDecodeCache {
+    /// Flat decoded key rows, bump-allocated per layer epoch.
+    k: Vec<f32>,
+    /// Flat decoded value rows, same offsets as `k`.
+    v: Vec<f32>,
+    /// Page identity → (float offset, decoded physical rows), valid for
+    /// the current layer epoch only.
+    index: std::collections::HashMap<usize, (usize, usize)>,
+    /// Floats staged in the arena this layer epoch.
+    used: usize,
+    /// Pages staged this layer epoch whose arena ranges still hold
+    /// zeros: staging only *reserves*; the decode itself is deferred so
+    /// the caller can fan independent pages across a thread pool
+    /// ([`PageDecodeCache::pending_split`]).
+    pending: Vec<PendingDecode>,
+    /// Anda pages decoded since construction (monotonic) — the exact,
+    /// per-instance counter behind the scheduler's decode-once test.
+    pages_decoded: u64,
+}
+
+/// One staged-but-not-yet-decoded page: which batch entry's table it
+/// was first seen in, where, and the arena range reserved for it.
+/// Offsets are bump-allocated in staging order, so consecutive pending
+/// entries cover consecutive arena ranges — the decode executor splits
+/// the arena into disjoint `&mut` chunks by walking them in order.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PendingDecode {
+    /// Index into the batch whose page table first staged this page.
+    pub(crate) entry: usize,
+    /// Page index within that entry's layer table.
+    pub(crate) page: usize,
+    /// Arena float offset reserved for the decoded rows.
+    pub(crate) off: usize,
+    /// Physical rows to decode (the page's full fill).
+    pub(crate) fill: usize,
+}
+
+impl PageDecodeCache {
+    /// An empty decode cache; the arena grows to its steady-state size
+    /// during the first step.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a new layer epoch: forgets every staged identity while
+    /// keeping the arena's capacity. Must be called before the first
+    /// `stage_layer` of each layer — identities are
+    /// only stable within one layer's stage-and-attend window (appending
+    /// the *next* layer's rows may move or replace pages).
+    pub fn begin_layer(&mut self) {
+        self.index.clear();
+        self.used = 0;
+        self.pending.clear();
+    }
+
+    /// Total Anda pages decoded through this cache (monotonic across
+    /// steps). Each shared page counts once per layer epoch it was
+    /// staged in, regardless of how many streams attend through it.
+    pub fn pages_decoded(&self) -> u64 {
+        self.pages_decoded
+    }
+
+    /// Stages one stream's view of `layer` for a grouped attend,
+    /// rewriting `segs` with one segment per page. Float pages stage in
+    /// place; an Anda page *reserves* an arena range only if this layer
+    /// epoch has not seen its identity yet (`entry_idx` records which
+    /// batch entry's table to decode it from) — the decode itself runs
+    /// in the [`PageDecodeCache::pending_split`] pass that follows
+    /// staging, so independent pages can decode in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is empty (see [`LayerKv::assert_attendable`] —
+    /// an empty layer staged here would otherwise become a silent
+    /// zero-row walk of the segment table).
+    pub(crate) fn stage_layer(
+        &mut self,
+        entry_idx: usize,
+        layer: &LayerKv,
+        segs: &mut Vec<KvSegment>,
+    ) {
+        layer.assert_attendable();
+        segs.clear();
+        let dim = layer.dim();
+        let in_place = layer.reads_in_place();
+        for (i, entry) in layer.pages.iter().enumerate() {
+            let rows = layer.rows_in_page(i);
+            if in_place {
+                segs.push(KvSegment {
+                    rows,
+                    src: SegSrc::Page(i),
+                });
+                continue;
+            }
+            let identity = match entry {
+                // All staged pages are simultaneously live, so addresses
+                // are unique; shared leases of one physical page agree on
+                // the `Arc` pointer across every stream that forked it.
+                TablePage::Owned(page) => std::ptr::from_ref(page) as usize,
+                TablePage::Shared(shared) => Arc::as_ptr(&shared.inner) as usize,
+            };
+            let (off, fill) = match self.index.get(&identity) {
+                Some(&slot) => slot,
+                None => {
+                    let fill = entry.page().used();
+                    let off = self.used;
+                    self.used += fill * dim;
+                    if self.k.len() < self.used {
+                        self.k.resize(self.used, 0.0);
+                        self.v.resize(self.used, 0.0);
+                    }
+                    // Reserve only: the decode runs once staging has
+                    // walked the whole batch, so independent pages can
+                    // be decoded in parallel (`pending_split`).
+                    self.pending.push(PendingDecode {
+                        entry: entry_idx,
+                        page: i,
+                        off,
+                        fill,
+                    });
+                    self.pages_decoded += 1;
+                    self.index.insert(identity, (off, fill));
+                    (off, fill)
+                }
+            };
+            debug_assert!(
+                rows <= fill,
+                "a staged view of layer {} exceeds its page's decoded fill ({rows} > {fill})",
+                layer.idx
+            );
+            segs.push(KvSegment {
+                rows,
+                src: SegSrc::Arena(off),
+            });
+        }
+    }
+
+    /// The decoded (K, V) arenas the staged `SegSrc::Arena` offsets
+    /// resolve into, for building [`KvRows::Grouped`] views.
+    pub(crate) fn arenas(&self) -> (&[f32], &[f32]) {
+        (&self.k, &self.v)
+    }
+
+    /// The pages staged but not yet decoded this layer epoch, plus the
+    /// mutable arenas their reserved ranges live in. The caller decodes
+    /// each pending page's rows into its range — in any order, even
+    /// concurrently, since ranges are disjoint and per-row decode is
+    /// independent — and clears the list when done. Attending through a
+    /// segment table before its pending pages are decoded reads zeros.
+    pub(crate) fn pending_split(&mut self) -> (&mut Vec<PendingDecode>, &mut [f32], &mut [f32]) {
+        (&mut self.pending, &mut self.k, &mut self.v)
+    }
+}
+
+/// A borrowed row-major view of one layer's cached K/V rows: the FP16
+/// pages themselves (read in place), flat decoded scratch, or a grouped
+/// segment view over the shared [`PageDecodeCache`] arena.
 #[derive(Clone, Copy)]
 pub(crate) enum KvRows<'a> {
     InPlace(&'a LayerKv),
@@ -1118,6 +1367,15 @@ pub(crate) enum KvRows<'a> {
         k: &'a [f32],
         v: &'a [f32],
         dim: usize,
+    },
+    /// Grouped-attention view: per-page segments resolving into either
+    /// the layer's own float pages (in place) or the decode arena a
+    /// whole batch shares.
+    Grouped {
+        layer: &'a LayerKv,
+        arena_k: &'a [f32],
+        arena_v: &'a [f32],
+        segs: &'a [KvSegment],
     },
 }
 
@@ -1132,21 +1390,37 @@ impl<'a> KvRows<'a> {
 }
 
 /// Iterates a [`KvRows`] view as one `dim`-wide slice per position,
-/// walking pages directly (no per-row page-table arithmetic). Yields
-/// exactly the layer's *logical* length: a shared tail page's physical
-/// rows past the fork point are never surfaced.
+/// walking pages (or staged segments) directly — no per-row page-table
+/// arithmetic. Yields exactly the layer's *logical* length: a shared
+/// tail page's physical rows past the fork point are never surfaced,
+/// whether read in place, from per-stream decode scratch, or from the
+/// grouped arena (segments carry the logical row count explicitly).
 pub(crate) struct RowIter<'a> {
-    pages: std::slice::Iter<'a, TablePage>,
+    src: RowSource<'a>,
     cur: std::slice::ChunksExact<'a, f32>,
     want_v: bool,
     remaining: usize,
+}
+
+enum RowSource<'a> {
+    /// Float pages walked in place; `remaining` truncates the shared
+    /// tail's physical overhang.
+    Pages(std::slice::Iter<'a, TablePage>),
+    /// One flat pre-decoded buffer; `cur` already spans it all.
+    Flat,
+    /// Grouped segments over a layer's float pages + the shared arena.
+    Segs {
+        layer: &'a LayerKv,
+        arena: &'a [f32],
+        segs: std::slice::Iter<'a, KvSegment>,
+    },
 }
 
 impl<'a> RowIter<'a> {
     fn new(rows: KvRows<'a>, want_v: bool) -> Self {
         match rows {
             KvRows::InPlace(layer) => RowIter {
-                pages: layer.pages.iter(),
+                src: RowSource::Pages(layer.pages.iter()),
                 cur: [].chunks_exact(1),
                 want_v,
                 remaining: layer.len,
@@ -1154,12 +1428,27 @@ impl<'a> RowIter<'a> {
             KvRows::Decoded { k, v, dim } => {
                 let buf = if want_v { v } else { k };
                 RowIter {
-                    pages: [].iter(),
+                    src: RowSource::Flat,
                     cur: buf.chunks_exact(dim),
                     want_v,
                     remaining: buf.len() / dim,
                 }
             }
+            KvRows::Grouped {
+                layer,
+                arena_k,
+                arena_v,
+                segs,
+            } => RowIter {
+                src: RowSource::Segs {
+                    layer,
+                    arena: if want_v { arena_v } else { arena_k },
+                    segs: segs.iter(),
+                },
+                cur: [].chunks_exact(1),
+                want_v,
+                remaining: layer.len,
+            },
         }
     }
 }
@@ -1176,8 +1465,29 @@ impl<'a> Iterator for RowIter<'a> {
                 self.remaining -= 1;
                 return Some(row);
             }
-            let page = self.pages.next()?.page();
-            self.cur = page.rows_in_place(self.want_v).chunks_exact(page.dim);
+            match &mut self.src {
+                RowSource::Pages(pages) => {
+                    let page = pages.next()?.page();
+                    self.cur = page.rows_in_place(self.want_v).chunks_exact(page.dim);
+                }
+                RowSource::Flat => return None,
+                RowSource::Segs { layer, arena, segs } => {
+                    let layer: &'a LayerKv = layer;
+                    let arena: &'a [f32] = arena;
+                    let seg = segs.next()?;
+                    let dim = layer.dim();
+                    let span = match seg.src {
+                        // Logical rows only: in-place pages may hold a
+                        // donor's rows past this table's fork point, and
+                        // arena spans may hold a sibling's longer view.
+                        SegSrc::Page(i) => {
+                            &layer.pages[i].page().rows_in_place(self.want_v)[..seg.rows * dim]
+                        }
+                        SegSrc::Arena(off) => &arena[off..off + seg.rows * dim],
+                    };
+                    self.cur = span.chunks_exact(dim);
+                }
+            }
         }
     }
 }
@@ -1246,7 +1556,12 @@ impl KvCache {
     pub fn with_pool(n_layers: usize, pool: PagePool) -> Self {
         KvCache {
             pool,
-            layers: (0..n_layers).map(|_| LayerKv::default()).collect(),
+            layers: (0..n_layers)
+                .map(|idx| LayerKv {
+                    idx,
+                    ..LayerKv::default()
+                })
+                .collect(),
         }
     }
 
@@ -1606,10 +1921,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty cache")]
+    #[should_panic(expected = "layer 0 has no cached K/V positions")]
     fn empty_attend_panics() {
         let cache = cache_with(KvStorage::Fp16, 4);
         let _ = cache.layer(0).attend(&vec![0.0; 64], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer 2 has no cached K/V positions")]
+    fn empty_attend_names_the_layer() {
+        let cache = PagePool::new(KvPoolConfig::default()).new_cache(3);
+        let _ = cache.layer(2).attend(&vec![0.0; 64], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer 1 has no cached K/V positions")]
+    fn grouped_staging_of_empty_layer_panics() {
+        let cache = PagePool::new(KvPoolConfig::unbounded(KvStorage::Anda {
+            mantissa_bits: 6,
+        }))
+        .new_cache(2);
+        let mut decode = PageDecodeCache::new();
+        decode.begin_layer();
+        decode.stage_layer(0, cache.layer(1), &mut Vec::new());
     }
 
     #[test]

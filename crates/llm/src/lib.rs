@@ -39,7 +39,9 @@ pub mod zoo;
 
 pub use config::{Family, ModelConfig};
 pub use eval::{perplexity, perplexity_with_scratch, relative_accuracy_loss};
-pub use kv::{KvCache, KvPoolConfig, KvReadScratch, KvStorage, LayerKv, PagePool, SharedPage};
-pub use model::{BatchOutput, DecodeScratch, ForwardScratch, Model, WeightMode};
+pub use kv::{
+    KvCache, KvPoolConfig, KvReadScratch, KvStorage, LayerKv, PageDecodeCache, PagePool, SharedPage,
+};
+pub use model::{BatchEntry, BatchOutput, DecodeScratch, ForwardScratch, Model, WeightMode};
 pub use modules::{CodecAssignment, ModuleKind, PrecisionCombo};
 pub use zoo::SimModelSpec;

@@ -14,7 +14,7 @@ use anda_tensor::{ops, Matrix, Rng};
 use rayon_lite::ThreadPool;
 
 use crate::config::{Family, ModelConfig};
-use crate::kv::{attend_head, KvReadScratch, KvRows, KvStorage};
+use crate::kv::{attend_head, KvReadScratch, KvRows, KvSegment, KvStorage, PageDecodeCache};
 use crate::modules::CodecAssignment;
 use crate::synth::{boost_columns, dense, norm_bias, norm_gain, SensitivityProfile};
 
@@ -588,6 +588,228 @@ impl Model {
         self.decode_hidden_impl(token, pos, cache, s, false);
     }
 
+    /// Grouped variable-length batched attention: advances every stream
+    /// in `batch` by one hidden-state step (the [`Model::decode_hidden`]
+    /// computation), walking each layer's KV pages **once for the whole
+    /// batch** so a physical Anda page decodes at most once per step no
+    /// matter how many streams attend through it — the fix for the N×
+    /// redundant decode of shared prefix pages.
+    ///
+    /// Streams may have different context lengths (the variable
+    /// dimension, in the oneDNN grouped-memory sense): each stream's
+    /// per-head score/prob lanes are sized by its own `t`, and its KV
+    /// view is a table of per-page segments (`KvSegment`) resolving into
+    /// either its own float pages (read in place) or the shared decode
+    /// arena in `decode_cache`.
+    ///
+    /// Per layer the walk runs three phases:
+    ///
+    /// 1. **Stage** (one pool job per stream): finish the previous
+    ///    layer's post-attention work, then norm → QKV matmul → RoPE →
+    ///    KV append, exactly the per-stream op sequence.
+    /// 2. **Decode once** (serial): every stream's page table is staged
+    ///    against `decode_cache`; an Anda page seen by N streams decodes
+    ///    on first sight and is reused by identity thereafter.
+    /// 3. **Attend**, fanned across the pool by (stream, head); when the
+    ///    batch's total attention work is below the parallel threshold
+    ///    (or the pool is single-threaded) the heads run inline instead
+    ///    — the serial fallback.
+    ///
+    /// Every stream's result is bit-identical (`f32::to_bits`) to a solo
+    /// [`Model::decode_hidden`] call at any thread count: phases 1 and 3
+    /// run the same kernels in the same per-stream order, and decoded
+    /// arena rows carry the exact bits per-stream decode scratch would
+    /// (per-row decode is independent, so sharing changes nothing). The
+    /// per-stream path remains the oracle the grouped suites compare
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// As [`Model::decode_hidden`], per entry; also panics if an entry's
+    /// cache does not have one layer per model layer.
+    pub fn decode_hidden_batch(
+        &self,
+        batch: &mut [BatchEntry<'_>],
+        decode_cache: &mut PageDecodeCache,
+        pool: &ThreadPool,
+    ) {
+        for entry in batch.iter() {
+            assert!(
+                entry.token < self.config.vocab,
+                "token {} out of vocab",
+                entry.token
+            );
+            assert_eq!(
+                entry.pos,
+                entry.cache.len(),
+                "decode position must match the cached length"
+            );
+            assert!(
+                entry.pos < self.config.max_seq,
+                "decode position {} reaches max_seq {}",
+                entry.pos,
+                self.config.max_seq
+            );
+            assert_eq!(
+                entry.cache.n_layers(),
+                self.layers.len(),
+                "cache layer count must match the model"
+            );
+        }
+        if batch.is_empty() {
+            return;
+        }
+        let d = self.config.d_model;
+        let dh = self.config.d_head();
+        let heads = self.config.n_heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        for l in 0..self.layers.len() {
+            let layer = &self.layers[l];
+            let prev = l.checked_sub(1).map(|p| &self.layers[p]);
+
+            // Phase 1: per-stream pre-attention staging. The previous
+            // layer's post-attention work runs here too, so each stream
+            // executes exactly the per-stream op sequence (embed, then
+            // per layer: stage → append → attend → finish).
+            pool.scope(|sc| {
+                for entry in batch.iter_mut() {
+                    sc.spawn(move || {
+                        let s = &mut *entry.scratch;
+                        match prev {
+                            None => self.embed_into(entry.token, entry.pos, &mut s.x),
+                            Some(prev) => self.finish_layer(prev, s, false),
+                        }
+                        self.stage_qkv(layer, entry.pos, s, false);
+                        let (kv_pool, kv_layers) = entry.cache.split_mut();
+                        kv_layers[l].push(kv_pool, &s.k_row, &s.v_row);
+                    });
+                }
+            });
+
+            // Phase 2 (serial): stage every stream's KV view. Each
+            // physical Anda page *reserves* a shared-arena range at most
+            // once this layer, keyed by page identity — shared prefix
+            // pages land once for the whole batch.
+            decode_cache.begin_layer();
+            let mut batch_muladds = 0usize;
+            for (idx, entry) in batch.iter_mut().enumerate() {
+                let kv = entry.cache.layer(l);
+                let t = kv.len();
+                let s = &mut *entry.scratch;
+                decode_cache.stage_layer(idx, kv, &mut s.kv_segs);
+                s.attn.clear();
+                s.attn.resize(d, 0.0);
+                s.scores.clear();
+                s.scores.resize(heads * t, 0.0);
+                s.probs.clear();
+                s.probs.resize(heads * t, 0.0);
+                batch_muladds += 2 * heads * t * dh;
+            }
+
+            // Phase 2b: decode the newly staged pages into their
+            // (disjoint, bump-allocated in staging order) arena ranges.
+            // Pages are independent, so the decode fans across the pool
+            // when there is enough of it — this keeps the decode-once
+            // walk from *serializing* work the per-stream path would
+            // have done inside parallel per-stream jobs.
+            {
+                let (pending, arena_k, arena_v) = decode_cache.pending_split();
+                let decode_elems: usize = pending.iter().map(|p| p.fill * d).sum();
+                let mut jobs = Vec::with_capacity(pending.len());
+                let mut k_rest: &mut [f32] = arena_k;
+                let mut v_rest: &mut [f32] = arena_v;
+                let mut cursor = 0usize;
+                for p in pending.iter() {
+                    debug_assert_eq!(p.off, cursor, "pending ranges must be contiguous");
+                    let elems = p.fill * d;
+                    let (k_chunk, k_tail) = std::mem::take(&mut k_rest).split_at_mut(elems);
+                    let (v_chunk, v_tail) = std::mem::take(&mut v_rest).split_at_mut(elems);
+                    k_rest = k_tail;
+                    v_rest = v_tail;
+                    cursor += elems;
+                    jobs.push((p.entry, p.page, p.fill, k_chunk, v_chunk));
+                }
+                pending.clear();
+                if pool.threads() > 1 && jobs.len() > 1 && decode_elems >= DECODE_PAR_MIN_ELEMS {
+                    let batch_ref: &[BatchEntry<'_>] = &*batch;
+                    pool.scope(|sc| {
+                        for (entry, page, fill, k_chunk, v_chunk) in jobs {
+                            sc.spawn(move || {
+                                batch_ref[entry]
+                                    .cache
+                                    .layer(l)
+                                    .page_at(page)
+                                    .decode_rows_into(fill, k_chunk, v_chunk);
+                            });
+                        }
+                    });
+                } else {
+                    for (entry, page, fill, k_chunk, v_chunk) in jobs {
+                        batch[entry]
+                            .cache
+                            .layer(l)
+                            .page_at(page)
+                            .decode_rows_into(fill, k_chunk, v_chunk);
+                    }
+                }
+            }
+
+            // Phase 3: attend, fanned by (stream, head). Below the work
+            // threshold the heads run inline — the serial fallback (the
+            // decode-once staging above is kept either way).
+            let (arena_k, arena_v) = decode_cache.arenas();
+            let fan_out = pool.threads() > 1 && batch_muladds >= ATTN_PAR_MIN_MULADDS;
+            pool.scope(|sc| {
+                for entry in batch.iter_mut() {
+                    let kv = entry.cache.layer(l);
+                    let t = kv.len();
+                    let DecodeScratch {
+                        q,
+                        attn,
+                        scores,
+                        probs,
+                        kv_segs,
+                        ..
+                    } = &mut *entry.scratch;
+                    let rows = KvRows::Grouped {
+                        layer: kv,
+                        arena_k,
+                        arena_v,
+                        segs: kv_segs,
+                    };
+                    let q: &[f32] = q;
+                    let head_lanes = attn
+                        .chunks_mut(dh)
+                        .zip(scores.chunks_mut(t).zip(probs.chunks_mut(t)))
+                        .enumerate();
+                    for (head, (attn_h, (scores_h, probs_h))) in head_lanes {
+                        if fan_out {
+                            sc.spawn(move || {
+                                attend_head(q, rows, head, dh, scale, attn_h, scores_h, probs_h);
+                            });
+                        } else {
+                            attend_head(q, rows, head, dh, scale, attn_h, scores_h, probs_h);
+                        }
+                    }
+                }
+            });
+        }
+
+        // Epilogue: finish the last layer and apply the final norm, one
+        // job per stream.
+        let last = self.layers.last().expect("models have at least one layer");
+        pool.scope(|sc| {
+            for entry in batch.iter_mut() {
+                sc.spawn(move || {
+                    let s = &mut *entry.scratch;
+                    self.finish_layer(last, s, false);
+                    self.norm_vec(&mut s.x, &self.final_gain, &self.final_bias);
+                });
+            }
+        });
+    }
+
     /// Shared decode body; `par` gates every pool dispatch (the serving
     /// layer runs with `par = false` inside its own batch-level scope).
     fn decode_hidden_impl(
@@ -613,44 +835,14 @@ impl Model {
         let dh = self.config.d_head();
         let heads = self.config.n_heads;
         let scale = 1.0 / (dh as f32).sqrt();
-        let f16 = |v: &mut [f32]| {
-            for x in v.iter_mut() {
-                *x = saturate_to_f16(*x).to_f32();
-            }
-        };
 
-        let x = &mut s.x;
-        x.clear();
-        x.extend_from_slice(self.embed.row(token));
-        if let Some(posm) = &self.pos_embed {
-            for (xv, &pv) in x.iter_mut().zip(posm.row(pos)) {
-                *xv += pv;
-            }
-        }
+        self.embed_into(token, pos, &mut s.x);
 
         let storage = cache.storage();
         let (kv_pool, kv_layers) = cache.split_mut();
         for (layer, kv) in self.layers.iter().zip(kv_layers.iter_mut()) {
             // Attention block.
-            s.h.clear();
-            s.h.extend_from_slice(x);
-            self.norm_vec(&mut s.h, &layer.attn_gain, &layer.attn_bias);
-            f16(&mut s.h);
-            vec_matmul_into(&s.h, &layer.wqkv, &mut s.qkv, par);
-            s.q.clear();
-            s.q.extend_from_slice(&s.qkv[..d]);
-            // Stage the K/V rows in scratch; the cache's tail page encodes
-            // them under its storage policy (no per-token allocation).
-            s.k_row.clear();
-            s.k_row.extend_from_slice(&s.qkv[d..2 * d]);
-            s.v_row.clear();
-            s.v_row.extend_from_slice(&s.qkv[2 * d..]);
-            if self.config.family == Family::Llama {
-                for head in 0..heads {
-                    rope_in_place(&mut s.q[head * dh..(head + 1) * dh], pos);
-                    rope_in_place(&mut s.k_row[head * dh..(head + 1) * dh], pos);
-                }
-            }
+            self.stage_qkv(layer, pos, s, par);
             kv.push(kv_pool, &s.k_row, &s.v_row);
 
             let t = kv.len();
@@ -697,40 +889,91 @@ impl Model {
                     attend_head(q, rows, head, dh, scale, attn_h, scores_h, probs_h);
                 }
             }
-            f16(&mut s.attn);
-            vec_matmul_into(&s.attn, &layer.wo, &mut s.proj, par);
-            for (xv, ov) in x.iter_mut().zip(&s.proj) {
-                *xv += ov;
-            }
-
-            // FFN block.
-            s.h.clear();
-            s.h.extend_from_slice(x);
-            self.norm_vec(&mut s.h, &layer.ffn_gain, &layer.ffn_bias);
-            f16(&mut s.h);
-            match (&layer.wgate, self.config.family) {
-                (Some(wgate), Family::Llama) => {
-                    vec_matmul_into(&s.h, wgate, &mut s.gate, par);
-                    vec_matmul_into(&s.h, &layer.wup, &mut s.hidden, par);
-                    for (u, &g) in s.hidden.iter_mut().zip(&s.gate) {
-                        *u *= ops::silu(g);
-                    }
-                }
-                _ => {
-                    vec_matmul_into(&s.h, &layer.wup, &mut s.hidden, par);
-                    for u in s.hidden.iter_mut() {
-                        *u = ops::relu(*u);
-                    }
-                }
-            }
-            f16(&mut s.hidden);
-            vec_matmul_into(&s.hidden, &layer.wdown, &mut s.proj, par);
-            for (xv, dv) in x.iter_mut().zip(&s.proj) {
-                *xv += dv;
-            }
+            self.finish_layer(layer, s, par);
         }
 
-        self.norm_vec(x, &self.final_gain, &self.final_bias);
+        self.norm_vec(&mut s.x, &self.final_gain, &self.final_bias);
+    }
+
+    /// Embeds `token` (plus the learned position embedding for OPT-style
+    /// models) into the residual buffer `x` — the step every decode pass
+    /// opens with.
+    fn embed_into(&self, token: usize, pos: usize, x: &mut Vec<f32>) {
+        x.clear();
+        x.extend_from_slice(self.embed.row(token));
+        if let Some(posm) = &self.pos_embed {
+            for (xv, &pv) in x.iter_mut().zip(posm.row(pos)) {
+                *xv += pv;
+            }
+        }
+    }
+
+    /// Pre-attention half of one decode layer: residual norm, FP16
+    /// rounding, the fused QKV matmul, the head split and RoPE. Leaves
+    /// the current-position query in `s.q` and the staged (post-RoPE)
+    /// K/V rows in `s.k_row`/`s.v_row`, ready for the cache append.
+    /// Shared verbatim by the per-stream and grouped decode paths, so
+    /// the two cannot drift numerically.
+    fn stage_qkv(&self, layer: &Layer, pos: usize, s: &mut DecodeScratch, par: bool) {
+        let d = self.config.d_model;
+        let dh = self.config.d_head();
+        let heads = self.config.n_heads;
+        s.h.clear();
+        s.h.extend_from_slice(&s.x);
+        self.norm_vec(&mut s.h, &layer.attn_gain, &layer.attn_bias);
+        round_to_f16(&mut s.h);
+        vec_matmul_into(&s.h, &layer.wqkv, &mut s.qkv, par);
+        s.q.clear();
+        s.q.extend_from_slice(&s.qkv[..d]);
+        // Stage the K/V rows in scratch; the cache's tail page encodes
+        // them under its storage policy (no per-token allocation).
+        s.k_row.clear();
+        s.k_row.extend_from_slice(&s.qkv[d..2 * d]);
+        s.v_row.clear();
+        s.v_row.extend_from_slice(&s.qkv[2 * d..]);
+        if self.config.family == Family::Llama {
+            for head in 0..heads {
+                rope_in_place(&mut s.q[head * dh..(head + 1) * dh], pos);
+                rope_in_place(&mut s.k_row[head * dh..(head + 1) * dh], pos);
+            }
+        }
+    }
+
+    /// Post-attention half of one decode layer: FP16-rounds the head
+    /// mix, output projection + residual, then the FFN block + residual.
+    /// Shared verbatim by the per-stream and grouped decode paths.
+    fn finish_layer(&self, layer: &Layer, s: &mut DecodeScratch, par: bool) {
+        round_to_f16(&mut s.attn);
+        vec_matmul_into(&s.attn, &layer.wo, &mut s.proj, par);
+        for (xv, ov) in s.x.iter_mut().zip(&s.proj) {
+            *xv += ov;
+        }
+
+        // FFN block.
+        s.h.clear();
+        s.h.extend_from_slice(&s.x);
+        self.norm_vec(&mut s.h, &layer.ffn_gain, &layer.ffn_bias);
+        round_to_f16(&mut s.h);
+        match (&layer.wgate, self.config.family) {
+            (Some(wgate), Family::Llama) => {
+                vec_matmul_into(&s.h, wgate, &mut s.gate, par);
+                vec_matmul_into(&s.h, &layer.wup, &mut s.hidden, par);
+                for (u, &g) in s.hidden.iter_mut().zip(&s.gate) {
+                    *u *= ops::silu(g);
+                }
+            }
+            _ => {
+                vec_matmul_into(&s.h, &layer.wup, &mut s.hidden, par);
+                for u in s.hidden.iter_mut() {
+                    *u = ops::relu(*u);
+                }
+            }
+        }
+        round_to_f16(&mut s.hidden);
+        vec_matmul_into(&s.hidden, &layer.wdown, &mut s.proj, par);
+        for (xv, dv) in s.x.iter_mut().zip(&s.proj) {
+            *xv += dv;
+        }
     }
 
     /// Runs the tied LM head over a whole batch of decode hidden states
@@ -929,6 +1172,9 @@ pub struct DecodeScratch {
     v_row: Vec<f32>,
     /// Decoded K/V read planes for compressed caches (`t × d` each).
     kv_read: KvReadScratch,
+    /// Per-page KV view segments staged for a grouped batched attend
+    /// (one per page; see [`Model::decode_hidden_batch`]).
+    kv_segs: Vec<KvSegment>,
 }
 
 impl DecodeScratch {
@@ -961,6 +1207,8 @@ impl DecodeScratch {
         self.k_row.reserve(d);
         self.v_row.reserve(d);
         self.kv_read.reserve(max_len, d);
+        // One segment per page; pages never outnumber positions.
+        self.kv_segs.reserve(max_len);
     }
 
     /// The next-token logits left by the last [`Model::decode_step`] /
@@ -995,6 +1243,23 @@ impl DecodeScratch {
     pub fn sample(&mut self, logits: &[f32], temperature: f32, rng: &mut Rng) -> usize {
         sample_logits(logits, temperature, rng, &mut self.scores, &mut self.probs)
     }
+}
+
+/// One stream's slot in a [`Model::decode_hidden_batch`] call: the token
+/// to decode, its position, and mutable borrows of the stream's own
+/// cache and scratch. Entries are independent (disjoint borrows), which
+/// is what lets the grouped walk fan per-stream work across pool
+/// workers.
+pub struct BatchEntry<'s> {
+    /// The token to decode (the stream's latest sampled token).
+    pub token: usize,
+    /// Its position; must equal `cache.len()`.
+    pub pos: usize,
+    /// The stream's KV cache.
+    pub cache: &'s mut KvCache,
+    /// The stream's decode scratch; receives the final-normed hidden
+    /// state ([`DecodeScratch::hidden_state`]).
+    pub scratch: &'s mut DecodeScratch,
 }
 
 /// Batched LM-head staging for a serving layer: hidden rows gathered from
@@ -1071,12 +1336,28 @@ const VEC_PAR_MIN_MULADDS: usize = 256 * 1024;
 /// sharding, so results stay bit-identical at every thread count.
 const ATTN_PAR_MIN_MULADDS: usize = 16 * 1024;
 
+/// Below this many arena floats (K-plane elements; each page job also
+/// decodes its V plane) the grouped step decodes pending pages inline
+/// instead of fanning one job per page. Decode order never changes a
+/// bit: every page decodes into its own disjoint arena range and per-row
+/// decode is independent.
+const DECODE_PAR_MIN_ELEMS: usize = 1024;
+
 /// `v(1×k) · m(k×n)` row-vector matmul into a reused buffer.
 ///
 /// With `par`, output columns are sharded across the global pool when the
 /// product is large enough; each chunk walks k in the same ascending order
 /// (with the same `a == 0` skip) as the serial loop, so the parallel
 /// result is bit-identical.
+/// Rounds every lane through saturating FP16 — the reference activation
+/// precision between decode kernels (§V-A keeps non-GeMM operators in
+/// FP16).
+fn round_to_f16(v: &mut [f32]) {
+    for x in v.iter_mut() {
+        *x = saturate_to_f16(*x).to_f32();
+    }
+}
+
 fn vec_matmul_into(v: &[f32], m: &Matrix, out: &mut Vec<f32>, par: bool) {
     assert_eq!(v.len(), m.rows(), "vec_matmul shape mismatch");
     let n = m.cols();

@@ -59,6 +59,7 @@
 //!         page_positions: 8,
 //!         max_pages: Some(256),
 //!     },
+//!     ..SchedulerConfig::default()
 //! });
 //! // A shared few-shot header: prefilled once, forked into every
 //! // stream that references it.

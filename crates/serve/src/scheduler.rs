@@ -5,9 +5,14 @@
 //! pool-leased [`KvCache`], [`DecodeScratch`] and RNG. Every
 //! [`Scheduler::step`] is one engine iteration in the Orca style: admit
 //! what fits under the pool's free-page watermark, prefill new arrivals,
-//! then advance **every** active stream by one token — per-stream
-//! hidden-state work sharded across one `rayon-lite` scope for the whole
-//! batch, followed by a single batched LM-head GEMM.
+//! then advance **every** active stream by one token — by default via
+//! grouped variable-length batched attention
+//! ([`Model::decode_hidden_batch`]: one KV-page walk per layer for the
+//! whole batch, each Anda page decoded at most once per step, attend
+//! work fanned by (stream, head)), followed by a single batched LM-head
+//! GEMM. `SchedulerConfig::grouped_attention = false` selects the
+//! bit-identical per-stream fallback (one `decode_hidden` job per
+//! stream in one scope).
 //!
 //! Admission is *page-accounted*: each admitted request reserves its
 //! worst-case page demand (`n_layers · ceil((prompt + max_new) /
@@ -29,8 +34,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use anda_llm::kv::{KvPoolConfig, PagePool};
-use anda_llm::model::BatchOutput;
+use anda_llm::kv::{KvPoolConfig, PageDecodeCache, PagePool};
+use anda_llm::model::{BatchEntry, BatchOutput};
 use anda_llm::{DecodeScratch, KvCache, Model};
 use anda_tensor::Rng;
 use rayon_lite::ThreadPool;
@@ -49,6 +54,13 @@ pub struct SchedulerConfig {
     /// the cache footprint can never outgrow the pool mid-flight.
     /// `None` admits on slots alone.
     pub kv: KvPoolConfig,
+    /// Advance the batch with grouped variable-length batched attention
+    /// ([`Model::decode_hidden_batch`]): one KV-page walk per layer per
+    /// step, each Anda page decoded at most once no matter how many
+    /// streams attend through it. `false` falls back to one
+    /// [`Model::decode_hidden`] job per stream (the bit-identical
+    /// oracle path, kept for A/B tests and benches). Default `true`.
+    pub grouped_attention: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -56,6 +68,7 @@ impl Default for SchedulerConfig {
         SchedulerConfig {
             max_batch: 8,
             kv: KvPoolConfig::default(),
+            grouped_attention: true,
         }
     }
 }
@@ -149,6 +162,13 @@ pub struct SchedulerStats {
     /// Streams admitted by forking a registered prefix cache (each one
     /// skipped re-prefilling its prefix tokens).
     pub prefix_forks: u64,
+    /// Compressed (Anda) KV pages decoded by the grouped batched-attention
+    /// read path, cumulative across steps. Each physical page counts at
+    /// most once per layer per step regardless of how many streams attend
+    /// through it — the decode-once guarantee the `grouped_attention`
+    /// tests pin. Stays 0 under float policies (pages read in place) and
+    /// on the per-stream fallback path (which has no shared accounting).
+    pub pages_decoded: u64,
 }
 
 /// One active decode stream.
@@ -231,6 +251,9 @@ pub struct Scheduler<'a> {
     /// the pool capacity alongside stream reservations).
     pinned_pages: usize,
     batch: BatchOutput,
+    /// Shared per-layer decode arena for grouped batched attention
+    /// (identity-keyed, so shared prefix pages decode once per step).
+    decode_cache: PageDecodeCache,
     finished: Vec<FinishedRequest>,
     next_id: u64,
     /// Sum of active streams' unshared page reservations
@@ -266,6 +289,7 @@ impl<'a> Scheduler<'a> {
             prefixes: HashMap::new(),
             pinned_pages: 0,
             batch: BatchOutput::new(),
+            decode_cache: PageDecodeCache::new(),
             finished: Vec::new(),
             next_id: 0,
             reserved_pages: 0,
@@ -459,9 +483,10 @@ impl<'a> Scheduler<'a> {
     }
 
     /// Runs one engine iteration: admit + prefill whatever fits, then
-    /// advance every active stream by one token (one batch-level pool
-    /// scope for the hidden-state work, one batched LM-head dispatch).
-    /// Returns the number of tokens sampled this iteration.
+    /// advance every active stream by one token (a grouped batched
+    /// decode — or the per-stream fallback — for the hidden-state work,
+    /// then one batched LM-head dispatch). Returns the number of tokens
+    /// sampled this iteration.
     pub fn step(&mut self) -> usize {
         if self.is_idle() {
             return 0;
@@ -469,25 +494,48 @@ impl<'a> Scheduler<'a> {
         self.stats.steps += 1;
         self.admit();
 
-        // Decode phase: every non-fresh stream computes its next hidden
-        // state as one job inside a single scope for the whole batch —
-        // kernels inside the jobs run serially (`Model::decode_hidden`),
-        // so pool dispatch happens once per iteration, not per kernel.
-        // Streams lease KV pages from the shared pool concurrently; the
-        // pool lock is taken only at page boundaries.
+        // Decode phase. Grouped (default): one KV-page walk per layer
+        // for the whole batch via `Model::decode_hidden_batch` — each
+        // Anda page decodes at most once per step into the scheduler's
+        // shared arena no matter how many streams attend through it,
+        // with attend work fanned by (stream, head). Fallback: every
+        // non-fresh stream computes its next hidden state as one job
+        // inside a single scope for the whole batch — kernels inside
+        // the jobs run serially (`Model::decode_hidden`), so pool
+        // dispatch happens once per iteration, not per kernel. Both
+        // paths are bit-identical; streams lease KV pages from the
+        // shared pool concurrently either way, with the pool lock taken
+        // only at page boundaries.
         let model = self.model;
-        self.pool.scope(|sc| {
-            for stream in self.slots.iter_mut().flatten() {
-                if stream.fresh {
-                    continue;
+        if self.cfg.grouped_attention {
+            let mut entries: Vec<BatchEntry<'_>> = self
+                .slots
+                .iter_mut()
+                .flatten()
+                .filter(|stream| !stream.fresh)
+                .map(|stream| BatchEntry {
+                    token: *stream.tokens.last().expect("stream holds its prompt"),
+                    pos: stream.tokens.len() - 1,
+                    cache: &mut stream.cache,
+                    scratch: &mut stream.scratch,
+                })
+                .collect();
+            model.decode_hidden_batch(&mut entries, &mut self.decode_cache, self.pool);
+            self.stats.pages_decoded = self.decode_cache.pages_decoded();
+        } else {
+            self.pool.scope(|sc| {
+                for stream in self.slots.iter_mut().flatten() {
+                    if stream.fresh {
+                        continue;
+                    }
+                    let token = *stream.tokens.last().expect("stream holds its prompt");
+                    let pos = stream.tokens.len() - 1;
+                    sc.spawn(move || {
+                        model.decode_hidden(token, pos, &mut stream.cache, &mut stream.scratch);
+                    });
                 }
-                let token = *stream.tokens.last().expect("stream holds its prompt");
-                let pos = stream.tokens.len() - 1;
-                sc.spawn(move || {
-                    model.decode_hidden(token, pos, &mut stream.cache, &mut stream.scratch);
-                });
-            }
-        });
+            });
+        }
 
         // Batched LM head: one GEMM-shaped dispatch over all hidden rows.
         self.batch.clear();

@@ -116,6 +116,7 @@ fn batched_decode_matches_sequential_generate() {
             SchedulerConfig {
                 max_batch: reqs.len(),
                 kv: KvPoolConfig::default(),
+                ..SchedulerConfig::default()
             },
             &pool,
         );
@@ -142,6 +143,7 @@ fn staggered_arrival_orders_are_bit_exact() {
             SchedulerConfig {
                 max_batch: 4,
                 kv: KvPoolConfig::default(),
+                ..SchedulerConfig::default()
             },
             &pool,
         );
@@ -162,6 +164,7 @@ fn staggered_arrival_orders_are_bit_exact() {
             SchedulerConfig {
                 max_batch: 2,
                 kv: KvPoolConfig::default(),
+                ..SchedulerConfig::default()
             },
             &pool,
         );
@@ -196,6 +199,7 @@ fn budget_constrained_admission_waves_stay_exact() {
                     max_pages: Some(pages_per_req + pages_per_req / 2),
                     ..KvPoolConfig::default()
                 },
+                ..SchedulerConfig::default()
             },
             &pool,
         );
@@ -241,6 +245,7 @@ fn llama_family_batched_decode_is_exact() {
             SchedulerConfig {
                 max_batch: 3,
                 kv: KvPoolConfig::default(),
+                ..SchedulerConfig::default()
             },
             &pool,
         );
@@ -281,6 +286,7 @@ fn eos_truncation_matches_reference() {
         SchedulerConfig {
             max_batch: 3,
             kv: KvPoolConfig::default(),
+            ..SchedulerConfig::default()
         },
     );
     // Run it alongside unrelated traffic to prove batching does not

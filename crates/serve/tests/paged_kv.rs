@@ -95,6 +95,7 @@ fn compressed_serving_matches_same_policy_solo_generate() {
                             page_positions,
                             max_pages: None,
                         },
+                        ..SchedulerConfig::default()
                     },
                     &pool,
                 );
@@ -168,6 +169,7 @@ fn anda_pool_admits_a_batch_fp32_accounting_rejects() {
         SchedulerConfig {
             max_batch: batch,
             kv: fp32_pool,
+            ..SchedulerConfig::default()
         },
     );
     let err = fp32_sched.submit(reqs[0].clone()).unwrap_err();
@@ -209,6 +211,7 @@ fn anda_pool_admits_a_batch_fp32_accounting_rejects() {
         SchedulerConfig {
             max_batch: batch,
             kv: anda_cfg,
+            ..SchedulerConfig::default()
         },
     );
     for r in &reqs {

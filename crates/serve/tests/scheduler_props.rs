@@ -197,7 +197,7 @@ proptest! {
         };
         let mut sched = Scheduler::with_pool(
             model,
-            SchedulerConfig { max_batch, kv },
+            SchedulerConfig { max_batch, kv, ..SchedulerConfig::default() },
             rayon_lite::global(),
         );
         let mut accepted = Vec::new();
@@ -243,7 +243,7 @@ proptest! {
         // produces identical tokens per id.
         let mut solo = Scheduler::with_pool(
             model,
-            SchedulerConfig { max_batch: 1, kv: KvPoolConfig::default() },
+            SchedulerConfig { max_batch: 1, kv: KvPoolConfig::default(), ..SchedulerConfig::default() },
             rayon_lite::global(),
         );
         for (_, req) in &accepted {
@@ -296,7 +296,7 @@ proptest! {
         };
         let mut sched = Scheduler::with_pool(
             model,
-            SchedulerConfig { max_batch, kv },
+            SchedulerConfig { max_batch, kv, ..SchedulerConfig::default() },
             rayon_lite::global(),
         );
         let pinned = match sched.register_prefix("sys", prefix.clone()) {
@@ -325,7 +325,7 @@ proptest! {
         // prompts through a serial unbounded scheduler.
         let mut solo = Scheduler::with_pool(
             model,
-            SchedulerConfig { max_batch: 1, kv: KvPoolConfig::default() },
+            SchedulerConfig { max_batch: 1, kv: KvPoolConfig::default(), ..SchedulerConfig::default() },
             rayon_lite::global(),
         );
         let mut expect = Vec::new();
@@ -371,6 +371,7 @@ fn single_slot_completes_in_fifo_order() {
                 max_pages: Some(model.config().n_layers * 16),
                 ..KvPoolConfig::default()
             },
+            ..SchedulerConfig::default()
         },
     );
     let lengths = [5usize, 1, 3, 2];
@@ -403,6 +404,7 @@ fn submit_rejects_unservable_requests() {
                 max_pages: Some(max_pages),
                 ..KvPoolConfig::default()
             },
+            ..SchedulerConfig::default()
         },
     );
     assert_eq!(

@@ -75,7 +75,11 @@ fn shared_prefix_serving_is_bit_exact_vs_private_caches() {
                     page_positions,
                     max_pages: None,
                 };
-                let cfg = SchedulerConfig { max_batch: 3, kv };
+                let cfg = SchedulerConfig {
+                    max_batch: 3,
+                    kv,
+                    ..SchedulerConfig::default()
+                };
 
                 let mut shared = Scheduler::with_pool(m, cfg, &pool);
                 shared.register_prefix("sys", prefix.clone()).unwrap();
@@ -163,6 +167,7 @@ fn admission_charges_only_unshared_pages() {
         SchedulerConfig {
             max_batch: batch,
             kv,
+            ..SchedulerConfig::default()
         },
     );
     let pinned = shared.register_prefix("sys", prefix.clone()).unwrap();
@@ -193,6 +198,7 @@ fn admission_charges_only_unshared_pages() {
         SchedulerConfig {
             max_batch: batch,
             kv,
+            ..SchedulerConfig::default()
         },
     );
     for i in 0..batch {
@@ -226,6 +232,7 @@ fn registry_lifecycle_and_page_drain() {
                 page_positions: 4,
                 max_pages: Some(m.config().n_layers * 40),
             },
+            ..SchedulerConfig::default()
         },
     );
     let vocab = m.config().vocab;
@@ -296,7 +303,14 @@ fn mixed_and_multi_prefix_batches_are_exact() {
     let prefix_a: Vec<usize> = (0..11).map(|i| (i * 3 + 2) % 500).collect();
     let prefix_b: Vec<usize> = (0..19).map(|i| (i * 13 + 5) % 500).collect();
 
-    let mut sched = Scheduler::new(m, SchedulerConfig { max_batch: 4, kv });
+    let mut sched = Scheduler::new(
+        m,
+        SchedulerConfig {
+            max_batch: 4,
+            kv,
+            ..SchedulerConfig::default()
+        },
+    );
     sched.register_prefix("a", prefix_a.clone()).unwrap();
     sched.register_prefix("b", prefix_b.clone()).unwrap();
     sched
@@ -312,7 +326,14 @@ fn mixed_and_multi_prefix_batches_are_exact() {
     let mut done = sched.run_to_completion();
     done.sort_by_key(|f| f.id);
 
-    let mut reference = Scheduler::new(m, SchedulerConfig { max_batch: 4, kv });
+    let mut reference = Scheduler::new(
+        m,
+        SchedulerConfig {
+            max_batch: 4,
+            kv,
+            ..SchedulerConfig::default()
+        },
+    );
     for full in [
         [prefix_a.clone(), vec![1, 2]].concat(),
         [prefix_b.clone(), vec![3, 4]].concat(),
@@ -347,6 +368,7 @@ fn late_registration_cannot_strand_accepted_requests() {
                 page_positions: 2,
                 max_pages: Some(n_layers * 2),
             },
+            ..SchedulerConfig::default()
         },
     );
     sched.submit(Request::greedy(vec![1, 2, 3], 1)).unwrap();
