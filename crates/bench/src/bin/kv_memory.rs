@@ -25,7 +25,7 @@ use anda_bench::{arg_val, workload_prompt, BenchReport, Table};
 use anda_llm::kv::{KvPoolConfig, KvStorage, PagePool};
 use anda_llm::zoo::opt_125m_sim;
 use anda_llm::DecodeScratch;
-use anda_serve::{Request, SamplingParams, Scheduler, SchedulerConfig, SubmitError};
+use anda_serve::{Request, SamplingMode, SamplingParams, Scheduler, SchedulerConfig, SubmitError};
 
 fn policy_name(storage: KvStorage) -> String {
     match storage {
@@ -154,6 +154,7 @@ fn main() {
                 temperature: 0.8,
                 seed: i as u64,
             },
+            mode: SamplingMode::Single,
         })
         .collect();
 

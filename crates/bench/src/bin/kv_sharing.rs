@@ -21,7 +21,9 @@
 use anda_bench::{arg_val, workload_prompt, BenchReport, Table};
 use anda_llm::kv::{KvPoolConfig, KvStorage};
 use anda_llm::zoo::opt_125m_sim;
-use anda_serve::{FinishedRequest, Request, SamplingParams, Scheduler, SchedulerConfig};
+use anda_serve::{
+    FinishedRequest, Request, SamplingMode, SamplingParams, Scheduler, SchedulerConfig,
+};
 
 /// The request-private parts of the workload: distinct prompts, seeds.
 fn private_parts(batch: usize, prompt_len: usize, max_new: usize, vocab: usize) -> Vec<Request> {
@@ -35,6 +37,7 @@ fn private_parts(batch: usize, prompt_len: usize, max_new: usize, vocab: usize) 
                 temperature: 0.8,
                 seed: i as u64,
             },
+            mode: SamplingMode::Single,
         })
         .collect()
 }
@@ -262,8 +265,83 @@ fn main() {
         shared_stats.peak_active, shared_stats.peak_pages_in_use, private_stats.peak_active
     );
 
-    // Perf trajectory: the admission-gap numbers from part 2.
+    // --- Part 3: automatic prefix caching vs the explicit registry ---
+    // The same page-aligned prefix workload, but nobody names the
+    // prefix: requests arrive as full prompts and the radix tree must
+    // discover the sharing on its own. On an aligned prefix the
+    // automatic path must match the explicit fast path's prefill
+    // exactly — the prefix is computed once, every later stream forks
+    // it from the tree — and the hit accounting is closed-form.
+    let kv = KvPoolConfig {
+        storage,
+        page_positions: pp,
+        max_pages: None,
+    };
+    let mut auto_results = Vec::new();
+    for auto in [false, true] {
+        let mut sched = Scheduler::new(
+            &model,
+            SchedulerConfig {
+                max_batch: batch,
+                kv,
+                auto_prefix: auto,
+                ..SchedulerConfig::default()
+            },
+        );
+        if !auto {
+            sched.register_prefix("sys", prefix.clone()).unwrap();
+        }
+        for mut r in private_parts(batch, prompt_len, max_new, cfg.vocab) {
+            if auto {
+                let mut full = prefix.clone();
+                full.extend_from_slice(&r.prompt);
+                r.prompt = full;
+            } else {
+                r.prefix = Some("sys".into());
+            }
+            sched.submit(r).unwrap();
+        }
+        let done = sched.run_to_completion();
+        assert_eq!(done.len(), batch);
+        auto_results.push((sorted(done), sched.stats()));
+    }
+    let (explicit_out, explicit_stats) = &auto_results[0];
+    let (auto_out, auto_stats) = &auto_results[1];
+    assert_eq!(
+        auto_out, explicit_out,
+        "automatic prefix caching must be token-identical to the registry"
+    );
+    let auto_hits = (batch as u64 - 1) * prefix_len as u64;
+    assert_eq!(
+        auto_stats.cache_hit_tokens, auto_hits,
+        "every stream after the first must hit the whole aligned prefix"
+    );
+    assert_eq!(
+        auto_stats.prefill_tokens, explicit_stats.prefill_tokens,
+        "on an aligned prefix the automatic path prefills exactly what the registry does"
+    );
+    let prompt_tokens = (batch * (prefix_len + prompt_len)) as u64;
+    let hit_rate = auto_stats.cache_hit_tokens as f64 / prompt_tokens as f64;
+    println!(
+        "\nAutomatic prefix cache, unnamed {prefix_len}-token prefix × {batch} streams: \
+         {} of {prompt_tokens} prompt tokens served from cache ({:.0}% hit rate), \
+         prefill {} vs registry {}",
+        auto_stats.cache_hit_tokens,
+        hit_rate * 100.0,
+        auto_stats.prefill_tokens,
+        explicit_stats.prefill_tokens
+    );
+
+    // Perf trajectory: the admission-gap numbers from part 2 and the
+    // automatic-vs-explicit hit accounting from part 3.
     let mut report = BenchReport::new("kv_sharing");
+    report.metric("auto_cache_hit_tokens", auto_stats.cache_hit_tokens as f64);
+    report.metric("auto_hit_rate", hit_rate);
+    report.metric("auto_prefill_tokens", auto_stats.prefill_tokens as f64);
+    report.metric(
+        "explicit_prefill_tokens",
+        explicit_stats.prefill_tokens as f64,
+    );
     report.metric("batch", batch as f64);
     report.metric("prefix_len", prefix_len as f64);
     report.metric("pool_pages", capacity as f64);

@@ -23,7 +23,9 @@ use std::time::Instant;
 use anda_bench::{arg_val, workload_prompt, BenchReport, Table};
 use anda_llm::zoo::opt_125m_sim;
 use anda_llm::Model;
-use anda_serve::{KvPoolConfig, KvStorage, Request, SamplingParams, Scheduler, SchedulerConfig};
+use anda_serve::{
+    KvPoolConfig, KvStorage, Request, SamplingMode, SamplingParams, Scheduler, SchedulerConfig,
+};
 
 /// The benchmark workload: `n` requests with staggered prompts and seeds.
 fn workload(model: &Model, n: usize, prompt_len: usize, max_new: usize) -> Vec<Request> {
@@ -38,6 +40,7 @@ fn workload(model: &Model, n: usize, prompt_len: usize, max_new: usize) -> Vec<R
                 temperature: 0.8,
                 seed: i as u64,
             },
+            mode: SamplingMode::Single,
         })
         .collect()
 }
@@ -83,6 +86,7 @@ fn serve_prefix_once(
                 max_pages: None,
             },
             grouped_attention: grouped,
+            ..SchedulerConfig::default()
         },
     );
     sched.register_prefix("sys", prefix.to_vec()).unwrap();

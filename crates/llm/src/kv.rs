@@ -1657,6 +1657,20 @@ impl KvCache {
         KvCache { pool, layers }
     }
 
+    /// Forks the *entire* live cache — every currently cached position —
+    /// sharing all covered pages copy-on-write: the mid-stream fork
+    /// behind `anda-serve`'s parallel-sampling modes, which fork a
+    /// stream's cache at its live decode position so `n` sibling
+    /// completions share one physical prompt. Equivalent to
+    /// `fork_prefix(self.len())`; see [`KvCache::fork_prefix`] for the
+    /// sharing and copy-on-write semantics. A partial tail page is
+    /// sealed shared too — whichever side appends next privatizes it
+    /// bitwise, so both sides keep decoding bit-exactly.
+    pub fn fork_full(&mut self) -> KvCache {
+        let positions = self.len();
+        self.fork_prefix(positions)
+    }
+
     /// Pages across all layers held as shared (refcounted) leases.
     pub fn shared_pages(&self) -> usize {
         self.layers.iter().map(LayerKv::shared_page_count).sum()

@@ -1238,6 +1238,17 @@ impl DecodeScratch {
         sample_logits(logits, temperature, rng, scores, probs)
     }
 
+    /// Copies `src`'s logits into this scratch, so a stream forked from
+    /// a live donor (`KvCache::fork_full`) can sample its first token via
+    /// [`DecodeScratch::sample_last`] exactly as if it had run the
+    /// donor's prefill itself — the logits of the last prompt position
+    /// are a pure function of the prompt, so every forked sibling starts
+    /// from bit-identical logits.
+    pub fn adopt_logits(&mut self, src: &DecodeScratch) {
+        self.logits.clear();
+        self.logits.extend_from_slice(&src.logits);
+    }
+
     /// Samples from caller-provided logits (a [`BatchOutput`] row), with
     /// the same staging reuse as [`DecodeScratch::sample_last`].
     pub fn sample(&mut self, logits: &[f32], temperature: f32, rng: &mut Rng) -> usize {

@@ -34,6 +34,17 @@
 //! composes multiplicatively with compression: the prefix is stored
 //! once *and* `16 / (M + 1 + 5/64)` times smaller under `Anda{m}`.
 //!
+//! Sharing can also be *discovered* instead of declared:
+//! `SchedulerConfig::auto_prefix` inserts every admitted prompt into a
+//! page-granular radix tree ([`radix::RadixTree`]), matches later
+//! prompts against it — forking the longest cached whole-page prefix,
+//! prefilling only the uncovered suffix — and LRU-evicts cold tree
+//! leaves under page pressure. The same fork mechanism, applied
+//! mid-stream, serves multi-sample requests: [`Request::parallel`] /
+//! [`Request::best_of`] prefill the prompt once and fork the live cache
+//! into `n` sibling streams whose sample `i` is bit-identical to a
+//! standalone request seeded `seed + i`.
+//!
 //! # Determinism
 //!
 //! Serving is bit-exact: each stream's tokens (and the logits behind
@@ -49,7 +60,9 @@
 //!
 //! ```
 //! use anda_llm::zoo::opt_125m_sim;
-//! use anda_serve::{KvPoolConfig, KvStorage, Request, Scheduler, SchedulerConfig, SamplingParams};
+//! use anda_serve::{
+//!     KvPoolConfig, KvStorage, Request, Scheduler, SchedulerConfig, SamplingMode, SamplingParams,
+//! };
 //!
 //! let model = opt_125m_sim().build();
 //! let mut sched = Scheduler::new(&model, SchedulerConfig {
@@ -71,6 +84,7 @@
 //!     max_new: 3,
 //!     eos: None,
 //!     sampling: SamplingParams { temperature: 0.8, seed: 42 },
+//!     mode: SamplingMode::Single,
 //! }).unwrap();
 //! sched.submit(Request::greedy(vec![9], 2).with_prefix("header")).unwrap();
 //! let done = sched.run_to_completion();
@@ -81,9 +95,13 @@
 //! assert_eq!(sched.stats().prefix_forks, 2);
 //! ```
 
+pub mod radix;
 pub mod request;
 pub mod scheduler;
 
 pub use anda_llm::kv::{KvPoolConfig, KvStorage, PagePool, SharedPage};
-pub use request::{FinishReason, FinishedRequest, Request, RequestId, SamplingParams};
-pub use scheduler::{Scheduler, SchedulerConfig, SchedulerStats, SubmitError};
+pub use radix::{RadixMatch, RadixTree};
+pub use request::{
+    FinishReason, FinishedRequest, Request, RequestId, SamplingMode, SamplingParams,
+};
+pub use scheduler::{ReleasePrefixError, Scheduler, SchedulerConfig, SchedulerStats, SubmitError};

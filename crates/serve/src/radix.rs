@@ -1,0 +1,694 @@
+//! Page-granular radix tree over token sequences — automatic prefix
+//! caching for the scheduler (the vLLM/SGLang block-trie design).
+//!
+//! PR 5's prefix sharing needs the caller to *name* a shared prefix
+//! ([`Scheduler::register_prefix`](crate::Scheduler::register_prefix)).
+//! This module discovers sharing instead: every admitted prompt is
+//! inserted here, and every later prompt is matched against the tree so
+//! its longest already-cached prefix is [`KvCache::fork_prefix`]-forked
+//! (refcounted page-table clone, no row copies) and only the uncovered
+//! suffix is prefilled.
+//!
+//! # Page granularity
+//!
+//! Everything the tree stores is rounded **down to whole KV pages**
+//! (`page_positions` tokens): edges span whole pages, splits happen only
+//! at page boundaries, and a lookup's usable depth is the matched length
+//! rounded down to a page multiple. Two prompts that diverge inside
+//! their first uncached page share nothing — exactly the page-granular
+//! sharing the KV layer can express without copy-on-write traffic, so an
+//! automatic hit never seals a *partial* page and an admitted stream's
+//! first private append never triggers CoW against the tree. (The
+//! explicit registry keeps sub-page prefixes; it is the pinned fast
+//! path, not replaced by this tree.)
+//!
+//! # Node caches and physical sharing
+//!
+//! Each node holds a [`KvCache`] covering positions `0..end` of its
+//! prefix. [`RadixTree::resident_pages`] charges each node its own edge
+//! span — the page-accounting total the scheduler adds to its admission
+//! watermark. That per-edge attribution is exact under the scheduler's
+//! insert discipline: a stream's cache prefix up to its matched depth
+//! was *forked from the tree path itself*, so a new leaf's pages below
+//! its edge are physically the path's pages (and an edge split forks
+//! the child's cache, allocating nothing). A standalone caller that
+//! inserts from a cache built independently of the tree keeps duplicate
+//! physical copies of any token-equal prefix pages; the span accounting
+//! deliberately ignores those (they are the source's to account), and
+//! eviction still frees every page the evicted node's cache holds.
+//! While a source stream is still decoding, its prompt pages are
+//! counted by both its reservation and the tree (the tree's lease is a
+//! refcount on the same physical pages) — conservative, never an
+//! undercount of what the tree itself retains.
+//!
+//! # Eviction
+//!
+//! Under page pressure the scheduler calls [`RadixTree::evict_lru`]:
+//! least-recently-used **leaves** are dropped first (an interior node is
+//! never evictable — its children chain-share its pages), and a leaf is
+//! skipped while it has live forks ([`RadixTree::acquire`]d by an active
+//! stream) or a pin on itself or any ancestor ([`RadixTree::pin`]
+//! protects the subtree below it). Dropping a node's cache releases its
+//! leases; pages nobody else co-owns rejoin the pool's free list.
+
+use anda_llm::KvCache;
+
+/// Identifier of a tree node, stable for the node's lifetime (slots are
+/// recycled only after eviction).
+pub type NodeId = usize;
+
+const ROOT: NodeId = 0;
+
+/// A successful [`RadixTree::lookup`]: fork `node`'s cache at `depth`
+/// positions to reuse the cached prefix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RadixMatch {
+    /// The node whose edge contains the last matched page (its cache
+    /// covers at least `depth` positions).
+    pub node: NodeId,
+    /// Matched tokens, rounded down to a whole-page multiple (> 0).
+    pub depth: usize,
+}
+
+#[derive(Debug)]
+struct Node {
+    parent: NodeId,
+    /// Edge tokens from `start` to `start + edge.len()`; always a whole
+    /// number of pages (empty only for the root).
+    edge: Vec<usize>,
+    /// Token depth where this node's edge begins.
+    start: usize,
+    /// KV rows for positions `0..start + edge.len()` of the prefix
+    /// (`None` only for the root). A fork along the parent chain, so the
+    /// path shares physical pages.
+    cache: Option<KvCache>,
+    children: Vec<NodeId>,
+    /// LRU clock stamp of the last lookup/insert touching this node.
+    last_used: u64,
+    /// Live stream forks of this node's cache (blocks eviction).
+    active: usize,
+    /// Pin count; a pinned node protects itself and its whole subtree
+    /// from eviction.
+    pins: usize,
+}
+
+impl Node {
+    fn end(&self) -> usize {
+        self.start + self.edge.len()
+    }
+}
+
+/// The automatic prefix cache: a radix tree over token sequences with
+/// per-node [`KvCache`] forks, LRU eviction and page-exact residency
+/// accounting. See the module docs for the design.
+#[derive(Debug)]
+pub struct RadixTree {
+    /// KV page size in positions; every edge span and every match depth
+    /// is a multiple of this.
+    page_positions: usize,
+    /// Model layers — each cached position costs one row *per layer*, so
+    /// residency accounting multiplies by this.
+    n_layers: usize,
+    /// Node arena; slot 0 is the root, evicted slots are recycled.
+    nodes: Vec<Option<Node>>,
+    free: Vec<NodeId>,
+    clock: u64,
+    /// Σ over nodes of `n_layers · edge_pages` — the distinct physical
+    /// pages attributable to the tree (path forks share pages, so each
+    /// page is counted by exactly one node's edge).
+    resident_pages: usize,
+    evictions: u64,
+}
+
+impl RadixTree {
+    /// An empty tree for a `page_positions`-position page geometry and an
+    /// `n_layers`-layer model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_positions` or `n_layers` is zero.
+    pub fn new(page_positions: usize, n_layers: usize) -> Self {
+        assert!(page_positions >= 1, "page_positions must be at least 1");
+        assert!(n_layers >= 1, "n_layers must be at least 1");
+        RadixTree {
+            page_positions,
+            n_layers,
+            nodes: vec![Some(Node {
+                parent: ROOT,
+                edge: Vec::new(),
+                start: 0,
+                cache: None,
+                children: Vec::new(),
+                last_used: 0,
+                active: 0,
+                pins: 0,
+            })],
+            free: Vec::new(),
+            clock: 0,
+            resident_pages: 0,
+            evictions: 0,
+        }
+    }
+
+    fn node(&self, id: NodeId) -> &Node {
+        self.nodes[id].as_ref().expect("live node id")
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        self.nodes[id].as_mut().expect("live node id")
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Pages charged for a `tokens`-long whole-page span, all layers.
+    fn span_pages(&self, tokens: usize) -> usize {
+        debug_assert!(tokens.is_multiple_of(self.page_positions));
+        self.n_layers * (tokens / self.page_positions)
+    }
+
+    /// Physical KV pages attributable to the tree across all layers —
+    /// what the scheduler charges against its admission watermark.
+    pub fn resident_pages(&self) -> usize {
+        self.resident_pages
+    }
+
+    /// Live nodes (the root excluded).
+    pub fn node_count(&self) -> usize {
+        self.nodes.iter().flatten().count() - 1
+    }
+
+    /// Nodes evicted since construction (monotonic).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// The child of `id` sharing the longest token prefix with `t`,
+    /// with the shared length. Siblings all diverge from each other
+    /// within their first page, so at most one child can match a whole
+    /// page or more.
+    fn best_child(&self, id: NodeId, t: &[usize]) -> Option<(NodeId, usize)> {
+        self.node(id)
+            .children
+            .iter()
+            .map(|&c| {
+                let k = self
+                    .node(c)
+                    .edge
+                    .iter()
+                    .zip(t)
+                    .take_while(|(a, b)| a == b)
+                    .count();
+                (c, k)
+            })
+            .max_by_key(|&(_, k)| k)
+            .filter(|&(_, k)| k > 0)
+    }
+
+    /// Longest cached prefix of `tokens` usable at page granularity,
+    /// capped at `max_depth` tokens (the scheduler passes `prompt_len -
+    /// 1` so at least one prompt token is always left to prefill — a
+    /// fresh stream needs the prefill logits of its last prompt token).
+    /// Touches the matched path's LRU stamps. Returns `None` when not
+    /// even one whole page matches.
+    pub fn lookup(&mut self, tokens: &[usize], max_depth: usize) -> Option<RadixMatch> {
+        let mut path = vec![ROOT];
+        let mut depth = 0usize;
+        while let Some((child, k)) =
+            self.best_child(*path.last().expect("non-empty"), &tokens[depth..])
+        {
+            path.push(child);
+            depth += k;
+            if k < self.node(child).edge.len() {
+                break; // diverged (or ran out of tokens) mid-edge
+            }
+        }
+        let usable = depth.min(max_depth) / self.page_positions * self.page_positions;
+        if usable == 0 {
+            return None;
+        }
+        let stamp = self.tick();
+        for &id in &path {
+            self.node_mut(id).last_used = stamp;
+        }
+        // The deepest path node whose edge contains position `usable`
+        // holds a cache covering it (every shallower ancestor does too,
+        // but the deepest one maximizes physical sharing with siblings).
+        let node = *path
+            .iter()
+            .rev()
+            .find(|&&id| self.node(id).start < usable)
+            .expect("usable > 0 means some non-root node was matched");
+        debug_assert!(usable <= self.node(node).end());
+        Some(RadixMatch {
+            node,
+            depth: usable,
+        })
+    }
+
+    /// Marks `node` as having one more live stream fork, protecting it
+    /// (and, transitively, its ancestor chain — interior nodes are never
+    /// evicted) from eviction until [`RadixTree::release`].
+    pub fn acquire(&mut self, node: NodeId) {
+        self.node_mut(node).active += 1;
+    }
+
+    /// Drops one live-fork hold acquired with [`RadixTree::acquire`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` has no live holds.
+    pub fn release(&mut self, node: NodeId) {
+        let stamp = self.tick();
+        let n = self.node_mut(node);
+        assert!(n.active > 0, "release without a matching acquire");
+        n.active -= 1;
+        n.last_used = stamp;
+    }
+
+    /// Forks `node`'s cache at `depth` positions — the admission step
+    /// after a successful [`RadixTree::lookup`]. The caller must hold an
+    /// [`RadixTree::acquire`] on `node` for the fork's lifetime so
+    /// eviction cannot drop the node while the stream decodes on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` exceeds the node's cached positions.
+    pub fn fork(&mut self, node: NodeId, depth: usize) -> KvCache {
+        self.node_mut(node)
+            .cache
+            .as_mut()
+            .expect("non-root nodes hold caches")
+            .fork_prefix(depth)
+    }
+
+    /// Pins `node`: it and every descendant become ineligible for
+    /// eviction until the matching [`RadixTree::unpin`]. Pins nest.
+    pub fn pin(&mut self, node: NodeId) {
+        self.node_mut(node).pins += 1;
+    }
+
+    /// Drops one pin placed by [`RadixTree::pin`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not pinned.
+    pub fn unpin(&mut self, node: NodeId) {
+        let n = self.node_mut(node);
+        assert!(n.pins > 0, "unpin without a matching pin");
+        n.pins -= 1;
+    }
+
+    /// Inserts the whole-page prefix of `tokens` (length rounded down to
+    /// a page multiple), sourcing KV rows by forking `source` — the
+    /// freshly prefilled cache of the admitting stream, which must cover
+    /// at least the aligned length. Shared interior pages are reused via
+    /// forks of existing node caches (maximum physical dedup); only a
+    /// genuinely new tail becomes a new leaf. Returns the node whose
+    /// edge ends exactly at the aligned length (`None` when the aligned
+    /// length is zero, or when the sequence diverges from an existing
+    /// edge inside its first uncached page — nothing page-granular to
+    /// add there... except there always is: the diverging tail itself
+    /// becomes a sibling leaf, so the only `None` case is a zero aligned
+    /// length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` holds fewer positions than the aligned length.
+    pub fn insert(&mut self, tokens: &[usize], source: &mut KvCache) -> Option<NodeId> {
+        let aligned = tokens.len() / self.page_positions * self.page_positions;
+        if aligned == 0 {
+            return None;
+        }
+        assert!(
+            source.len() >= aligned,
+            "source cache holds {} positions, insert needs {aligned}",
+            source.len()
+        );
+        let t = &tokens[..aligned];
+        let stamp = self.tick();
+        let mut node = ROOT;
+        let mut depth = 0usize;
+        loop {
+            self.node_mut(node).last_used = stamp;
+            if depth == aligned {
+                return Some(node);
+            }
+            let Some((child, k)) = self.best_child(node, &t[depth..]) else {
+                return Some(self.new_leaf(node, t, depth, source, stamp));
+            };
+            if k == self.node(child).edge.len() {
+                node = child;
+                depth += k;
+                continue;
+            }
+            // Diverged (or tokens exhausted) at offset `k` inside
+            // `child`'s edge: split at the last page boundary at or
+            // below `k`. Below one page there is nothing shareable —
+            // the new tail becomes a plain sibling leaf instead.
+            let split = k / self.page_positions * self.page_positions;
+            if split == 0 {
+                return Some(self.new_leaf(node, t, depth, source, stamp));
+            }
+            let mid = self.split_edge(node, child, split, stamp);
+            node = mid;
+            depth += split;
+        }
+    }
+
+    /// Appends a leaf under `parent` holding `t[depth..]` (whole pages by
+    /// construction), forked from `source`.
+    fn new_leaf(
+        &mut self,
+        parent: NodeId,
+        t: &[usize],
+        depth: usize,
+        source: &mut KvCache,
+        stamp: u64,
+    ) -> NodeId {
+        debug_assert!(depth < t.len());
+        let cache = source.fork_prefix(t.len());
+        let leaf = self.alloc(Node {
+            parent,
+            edge: t[depth..].to_vec(),
+            start: depth,
+            cache: Some(cache),
+            children: Vec::new(),
+            last_used: stamp,
+            active: 0,
+            pins: 0,
+        });
+        self.node_mut(parent).children.push(leaf);
+        self.resident_pages += self.span_pages(t.len() - depth);
+        leaf
+    }
+
+    /// Splits `child` (a child of `parent`) at `split` tokens into its
+    /// edge: a new interior node takes the first `split` tokens (cache
+    /// forked from `child`'s, so the pages stay physically shared) and
+    /// `child` keeps the remainder. Residency is unchanged — the pages
+    /// move from `child`'s span to the new node's.
+    fn split_edge(&mut self, parent: NodeId, child: NodeId, split: usize, stamp: u64) -> NodeId {
+        let start = self.node(child).start;
+        let head: Vec<usize> = self.node(child).edge[..split].to_vec();
+        let cache = self
+            .node_mut(child)
+            .cache
+            .as_mut()
+            .expect("non-root nodes hold caches")
+            .fork_prefix(start + split);
+        let mid = self.alloc(Node {
+            parent,
+            edge: head,
+            start,
+            cache: Some(cache),
+            children: vec![child],
+            last_used: stamp,
+            active: 0,
+            pins: 0,
+        });
+        let c = self.node_mut(child);
+        c.edge.drain(..split);
+        c.start = start + split;
+        c.parent = mid;
+        let p = self.node_mut(parent);
+        let slot = p
+            .children
+            .iter()
+            .position(|&id| id == child)
+            .expect("child is listed under its parent");
+        p.children[slot] = mid;
+        mid
+    }
+
+    fn alloc(&mut self, node: Node) -> NodeId {
+        match self.free.pop() {
+            Some(id) => {
+                self.nodes[id] = Some(node);
+                id
+            }
+            None => {
+                self.nodes.push(Some(node));
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    /// `true` when `id` or any ancestor carries a pin (pins protect the
+    /// whole subtree below them).
+    fn pinned_path(&self, mut id: NodeId) -> bool {
+        loop {
+            let n = self.node(id);
+            if n.pins > 0 {
+                return true;
+            }
+            if id == ROOT {
+                return false;
+            }
+            id = n.parent;
+        }
+    }
+
+    /// The least-recently-used evictable node, if any: a leaf (interior
+    /// nodes share their pages with descendants) with no live forks and
+    /// no pin anywhere on its path.
+    fn lru_candidate(&self) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(id, slot)| slot.as_ref().map(|n| (id, n)))
+            .filter(|&(id, n)| {
+                id != ROOT && n.children.is_empty() && n.active == 0 && !self.pinned_path(id)
+            })
+            .min_by_key(|&(_, n)| n.last_used)
+            .map(|(id, _)| id)
+    }
+
+    /// Evicts least-recently-used leaves until at least `want_pages`
+    /// accounting pages are freed or nothing evictable remains; returns
+    /// the pages actually freed. Dropping a node's cache releases its
+    /// page leases — whole pages nobody else co-owns rejoin the pool's
+    /// free list immediately. Evicting a leaf can expose its parent as
+    /// the next candidate, so sustained pressure drains whole cold
+    /// chains.
+    pub fn evict_lru(&mut self, want_pages: usize) -> usize {
+        let mut freed = 0usize;
+        while freed < want_pages {
+            let Some(id) = self.lru_candidate() else {
+                break;
+            };
+            freed += self.evict(id);
+        }
+        freed
+    }
+
+    /// Evicts everything evictable (tests, benches, and explicit cache
+    /// flushes); returns the pages freed.
+    pub fn evict_all(&mut self) -> usize {
+        let mut freed = 0usize;
+        while let Some(id) = self.lru_candidate() {
+            freed += self.evict(id);
+        }
+        freed
+    }
+
+    /// Removes leaf `id`, dropping its cache (and with it, its page
+    /// leases). Returns its accounting span.
+    fn evict(&mut self, id: NodeId) -> usize {
+        let node = self.nodes[id].take().expect("live node id");
+        debug_assert!(node.children.is_empty(), "only leaves are evicted");
+        debug_assert_eq!(node.active, 0, "a held node must never be evicted");
+        let span = self.span_pages(node.edge.len());
+        self.resident_pages -= span;
+        self.evictions += 1;
+        let p = self.node_mut(node.parent);
+        p.children.retain(|&c| c != id);
+        self.free.push(id);
+        drop(node); // drops the cache → releases the page leases
+        span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anda_llm::kv::{KvPoolConfig, KvStorage, PagePool};
+    use anda_tensor::Rng;
+
+    const PP: usize = 4;
+    const DIM: usize = 16;
+
+    fn pool() -> PagePool {
+        PagePool::new(KvPoolConfig {
+            storage: KvStorage::Fp16,
+            page_positions: PP,
+            max_pages: None,
+        })
+    }
+
+    /// A single-layer cache filled with `tokens.len()` deterministic rows
+    /// derived from the token ids, so equal prefixes hold equal bits.
+    fn cache_for(pool: &PagePool, tokens: &[usize]) -> KvCache {
+        let mut cache = pool.new_cache(1);
+        for &tok in tokens {
+            let mut rng = Rng::new(tok as u64 + 1);
+            let row: Vec<f32> = (0..DIM).map(|_| rng.normal_with(0.0, 1.0)).collect();
+            cache.append_row(0, &row, &row);
+        }
+        cache
+    }
+
+    fn seq(tag: usize, len: usize) -> Vec<usize> {
+        (0..len).map(|i| (i * 31 + tag * 7 + 1) % 97).collect()
+    }
+
+    #[test]
+    fn insert_then_lookup_round_trips_at_page_granularity() {
+        let pool = pool();
+        let mut tree = RadixTree::new(PP, 1);
+        let tokens = seq(1, 11); // 2 whole pages + 3 spare tokens
+        let mut cache = cache_for(&pool, &tokens);
+        let node = tree.insert(&tokens, &mut cache).expect("aligned len 8");
+        assert_eq!(tree.node(node).end(), 8);
+        assert_eq!(tree.resident_pages(), 2);
+
+        let m = tree.lookup(&tokens, tokens.len()).expect("must hit");
+        assert_eq!(m.depth, 8, "match is page-rounded");
+        assert_eq!(m.node, node);
+        // The capped lookup never hands back the whole prompt.
+        let m = tree
+            .lookup(&tokens[..8], 7)
+            .expect("cap still leaves a page");
+        assert_eq!(m.depth, 4);
+        // Sub-page prompts can never match.
+        assert!(tree.lookup(&tokens[..3], 3).is_none());
+    }
+
+    #[test]
+    fn diverging_sequences_split_on_page_boundaries_only() {
+        let pool = pool();
+        let mut tree = RadixTree::new(PP, 1);
+        let a = seq(1, 12);
+        let mut b = a.clone();
+        b[6] += 1; // diverge mid-page-1: only page 0 is shareable
+        let mut ca = cache_for(&pool, &a);
+        let mut cb = cache_for(&pool, &b);
+        tree.insert(&a, &mut ca).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        tree.insert(&b, &mut cb).unwrap();
+        // Split at 4 (page boundary below the divergence at 6): an
+        // interior node plus two leaves.
+        assert_eq!(tree.node_count(), 3);
+        assert_eq!(tree.resident_pages(), 1 + 2 + 2);
+        let ma = tree.lookup(&a, a.len()).unwrap();
+        let mb = tree.lookup(&b, b.len()).unwrap();
+        assert_eq!((ma.depth, mb.depth), (12, 12));
+        assert_ne!(ma.node, mb.node);
+    }
+
+    #[test]
+    fn fork_reads_the_inserted_bits() {
+        let pool = pool();
+        let mut tree = RadixTree::new(PP, 1);
+        let tokens = seq(3, 8);
+        let mut cache = cache_for(&pool, &tokens);
+        let expect: Vec<u32> = (0..8)
+            .flat_map(|i| {
+                cache
+                    .layer(0)
+                    .key(i)
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let node = tree.insert(&tokens, &mut cache).unwrap();
+        drop(cache); // the tree's fork keeps the pages alive
+        tree.acquire(node);
+        let fork = tree.fork(node, 8);
+        let got: Vec<u32> = (0..8)
+            .flat_map(|i| {
+                fork.layer(0)
+                    .key(i)
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert_eq!(got, expect, "forked prefix reads the donor's exact bits");
+        tree.release(node);
+    }
+
+    #[test]
+    fn eviction_is_lru_skips_held_and_pinned_and_frees_pages() {
+        let pool = pool();
+        let mut tree = RadixTree::new(PP, 1);
+        let mut caches: Vec<KvCache> = Vec::new();
+        let mut nodes = Vec::new();
+        for tag in 0..3 {
+            let tokens = seq(tag + 10, 8);
+            let mut cache = cache_for(&pool, &tokens);
+            nodes.push(tree.insert(&tokens, &mut cache).unwrap());
+            caches.push(cache);
+        }
+        drop(caches); // tree leases are now the only owners
+        let in_use = pool.pages_in_use();
+        assert_eq!(in_use, 6, "three 2-page chains");
+
+        tree.acquire(nodes[0]); // oldest, but held by a live stream
+        tree.pin(nodes[1]); // next oldest, but pinned
+        assert_eq!(tree.evict_lru(1), 2, "whole leaf spans are freed");
+        assert_eq!(pool.pages_in_use(), in_use - 2, "pages really returned");
+        assert_eq!(tree.evictions(), 1);
+        // Only the unheld, unpinned leaf (the newest) was evictable.
+        assert!(tree.lookup(&seq(12, 8), 8).is_none());
+        assert!(tree.lookup(&seq(10, 8), 8).is_some());
+        assert!(tree.lookup(&seq(11, 8), 8).is_some());
+
+        // Nothing else is evictable until the hold and pin drop.
+        assert_eq!(tree.evict_lru(usize::MAX), 0);
+        tree.release(nodes[0]);
+        tree.unpin(nodes[1]);
+        assert_eq!(tree.evict_all(), 4);
+        assert_eq!(tree.resident_pages(), 0);
+        assert_eq!(pool.pages_in_use(), 0, "a drained tree frees every page");
+    }
+
+    #[test]
+    fn split_keeps_interior_pages_shared_and_evicts_chains_bottom_up() {
+        let pool = pool();
+        let mut tree = RadixTree::new(PP, 1);
+        let a = seq(5, 16);
+        let mut b = a.clone();
+        b[9] += 1; // shares pages 0–1, diverges in page 2
+        let mut ca = cache_for(&pool, &a);
+        tree.insert(&a, &mut ca).unwrap();
+        drop(ca);
+        assert_eq!(pool.pages_in_use(), 4);
+        // The split forks a's leaf cache at the page-aligned divergence:
+        // the interior node and a's shortened leaf co-own a's original
+        // four pages — the split itself allocates nothing.
+        let mut cb = cache_for(&pool, &b);
+        tree.insert(&b, &mut cb).unwrap();
+        assert_eq!(
+            pool.pages_in_use(),
+            8,
+            "split is allocation-free; only b's own pages were added"
+        );
+        drop(cb); // b's leaf keeps b's pages alive
+        assert_eq!(pool.pages_in_use(), 8);
+        // Accounting counts edge spans: 2 (interior) + 2 (a tail) + 2
+        // (b tail) — exact for scheduler-flow inserts, where b's first
+        // two pages would have been forked *from the tree* and thus be
+        // physically a's; this test's independently built cache keeps
+        // its own copies, the documented standalone-use undercount.
+        assert_eq!(tree.resident_pages(), 2 + 2 + 2);
+        // The interior node is not a leaf: evicting everything drains
+        // leaves first, then the exposed interior chain, and frees every
+        // physical page even when spans undercount duplicates.
+        assert_eq!(tree.evict_all(), 6);
+        assert_eq!(pool.pages_in_use(), 0);
+    }
+}

@@ -41,6 +41,48 @@ impl Default for SamplingParams {
     }
 }
 
+/// How many completions a request produces, and how they are reported.
+///
+/// Multi-sample modes are served by *mid-stream cache forking*: the
+/// prompt is prefilled once, then the live cache is forked at its decode
+/// position (`KvCache::fork_full`) into `n` sibling streams sharing every
+/// prompt page copy-on-write — the same refcount ledger behind prefix
+/// sharing, so the prompt's KV is charged once, not `n` times. Sibling
+/// `i` seeds its RNG with `seed.wrapping_add(i)` (sample 0 uses `seed`
+/// verbatim), making each sample bit-identical to a standalone request
+/// with that derived seed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// One completion (the default; greedy or sampled per
+    /// [`SamplingParams`]).
+    #[default]
+    Single,
+    /// `n` independent completions, every one reported as its own
+    /// [`FinishedRequest`] (distinguished by
+    /// [`FinishedRequest::sample_index`]).
+    Parallel {
+        /// Number of samples (`>= 1`; validated at submit).
+        n: usize,
+    },
+    /// `n` independent completions, but only the one with the highest
+    /// cumulative log-probability is reported (ties break toward the
+    /// lowest sample index).
+    BestOf {
+        /// Number of candidates (`>= 1`; validated at submit).
+        n: usize,
+    },
+}
+
+impl SamplingMode {
+    /// Streams this mode decodes concurrently.
+    pub fn samples(&self) -> usize {
+        match *self {
+            SamplingMode::Single => 1,
+            SamplingMode::Parallel { n } | SamplingMode::BestOf { n } => n,
+        }
+    }
+}
+
 /// A generation request: prompt, generation budget, sampling policy,
 /// and optionally the key of a shared prefix registered with the
 /// scheduler.
@@ -64,6 +106,9 @@ pub struct Request {
     pub eos: Option<usize>,
     /// Sampling policy.
     pub sampling: SamplingParams,
+    /// Completion multiplicity: one stream, `n` parallel samples, or
+    /// best-of-`n` (see [`SamplingMode`]).
+    pub mode: SamplingMode,
 }
 
 impl Request {
@@ -75,6 +120,7 @@ impl Request {
             max_new,
             eos: None,
             sampling: SamplingParams::greedy(),
+            mode: SamplingMode::Single,
         }
     }
 
@@ -82,6 +128,22 @@ impl Request {
     /// `key` (builder style).
     pub fn with_prefix(mut self, key: impl Into<String>) -> Self {
         self.prefix = Some(key.into());
+        self
+    }
+
+    /// This request as `n` parallel samples over one shared prompt
+    /// cache (builder style); sample `i` decodes with seed
+    /// `sampling.seed + i`.
+    pub fn parallel(mut self, n: usize) -> Self {
+        self.mode = SamplingMode::Parallel { n };
+        self
+    }
+
+    /// This request as best-of-`n`: `n` candidates decode over one
+    /// shared prompt cache and only the highest cumulative-logprob
+    /// completion is reported (builder style).
+    pub fn best_of(mut self, n: usize) -> Self {
+        self.mode = SamplingMode::BestOf { n };
         self
     }
 
@@ -123,6 +185,17 @@ pub struct FinishedRequest {
     pub prompt_len: usize,
     /// Why decoding stopped.
     pub reason: FinishReason,
+    /// Which sample of a multi-sample request this is: `0..n` for
+    /// [`SamplingMode::Parallel`], the winning candidate's index for
+    /// [`SamplingMode::BestOf`], always `0` for
+    /// [`SamplingMode::Single`]. Sample `i` decoded with seed
+    /// `sampling.seed + i`.
+    pub sample_index: usize,
+    /// Sum over the generated tokens of `ln softmax(logits)[token]`
+    /// (temperature-independent, accumulated in `f64`), the best-of
+    /// selection score. `None` for [`SamplingMode::Single`] requests,
+    /// which skip the extra log-softmax work.
+    pub cumulative_logprob: Option<f64>,
 }
 
 impl FinishedRequest {

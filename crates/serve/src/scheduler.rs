@@ -31,6 +31,24 @@
 //! P-position prefix cost `pages(P) + N·pages(private)`, not
 //! `N·pages(P + private)`, in compressed pages when the policy is
 //! `Anda{m}`.
+//!
+//! With [`SchedulerConfig::auto_prefix`] the same sharing is *discovered*
+//! instead of declared: every admitted prompt is inserted into a
+//! [`RadixTree`] at page granularity, later prompts fork their longest
+//! cached whole-page prefix automatically and prefill only the uncovered
+//! suffix ([`SchedulerStats::cache_hit_tokens`] counts the skipped
+//! positions), and under page pressure the admission loop evicts
+//! least-recently-used unreferenced tree leaves before giving up
+//! ([`SchedulerStats::radix_evictions`]). The watermark then reads
+//! `pinned + reserved + radix_resident + demand <= capacity`.
+//!
+//! The third consumer of the same fork mechanism is mid-stream:
+//! [`SamplingMode::Parallel`] / [`SamplingMode::BestOf`] requests
+//! prefill their prompt once, then fork the live cache at its decode
+//! position ([`KvCache::fork_full`]) into `n` sibling streams whose
+//! divergent tails isolate copy-on-write — the prompt's KV is charged
+//! once, and each sample is bit-identical to a standalone request
+//! seeded with `seed + sample_index`.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -40,7 +58,10 @@ use anda_llm::{DecodeScratch, KvCache, Model};
 use anda_tensor::Rng;
 use rayon_lite::ThreadPool;
 
-use crate::request::{FinishReason, FinishedRequest, Request, RequestId, SamplingParams};
+use crate::radix::{NodeId, RadixTree};
+use crate::request::{
+    FinishReason, FinishedRequest, Request, RequestId, SamplingMode, SamplingParams,
+};
 
 /// Admission policy knobs.
 #[derive(Clone, Copy, Debug)]
@@ -61,6 +82,16 @@ pub struct SchedulerConfig {
     /// [`Model::decode_hidden`] job per stream (the bit-identical
     /// oracle path, kept for A/B tests and benches). Default `true`.
     pub grouped_attention: bool,
+    /// Automatic prefix caching: insert every admitted prompt into a
+    /// page-granular radix tree and admit later prompts by forking
+    /// their longest cached whole-page prefix — no
+    /// [`Scheduler::register_prefix`] call needed (explicit-prefix
+    /// requests bypass the tree; the registry stays the pinned fast
+    /// path). Cold tree leaves are evicted LRU under page pressure.
+    /// Default `false`: retained prefixes outlive their source streams,
+    /// so a drained pool intentionally keeps cache-resident pages —
+    /// opt-in for workloads with prompt reuse.
+    pub auto_prefix: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -69,6 +100,7 @@ impl Default for SchedulerConfig {
             max_batch: 8,
             kv: KvPoolConfig::default(),
             grouped_attention: true,
+            auto_prefix: false,
         }
     }
 }
@@ -111,6 +143,18 @@ pub enum SubmitError {
     /// already registered (release it first; prefix contents are
     /// immutable while registered).
     PrefixAlreadyRegistered,
+    /// A multi-sample mode requested zero samples.
+    InvalidSampleCount,
+    /// A multi-sample request wants more concurrent sibling streams than
+    /// the scheduler has slots, so its group could never be admitted
+    /// whole (sibling forks must all decode concurrently to share the
+    /// prompt cache).
+    SamplesExceedBatch {
+        /// Requested sample count.
+        n: usize,
+        /// The scheduler's slot count.
+        max_batch: usize,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -135,11 +179,64 @@ impl std::fmt::Display for SubmitError {
             SubmitError::PrefixAlreadyRegistered => {
                 write!(f, "a prefix is already registered under this key")
             }
+            SubmitError::InvalidSampleCount => {
+                write!(f, "sampling mode must request at least one sample")
+            }
+            SubmitError::SamplesExceedBatch { n, max_batch } => {
+                write!(
+                    f,
+                    "{n} parallel samples exceed the scheduler's {max_batch} slots"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
+
+/// Why [`Scheduler::release_prefix`] refused, naming exactly what blocks
+/// the release so the caller can tell "retry later" from "wrong key"
+/// (the old `bool` return conflated the two).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReleasePrefixError {
+    /// No prefix is registered under the given key (perhaps it was
+    /// already released) — retrying cannot succeed.
+    UnknownKey,
+    /// The prefix is still referenced; releasing now would strand the
+    /// dependents. Retry once they drain.
+    InUse {
+        /// Active streams currently decoding on a fork of this prefix.
+        active_forks: usize,
+        /// Queued requests that name this prefix and are entitled to be
+        /// admitted against it.
+        pending: Vec<RequestId>,
+    },
+}
+
+impl std::fmt::Display for ReleasePrefixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReleasePrefixError::UnknownKey => {
+                write!(f, "no prefix is registered under this key")
+            }
+            ReleasePrefixError::InUse {
+                active_forks,
+                pending,
+            } => {
+                write!(f, "prefix still in use: {active_forks} active fork(s)")?;
+                if !pending.is_empty() {
+                    write!(f, ", pending request(s)")?;
+                    for id in pending {
+                        write!(f, " {id}")?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReleasePrefixError {}
 
 /// Aggregate counters, mostly for benches and capacity tests.
 #[derive(Clone, Copy, Debug, Default)]
@@ -169,6 +266,20 @@ pub struct SchedulerStats {
     /// tests pin. Stays 0 under float policies (pages read in place) and
     /// on the per-stream fallback path (which has no shared accounting).
     pub pages_decoded: u64,
+    /// Prompt positions automatic prefix caching served from the radix
+    /// tree instead of prefilling (`auto_prefix` only; explicit-registry
+    /// hits are visible as `prefix_forks` instead). The hit-rate
+    /// numerator: `cache_hit_tokens / (cache_hit_tokens +
+    /// prefill_tokens)` is the fraction of prompt work the tree
+    /// absorbed.
+    pub cache_hit_tokens: u64,
+    /// Radix-tree nodes evicted under page pressure (LRU leaves with no
+    /// live forks and no pinned ancestor), cumulative.
+    pub radix_evictions: u64,
+    /// Sibling streams admitted by forking a live cache at its decode
+    /// position for [`SamplingMode::Parallel`] / [`SamplingMode::BestOf`]
+    /// (the primary stream of a group is not counted — it prefilled).
+    pub sample_forks: u64,
 }
 
 /// One active decode stream.
@@ -190,6 +301,20 @@ struct Stream {
     /// The registry key this stream's cache was forked from, if any
     /// (holds the registration alive until the stream retires).
     prefix: Option<String>,
+    /// The radix-tree node this stream's cache was forked from (or, for
+    /// sampling siblings, that its group's primary forked from); holds
+    /// an acquire on the node so eviction cannot drop it mid-decode.
+    radix_node: Option<NodeId>,
+    /// The sampling group this stream belongs to (keyed by the shared
+    /// request id), when it was admitted as one of `n > 1` samples.
+    group: Option<u64>,
+    /// Which sample of its group this stream is (`0` for singles and
+    /// group primaries); its RNG was seeded with `seed + sample_index`.
+    sample_index: usize,
+    /// Σ `ln softmax(logits)[token]` over generated tokens, accumulated
+    /// in `f64` — the best-of selection score. Only maintained for
+    /// grouped streams (singles skip the log-softmax work).
+    cum_logprob: f64,
     /// Admitted this iteration: its first token comes from the prefill
     /// logits, so it skips the decode phase once.
     fresh: bool,
@@ -199,6 +324,23 @@ struct Stream {
 struct Pending {
     id: RequestId,
     request: Request,
+}
+
+/// Shared bookkeeping of one multi-sample request's sibling streams.
+struct GroupState {
+    /// Page reservation for the prompt's whole pages, charged once for
+    /// the group (each member additionally reserves its private tail
+    /// pages) and released only when the **last** member retires — the
+    /// physical prompt pages stay leased as long as any sibling shares
+    /// them, regardless of retirement order.
+    shared_pages: usize,
+    /// Members still decoding.
+    remaining: usize,
+    /// Report only the best completion (vs every completion).
+    best_of: bool,
+    /// Finished candidates awaiting best-of selection (unused for
+    /// parallel mode, which reports each sample as it finishes).
+    collected: Vec<FinishedRequest>,
 }
 
 /// One registered shared prefix: its tokens, the pinned cache holding
@@ -247,6 +389,11 @@ pub struct Scheduler<'a> {
     spare_scratches: Vec<DecodeScratch>,
     /// Registered shared prefixes by key.
     prefixes: HashMap<String, PrefixEntry>,
+    /// The automatic prefix cache (`auto_prefix`): page-granular radix
+    /// tree over admitted prompts. Stays empty when the knob is off.
+    radix: RadixTree,
+    /// Live multi-sample groups by request id.
+    groups: HashMap<u64, GroupState>,
     /// Pages pinned by all registered prefix caches (counted against
     /// the pool capacity alongside stream reservations).
     pinned_pages: usize,
@@ -287,6 +434,8 @@ impl<'a> Scheduler<'a> {
             spare_caches: Vec::new(),
             spare_scratches: Vec::new(),
             prefixes: HashMap::new(),
+            radix: RadixTree::new(cfg.kv.page_positions, model.config().n_layers),
+            groups: HashMap::new(),
             pinned_pages: 0,
             batch: BatchOutput::new(),
             decode_cache: PageDecodeCache::new(),
@@ -297,30 +446,69 @@ impl<'a> Scheduler<'a> {
         }
     }
 
-    /// Worst-case KV page demand a stream for `request` is charged
-    /// across all layers — the *single* place the per-stream page math
-    /// lives, used by both the submit-time capacity rejection and the
-    /// admission watermark so the two can never drift.
-    ///
-    /// Without a prefix this is `n_layers · pages(prompt + max_new)`.
-    /// With one, the worst-case length includes the prefix but every
-    /// page *fully* covered by it is discounted: those pages are pinned
-    /// once by the registry and only forked (refcounted, never copied)
-    /// into the stream. A partial tail page stays charged — copy-on-
-    /// write will privatize it on the stream's first append.
+    /// Worst-case KV page demand `request` is charged across all layers
+    /// — the *single* place the page math lives, used by both the
+    /// submit-time capacity rejection and the admission watermark so the
+    /// two can never drift. Equals `demand_with_hit(request, 0)`: the
+    /// submit-time bound assumes no automatic cache hit, so admission
+    /// (which may discount a radix match) only ever needs *less*.
     ///
     /// # Panics
     ///
     /// Panics if the request names an unregistered prefix (submit
     /// validates the key first).
     pub fn pages_needed(&self, request: &Request) -> usize {
+        self.demand_with_hit(request, 0)
+    }
+
+    /// [`Scheduler::pages_needed`] with `radix_depth` prompt positions
+    /// already served by the automatic prefix cache.
+    ///
+    /// Per stream the demand is `n_layers · pages(prefix + prompt +
+    /// max_new)` minus every page *fully* covered by a shared source —
+    /// an explicit registry prefix (pinned pages, forked refcounted) or
+    /// the radix match (tree-resident pages, ditto; the two are mutually
+    /// exclusive since explicit-prefix requests bypass the tree). A
+    /// partial tail page stays charged: copy-on-write privatizes it on
+    /// the stream's first append. All subtractions saturate — the
+    /// discounts are derived quantities, and an accounting bound must
+    /// clamp rather than underflow-panic at boundary geometries (e.g. a
+    /// page-aligned prefix with a zero-length tail).
+    ///
+    /// A multi-sample request ([`SamplingMode::samples`]` = n > 1`)
+    /// additionally charges `n - 1` sibling tails: each sibling forks
+    /// the primary's live cache after prefill, sharing every whole
+    /// prompt page, so only its pages *beyond* the prompt's whole pages
+    /// (private partial tail + generation) multiply.
+    fn demand_with_hit(&self, request: &Request, radix_depth: usize) -> usize {
+        let pp = self.cfg.kv.page_positions;
+        let n_layers = self.model.config().n_layers;
         let prefix_len = request
             .prefix
             .as_deref()
             .map_or(0, |key| self.prefixes[key].tokens.len());
         let total = prefix_len.saturating_add(request.reserve_tokens());
-        let shared_whole = prefix_len / self.cfg.kv.page_positions;
-        self.model.config().n_layers * (self.cfg.kv.pages_for(total) - shared_whole)
+        let pages_total = self.cfg.kv.pages_for(total);
+        let shared_whole = if prefix_len > 0 {
+            prefix_len / pp
+        } else {
+            radix_depth / pp
+        };
+        let primary = n_layers * pages_total.saturating_sub(shared_whole);
+        let n = request.mode.samples();
+        if n <= 1 {
+            return primary;
+        }
+        primary + (n - 1) * self.member_tail_pages(request, prefix_len)
+    }
+
+    /// Pages one member of a multi-sample group reserves privately: its
+    /// worst-case pages beyond the prompt's whole (group-shared) pages.
+    fn member_tail_pages(&self, request: &Request, prefix_len: usize) -> usize {
+        let total = prefix_len.saturating_add(request.reserve_tokens());
+        let prompt_whole =
+            prefix_len.saturating_add(request.prompt.len()) / self.cfg.kv.page_positions;
+        self.model.config().n_layers * self.cfg.kv.pages_for(total).saturating_sub(prompt_whole)
     }
 
     /// Queues a request, validating it is servable under this model,
@@ -352,9 +540,22 @@ impl<'a> Scheduler<'a> {
         if total > max_seq {
             return Err(SubmitError::ExceedsMaxSeq { total, max_seq });
         }
+        let n = request.mode.samples();
+        if n == 0 {
+            return Err(SubmitError::InvalidSampleCount);
+        }
+        if n > self.cfg.max_batch {
+            return Err(SubmitError::SamplesExceedBatch {
+                n,
+                max_batch: self.cfg.max_batch,
+            });
+        }
         let pages = self.pages_needed(&request);
         if let Some(capacity) = self.kv_pool.capacity() {
-            let capacity = capacity - self.pinned_pages;
+            // Saturating: registration keeps `pinned <= capacity`, but a
+            // capacity check must degrade to "zero headroom", never
+            // underflow, if that invariant is ever perturbed.
+            let capacity = capacity.saturating_sub(self.pinned_pages);
             if pages > capacity {
                 return Err(SubmitError::ExceedsPoolCapacity { pages, capacity });
             }
@@ -415,8 +616,9 @@ impl<'a> Scheduler<'a> {
                 .map(|p| self.pages_needed(&p.request))
                 .max()
                 .unwrap_or(0);
-            let capacity =
-                (cap - self.pinned_pages).saturating_sub(self.reserved_pages.max(worst_pending));
+            let capacity = cap
+                .saturating_sub(self.pinned_pages)
+                .saturating_sub(self.reserved_pages.max(worst_pending));
             if pages > capacity {
                 return Err(SubmitError::ExceedsPoolCapacity { pages, capacity });
             }
@@ -444,32 +646,38 @@ impl<'a> Scheduler<'a> {
     }
 
     /// Releases the prefix registered under `key`, recycling the pinned
-    /// pages no live stream still shares. Refuses (returns `false`)
-    /// while any active stream was forked from it or any pending
-    /// request references it — so a successful release means the pinned
-    /// accounting and the physical pages really are reclaimed together.
-    /// Returns `true` when the prefix was released, `false` when it was
-    /// unknown or still in use.
-    pub fn release_prefix(&mut self, key: &str) -> bool {
-        let in_use = match self.prefixes.get(key) {
-            None => return false,
-            Some(entry) => {
-                entry.active > 0
-                    || self
-                        .pending
-                        .iter()
-                        .any(|p| p.request.prefix.as_deref() == Some(key))
-            }
+    /// pages no live stream still shares, and returns the page count
+    /// unpinned. Refuses while any active stream was forked from it or
+    /// any pending request references it — so a successful release means
+    /// the pinned accounting and the physical pages really are reclaimed
+    /// together. The error distinguishes the two failure causes the old
+    /// `bool` return conflated: [`ReleasePrefixError::UnknownKey`] (the
+    /// key is not registered; retrying is pointless) vs
+    /// [`ReleasePrefixError::InUse`], which names the blockers — the
+    /// live fork count and the ids of pending requests that reference
+    /// the key — so callers can wait for exactly those to drain.
+    pub fn release_prefix(&mut self, key: &str) -> Result<usize, ReleasePrefixError> {
+        let Some(entry) = self.prefixes.get(key) else {
+            return Err(ReleasePrefixError::UnknownKey);
         };
-        if in_use {
-            return false;
+        let pending: Vec<RequestId> = self
+            .pending
+            .iter()
+            .filter(|p| p.request.prefix.as_deref() == Some(key))
+            .map(|p| p.id)
+            .collect();
+        if entry.active > 0 || !pending.is_empty() {
+            return Err(ReleasePrefixError::InUse {
+                active_forks: entry.active,
+                pending,
+            });
         }
         let entry = self.prefixes.remove(key).expect("checked above");
         self.pinned_pages -= entry.pinned_pages;
         // Dropping the pinned cache releases its leases; every page no
         // longer co-owned rejoins the pool's free list.
         drop(entry.cache);
-        true
+        Ok(entry.pinned_pages)
     }
 
     /// Pages pinned by all registered prefix caches.
@@ -553,7 +761,8 @@ impl<'a> Scheduler<'a> {
         let mut sampled = 0;
         for stream in self.slots.iter_mut().flatten() {
             let temperature = stream.sampling.temperature;
-            let next = if stream.fresh {
+            let was_fresh = stream.fresh;
+            let next = if was_fresh {
                 stream.fresh = false;
                 stream.scratch.sample_last(temperature, &mut stream.rng)
             } else {
@@ -561,6 +770,17 @@ impl<'a> Scheduler<'a> {
                 row += 1;
                 stream.scratch.sample(logits, temperature, &mut stream.rng)
             };
+            if stream.group.is_some() {
+                // Best-of scoring: the log-softmax of the drawn token,
+                // off the same logits the draw used. Grouped streams
+                // only — singles skip the extra vocab pass.
+                let logits = if was_fresh {
+                    stream.scratch.logits()
+                } else {
+                    self.batch.logits_row(row - 1)
+                };
+                stream.cum_logprob += logprob_of(logits, next);
+            }
             stream.tokens.push(next);
             sampled += 1;
             let generated = stream.tokens.len() - stream.prompt_len;
@@ -616,11 +836,34 @@ impl<'a> Scheduler<'a> {
         self.slots.iter().flatten().count()
     }
 
-    /// Unshared KV pages reserved by active streams
-    /// (`pinned_pages() + reserved_pages()` never exceeds the pool
-    /// capacity).
+    /// Unshared KV pages reserved by active streams and live sampling
+    /// groups (`pinned_pages() + reserved_pages() +
+    /// radix_resident_pages()` never exceeds the pool capacity).
     pub fn reserved_pages(&self) -> usize {
         self.reserved_pages
+    }
+
+    /// Pages held resident by the automatic prefix cache (0 unless
+    /// [`SchedulerConfig::auto_prefix`] is on). Counted against the
+    /// admission watermark; reclaimed by LRU eviction under pressure or
+    /// by [`Scheduler::flush_prefix_cache`].
+    pub fn radix_resident_pages(&self) -> usize {
+        self.radix.resident_pages()
+    }
+
+    /// Nodes currently in the automatic prefix cache's radix tree.
+    pub fn radix_nodes(&self) -> usize {
+        self.radix.node_count()
+    }
+
+    /// Evicts every evictable automatic-prefix-cache node (all nodes no
+    /// live stream holds), returning the pages freed. The tree keeps
+    /// serving correctly afterwards — subsequent prompts simply miss and
+    /// re-prefill.
+    pub fn flush_prefix_cache(&mut self) -> usize {
+        let freed = self.radix.evict_all();
+        self.stats.radix_evictions = self.radix.evictions();
+        freed
     }
 
     /// KV positions actually cached right now across active streams.
@@ -644,24 +887,62 @@ impl<'a> Scheduler<'a> {
     }
 
     /// FIFO admission: only the queue head may be admitted, into the
-    /// first free slot, while both a slot and free-page headroom exist
-    /// (`pinned + reserved + demand <= capacity`, the free-page
-    /// watermark over *unshared* demand). A prefix request's cache is
-    /// forked from the registry's pinned cache — the prefix positions
-    /// arrive as refcounted shared pages, already prefilled — and only
-    /// the private prompt suffix is prefilled, so the stream can still
-    /// sample its first token this iteration.
+    /// first free slot(s), while both enough slots for its whole sample
+    /// group and free-page headroom exist (`pinned + reserved +
+    /// radix_resident + demand <= capacity`, the free-page watermark
+    /// over *unshared* demand). A prefix request's cache is forked from
+    /// the registry's pinned cache — the prefix positions arrive as
+    /// refcounted shared pages, already prefilled — and only the private
+    /// prompt suffix is prefilled, so the stream can still sample its
+    /// first token this iteration. With `auto_prefix`, a plain request
+    /// is first matched against the radix tree (forking its longest
+    /// cached whole-page prefix the same way) and its full prompt is
+    /// inserted back after prefill; when the watermark blocks, cold tree
+    /// leaves are evicted LRU before giving up. Multi-sample requests
+    /// fork `n - 1` siblings off the primary's just-prefilled cache at
+    /// its live position.
     fn admit(&mut self) {
         while let Some(front) = self.pending.front() {
-            let demand = self.pages_needed(&front.request);
-            let over_watermark = self
-                .kv_pool
-                .capacity()
-                .is_some_and(|cap| self.pinned_pages + self.reserved_pages + demand > cap);
-            if self.active_len() >= self.cfg.max_batch || over_watermark {
+            let n = front.request.mode.samples();
+            if self.active_len() + n > self.cfg.max_batch {
                 break;
             }
             let Pending { id, request } = self.pending.pop_front().expect("front exists");
+            // Match the prompt against the automatic prefix cache. The
+            // lookup is capped one short of the prompt: a fresh stream
+            // samples its first token from the prefill logits of its
+            // last prompt position, so at least that position must be
+            // prefilled. A hit is `acquire`d immediately — the node must
+            // survive the eviction pass below and the stream's decode.
+            let hit = if self.cfg.auto_prefix && request.prefix.is_none() {
+                let hit = self.radix.lookup(&request.prompt, request.prompt.len() - 1);
+                if let Some(m) = hit {
+                    self.radix.acquire(m.node);
+                }
+                hit
+            } else {
+                None
+            };
+            let demand = self.demand_with_hit(&request, hit.map_or(0, |m| m.depth));
+            if let Some(cap) = self.kv_pool.capacity() {
+                let claimed = self.pinned_pages + self.reserved_pages + self.radix.resident_pages();
+                if claimed + demand > cap {
+                    // Page pressure: reclaim cold cached prefixes before
+                    // refusing. Eviction only drops unreferenced leaves,
+                    // so the acquired hit (and every active stream's
+                    // match) is safe.
+                    self.radix.evict_lru(claimed + demand - cap);
+                    self.stats.radix_evictions = self.radix.evictions();
+                }
+                let claimed = self.pinned_pages + self.reserved_pages + self.radix.resident_pages();
+                if claimed + demand > cap {
+                    if let Some(m) = hit {
+                        self.radix.release(m.node);
+                    }
+                    self.pending.push_front(Pending { id, request });
+                    break;
+                }
+            }
             let mut scratch = self.spare_scratches.pop().unwrap_or_default();
             let (mut cache, mut tokens) = match request.prefix.as_deref() {
                 Some(key) => {
@@ -676,27 +957,113 @@ impl<'a> Scheduler<'a> {
                         entry.tokens.clone(),
                     )
                 }
-                None => {
-                    let cache = self
-                        .spare_caches
-                        .pop()
-                        .unwrap_or_else(|| self.kv_pool.new_cache(self.model.config().n_layers));
-                    debug_assert!(cache.is_empty(), "spare caches are reset at retirement");
-                    (cache, Vec::new())
-                }
+                None => match hit {
+                    Some(m) => {
+                        self.stats.prefix_forks += 1;
+                        self.stats.cache_hit_tokens += m.depth as u64;
+                        (self.radix.fork(m.node, m.depth), Vec::new())
+                    }
+                    None => {
+                        let cache = self.spare_caches.pop().unwrap_or_else(|| {
+                            self.kv_pool.new_cache(self.model.config().n_layers)
+                        });
+                        debug_assert!(cache.is_empty(), "spare caches are reset at retirement");
+                        (cache, Vec::new())
+                    }
+                },
             };
+            // A radix hit covers a *prompt prefix* (not extra tokens the
+            // way a registry prefix is), so the cached depth counts
+            // toward the prompt itself.
+            let cached = cache.len();
             let prefix_len = tokens.len();
-            debug_assert_eq!(cache.len(), prefix_len, "fork covers exactly the prefix");
             tokens.extend_from_slice(&request.prompt);
+            debug_assert!(
+                cached >= prefix_len && cached < tokens.len(),
+                "fork covers the shared prefix and leaves prompt to prefill"
+            );
             // Prefill only what is not already cached — with a shared
-            // prefix that is the private suffix alone, the latency and
-            // compute win that rides along with the memory one.
+            // (explicit or automatic) prefix that is the uncovered
+            // suffix alone, the latency and compute win that rides along
+            // with the memory one.
             self.model
-                .prefill(&tokens[prefix_len..], &mut cache, &mut scratch);
-            self.stats.prefill_tokens += (tokens.len() - prefix_len) as u64;
+                .prefill(&tokens[cached..], &mut cache, &mut scratch);
+            self.stats.prefill_tokens += (tokens.len() - cached) as u64;
+            // Feed the full prompt back into the tree (its whole-page
+            // prefix, forked from this stream's pages) so the *next*
+            // prompt can hit deeper.
+            if self.cfg.auto_prefix && request.prefix.is_none() {
+                self.radix.insert(&tokens, &mut cache);
+            }
             self.reserved_pages += demand;
             let prompt_len = tokens.len();
-            let stream = Stream {
+            let group_prefix_len = prefix_len;
+            let member_tail = self.member_tail_pages(&request, group_prefix_len);
+            let group = if n > 1 {
+                // The prompt's whole pages are charged once, to the
+                // group, released when the last sibling retires; each
+                // member's own reservation is only its private tail.
+                self.groups.insert(
+                    id.0,
+                    GroupState {
+                        shared_pages: demand - n * member_tail,
+                        remaining: n,
+                        best_of: matches!(request.mode, SamplingMode::BestOf { .. }),
+                        collected: Vec::new(),
+                    },
+                );
+                Some(id.0)
+            } else {
+                None
+            };
+            let member_reserved = if n > 1 { member_tail } else { demand };
+            let done = if request.max_new == 0 {
+                // Nothing to generate: finished before the first sample.
+                Some(FinishReason::Length)
+            } else {
+                None
+            };
+            // Sibling samples fork the primary's live cache at its
+            // decode position (`fork_full`: every whole prompt page
+            // shared, the partial tail copy-on-write) and adopt its
+            // prefill logits, so each decodes exactly like a standalone
+            // request seeded `seed + i`.
+            let mut members = Vec::with_capacity(n);
+            for i in 1..n {
+                let mut sib_scratch = self.spare_scratches.pop().unwrap_or_default();
+                sib_scratch.adopt_logits(&scratch);
+                let sib_cache = cache.fork_full();
+                self.stats.sample_forks += 1;
+                if let Some(key) = request.prefix.as_deref() {
+                    self.prefixes
+                        .get_mut(key)
+                        .expect("prefix held by the primary")
+                        .active += 1;
+                }
+                if let Some(m) = hit {
+                    self.radix.acquire(m.node);
+                }
+                members.push(Stream {
+                    id,
+                    tokens: tokens.clone(),
+                    prompt_len,
+                    max_new: request.max_new,
+                    eos: request.eos,
+                    sampling: request.sampling,
+                    rng: Rng::new(request.sampling.seed.wrapping_add(i as u64)),
+                    cache: sib_cache,
+                    scratch: sib_scratch,
+                    reserved_pages: member_reserved,
+                    prefix: request.prefix.clone(),
+                    radix_node: hit.map(|m| m.node),
+                    group,
+                    sample_index: i,
+                    cum_logprob: 0.0,
+                    fresh: true,
+                    done,
+                });
+            }
+            members.push(Stream {
                 id,
                 tokens,
                 prompt_len,
@@ -706,20 +1073,30 @@ impl<'a> Scheduler<'a> {
                 rng: Rng::new(request.sampling.seed),
                 cache,
                 scratch,
-                reserved_pages: demand,
+                reserved_pages: member_reserved,
                 prefix: request.prefix,
+                radix_node: hit.map(|m| m.node),
+                group,
+                sample_index: 0,
+                cum_logprob: 0.0,
                 fresh: true,
-                done: if request.max_new == 0 {
-                    // Nothing to generate: finished before the first sample.
-                    Some(FinishReason::Length)
+                done,
+            });
+            // Mid-admission peak: the prefill and sibling forks above
+            // are the allocation high-water mark of this admission, and
+            // a `max_new == 0` group retires inside this very loop —
+            // sample before that happens so transient peaks are never
+            // unrecorded.
+            self.stats.peak_pages_in_use = self
+                .stats
+                .peak_pages_in_use
+                .max(self.kv_pool.pages_in_use());
+            for stream in members {
+                if let Some(reason) = stream.done {
+                    self.finish(stream, reason);
                 } else {
-                    None
-                },
-            };
-            if let Some(reason) = stream.done {
-                self.finish(stream, reason);
-            } else {
-                self.place(stream);
+                    self.place(stream);
+                }
             }
         }
     }
@@ -755,19 +1132,74 @@ impl<'a> Scheduler<'a> {
                 .expect("registrations outlive their streams");
             entry.active -= 1;
         }
+        if let Some(node) = stream.radix_node {
+            // The matched tree node outlived this stream's decode; it
+            // becomes evictable again once every holder retires.
+            self.radix.release(node);
+        }
         // Reset returns every owned page to the pool's free list, where
         // the next admission's prefill picks them up; shared prefix
-        // leases are dropped, leaving the registry's pinned pages alive.
+        // leases (registry, radix tree, or sibling-held prompt pages)
+        // are dropped, leaving the co-owners' pages alive.
         stream.cache.reset();
         if self.spare_caches.len() < self.cfg.max_batch {
             self.spare_caches.push(stream.cache);
         }
         self.spare_scratches.push(stream.scratch);
-        self.finished.push(FinishedRequest {
+        let result = FinishedRequest {
             id: stream.id,
             tokens: stream.tokens,
             prompt_len: stream.prompt_len,
             reason,
-        });
+            sample_index: stream.sample_index,
+            cumulative_logprob: stream.group.map(|_| stream.cum_logprob),
+        };
+        let Some(gid) = stream.group else {
+            self.finished.push(result);
+            return;
+        };
+        let group = self
+            .groups
+            .get_mut(&gid)
+            .expect("groups outlive their members");
+        group.remaining -= 1;
+        if group.best_of {
+            group.collected.push(result);
+        } else {
+            self.finished.push(result);
+        }
+        if group.remaining == 0 {
+            let group = self.groups.remove(&gid).expect("present above");
+            // Last sibling out: the group's shared prompt pages are no
+            // longer co-owned by any member — release their charge.
+            self.reserved_pages -= group.shared_pages;
+            if group.best_of {
+                let winner = group
+                    .collected
+                    .into_iter()
+                    .max_by(|a, b| {
+                        // Highest cumulative logprob wins; exact ties
+                        // break toward the lowest sample index (ordering
+                        // treats the lower index as "greater").
+                        a.cumulative_logprob
+                            .partial_cmp(&b.cumulative_logprob)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(b.sample_index.cmp(&a.sample_index))
+                    })
+                    .expect("a group has at least one member");
+                self.finished.push(winner);
+            }
+        }
     }
+}
+
+/// `ln softmax(logits)[token]`, accumulated in `f64` with the usual
+/// max-subtracted log-sum-exp so the score is finite for any finite
+/// logits. Serial reduction — the value is a pure function of the
+/// logits, independent of batch composition and thread count, so
+/// best-of selection is as deterministic as the decode itself.
+fn logprob_of(logits: &[f32], token: usize) -> f64 {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
+    let sum: f64 = logits.iter().map(|&x| (x as f64 - max).exp()).sum();
+    (logits[token] as f64 - max) - sum.ln()
 }

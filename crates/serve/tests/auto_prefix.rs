@@ -1,0 +1,275 @@
+//! Acceptance suite for automatic prefix caching
+//! ([`SchedulerConfig::auto_prefix`]): token- and logit-bit-exact
+//! against unshared decodes across every KV storage policy, exact
+//! hit-rate accounting, survival of LRU eviction under page pressure,
+//! and coexistence with the explicit pinned registry.
+
+use std::sync::OnceLock;
+
+use anda_llm::kv::{KvPoolConfig, KvStorage};
+use anda_llm::zoo::opt_125m_sim;
+use anda_llm::Model;
+use anda_serve::{
+    FinishedRequest, Request, SamplingMode, SamplingParams, Scheduler, SchedulerConfig,
+};
+
+fn model() -> &'static Model {
+    static MODEL: OnceLock<Model> = OnceLock::new();
+    MODEL.get_or_init(|| opt_125m_sim().build())
+}
+
+/// A workload of prompts sharing a 24-token family prefix to varying
+/// depths, plus one unrelated prompt and one exact repeat — greedy and
+/// sampled, one EOS user.
+fn workload() -> Vec<Request> {
+    let family: Vec<usize> = (0..24).map(|i| (i * 29 + 11) % 500).collect();
+    let with_tail = |depth: usize, tail: &[usize]| {
+        let mut p = family[..depth].to_vec();
+        p.extend_from_slice(tail);
+        p
+    };
+    vec![
+        Request::greedy(with_tail(24, &[7, 8, 9]), 8),
+        Request::greedy(with_tail(24, &[7, 8, 9]), 8), // exact repeat
+        Request {
+            prompt: with_tail(16, &[300, 301]),
+            prefix: None,
+            max_new: 6,
+            eos: None,
+            sampling: SamplingParams {
+                temperature: 0.9,
+                seed: 7,
+            },
+            mode: SamplingMode::Single,
+        },
+        Request {
+            prompt: with_tail(8, &[42]),
+            prefix: None,
+            max_new: 10,
+            eos: Some(40),
+            sampling: SamplingParams {
+                temperature: 1.1,
+                seed: 99,
+            },
+            mode: SamplingMode::Single,
+        },
+        Request::greedy(vec![450, 451, 452, 453], 5), // unrelated
+    ]
+}
+
+fn sorted_outputs(mut done: Vec<FinishedRequest>) -> Vec<FinishedRequest> {
+    done.sort_by_key(|f| (f.id, f.sample_index));
+    done
+}
+
+fn run(
+    storage: KvStorage,
+    auto: bool,
+    max_pages: Option<usize>,
+    reqs: Vec<Request>,
+) -> (Vec<FinishedRequest>, u64, u64) {
+    let mut sched = Scheduler::new(
+        model(),
+        SchedulerConfig {
+            max_batch: 3,
+            kv: KvPoolConfig {
+                storage,
+                page_positions: 8,
+                max_pages,
+            },
+            auto_prefix: auto,
+            ..SchedulerConfig::default()
+        },
+    );
+    for r in reqs {
+        sched.submit(r).unwrap();
+    }
+    let done = sorted_outputs(sched.run_to_completion());
+    let stats = sched.stats();
+    (done, stats.cache_hit_tokens, stats.prefill_tokens)
+}
+
+/// The tentpole exactness bar: automatic prefix caching must change
+/// page traffic, never content — token-identical to the unshared run
+/// for every storage policy, while provably serving prompt tokens from
+/// the cache (fewer prefilled tokens, nonzero hit count).
+#[test]
+fn auto_prefix_is_bit_exact_across_storages() {
+    for storage in [
+        KvStorage::Fp32,
+        KvStorage::Fp16,
+        KvStorage::Bf16,
+        KvStorage::Anda { mantissa_bits: 6 },
+        KvStorage::Anda { mantissa_bits: 11 },
+    ] {
+        let (plain, plain_hits, plain_prefill) = run(storage, false, None, workload());
+        let (auto_, auto_hits, auto_prefill) = run(storage, true, None, workload());
+        for (a, b) in auto_.iter().zip(&plain) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.tokens, b.tokens, "auto prefix diverged: {storage:?}");
+            assert_eq!(a.prompt_len, b.prompt_len);
+            assert_eq!(a.reason, b.reason);
+        }
+        assert_eq!(plain_hits, 0, "the cache is off by default");
+        assert!(auto_hits > 0, "the shared family must hit: {storage:?}");
+        assert!(
+            auto_prefill < plain_prefill,
+            "hits must shrink prefill work: {auto_prefill} vs {plain_prefill}"
+        );
+    }
+}
+
+/// Exact hit accounting on a repeat prompt: a 17-token prompt aligns
+/// to 16 cached positions (the lookup cap always leaves the last
+/// prompt token to prefill), so the second submission prefills exactly
+/// one token.
+#[test]
+fn repeat_prompt_hit_accounting_is_exact() {
+    let prompt: Vec<usize> = (0..17).map(|i| (i * 13 + 2) % 500).collect();
+    let mut sched = Scheduler::new(
+        model(),
+        SchedulerConfig {
+            max_batch: 2,
+            kv: KvPoolConfig {
+                storage: KvStorage::Fp16,
+                page_positions: 8,
+                max_pages: None,
+            },
+            auto_prefix: true,
+            ..SchedulerConfig::default()
+        },
+    );
+    sched.submit(Request::greedy(prompt.clone(), 4)).unwrap();
+    sched.submit(Request::greedy(prompt.clone(), 4)).unwrap();
+    let done = sched.run_to_completion();
+    assert_eq!(done.len(), 2);
+    assert_eq!(done[0].tokens, done[1].tokens);
+    let stats = sched.stats();
+    assert_eq!(stats.cache_hit_tokens, 16);
+    assert_eq!(stats.prefill_tokens, 17 + 1);
+    assert_eq!(stats.prefix_forks, 1);
+    // The tree retains the prompt's whole pages after the drain; an
+    // explicit flush returns the pool to empty.
+    assert!(sched.radix_resident_pages() > 0);
+    assert_eq!(sched.kv_pool().pages_in_use(), sched.radix_resident_pages());
+    sched.flush_prefix_cache();
+    assert_eq!(sched.kv_pool().pages_in_use(), 0);
+}
+
+/// Eviction under genuine page pressure: a pool too small to retain
+/// wave A's cache alongside wave B forces LRU eviction between waves,
+/// and every token stays bit-identical to the unshared reference.
+#[test]
+fn eviction_under_page_pressure_stays_bit_exact() {
+    let storage = KvStorage::Anda { mantissa_bits: 6 };
+    let n_layers = model().config().n_layers;
+    // Room for roughly one wave's pages plus slack — retaining two
+    // waves' worth of 20+-token prompts is impossible.
+    let max_pages = Some(n_layers * 6);
+    let wave = |tag: usize| -> Vec<Request> {
+        (0..3)
+            .map(|i| {
+                let mut p: Vec<usize> = (0..18).map(|j| (j * 31 + tag * 101 + 13) % 500).collect();
+                p.push(tag * 10 + i);
+                Request::greedy(p, 4)
+            })
+            .collect()
+    };
+
+    let mut sched = Scheduler::new(
+        model(),
+        SchedulerConfig {
+            max_batch: 2,
+            kv: KvPoolConfig {
+                storage,
+                page_positions: 8,
+                max_pages,
+            },
+            auto_prefix: true,
+            ..SchedulerConfig::default()
+        },
+    );
+    let mut auto_done = Vec::new();
+    for tag in 1..=3 {
+        for r in wave(tag) {
+            sched.submit(r).unwrap();
+        }
+        auto_done.extend(sched.run_to_completion());
+    }
+    assert!(
+        sched.stats().radix_evictions > 0,
+        "the pool is sized to force eviction"
+    );
+    assert!(sched.stats().cache_hit_tokens > 0, "waves share prefixes");
+
+    // Unshared reference: same requests, cache off, unbounded pool.
+    let mut plain = Scheduler::new(
+        model(),
+        SchedulerConfig {
+            max_batch: 2,
+            kv: KvPoolConfig {
+                storage,
+                page_positions: 8,
+                max_pages: None,
+            },
+            ..SchedulerConfig::default()
+        },
+    );
+    for tag in 1..=3 {
+        for r in wave(tag) {
+            plain.submit(r).unwrap();
+        }
+    }
+    let plain_done = sorted_outputs(plain.run_to_completion());
+    let auto_done = sorted_outputs(auto_done);
+    assert_eq!(auto_done.len(), plain_done.len());
+    for (a, b) in auto_done.iter().zip(&plain_done) {
+        assert_eq!(a.tokens, b.tokens, "eviction corrupted a stream");
+        assert_eq!(a.reason, b.reason);
+    }
+}
+
+/// The explicit registry stays the pinned fast path: prefix-routed
+/// requests fork the registration (and never enter the tree), plain
+/// requests ride the automatic cache, and both drain cleanly.
+#[test]
+fn auto_prefix_coexists_with_explicit_registry() {
+    let run_mixed = |auto: bool| -> (Vec<FinishedRequest>, u64) {
+        let mut sched = Scheduler::new(
+            model(),
+            SchedulerConfig {
+                max_batch: 3,
+                kv: KvPoolConfig {
+                    storage: KvStorage::Fp16,
+                    page_positions: 8,
+                    max_pages: None,
+                },
+                auto_prefix: auto,
+                ..SchedulerConfig::default()
+            },
+        );
+        let prefix: Vec<usize> = (0..16).map(|i| (i * 7 + 3) % 500).collect();
+        sched.register_prefix("sys", prefix).unwrap();
+        for r in workload() {
+            sched.submit(r.clone().with_prefix("sys")).unwrap();
+            sched.submit(r).unwrap();
+        }
+        let done = sorted_outputs(sched.run_to_completion());
+        let hits = sched.stats().cache_hit_tokens;
+        // The registration releases cleanly; the tree keeps only what
+        // it accounted, and a flush empties the pool.
+        sched.release_prefix("sys").unwrap();
+        sched.flush_prefix_cache();
+        assert_eq!(sched.kv_pool().pages_in_use(), 0);
+        (done, hits)
+    };
+    let (plain, _) = run_mixed(false);
+    let (auto_, hits) = run_mixed(true);
+    assert!(hits > 0, "plain requests must still ride the tree");
+    assert_eq!(auto_.len(), plain.len());
+    for (a, b) in auto_.iter().zip(&plain) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.tokens, b.tokens, "registry/auto mix diverged");
+        assert_eq!(a.reason, b.reason);
+    }
+}

@@ -15,7 +15,8 @@ use std::sync::OnceLock;
 use anda_llm::zoo::{opt_125m_sim, sim_model};
 use anda_llm::Model;
 use anda_serve::{
-    FinishReason, KvPoolConfig, Request, RequestId, SamplingParams, Scheduler, SchedulerConfig,
+    FinishReason, KvPoolConfig, Request, RequestId, SamplingMode, SamplingParams, Scheduler,
+    SchedulerConfig,
 };
 use anda_tensor::Rng;
 use rayon_lite::ThreadPool;
@@ -59,6 +60,7 @@ fn workload() -> Vec<Request> {
                 temperature: 0.9,
                 seed: 7,
             },
+            mode: SamplingMode::Single,
         },
         Request {
             prompt: vec![9, 9, 9, 12, 40],
@@ -69,6 +71,7 @@ fn workload() -> Vec<Request> {
                 temperature: 1.2,
                 seed: 99,
             },
+            mode: SamplingMode::Single,
         },
         Request {
             prompt: vec![17, 250, 3],
@@ -79,6 +82,7 @@ fn workload() -> Vec<Request> {
                 temperature: 0.7,
                 seed: 12345,
             },
+            mode: SamplingMode::Single,
         },
     ]
 }
@@ -226,6 +230,7 @@ fn llama_family_batched_decode_is_exact() {
                 temperature: 1.0,
                 seed: 2024,
             },
+            mode: SamplingMode::Single,
         },
         Request {
             prompt: vec![42, 108, 3, 7],
@@ -236,6 +241,7 @@ fn llama_family_batched_decode_is_exact() {
                 temperature: 0.6,
                 seed: 31337,
             },
+            mode: SamplingMode::Single,
         },
     ];
     for threads in [1, 4] {
@@ -273,6 +279,7 @@ fn eos_truncation_matches_reference() {
             temperature: 1.1,
             seed: 555,
         },
+        mode: SamplingMode::Single,
     };
     let solo = reference(model, &base);
     let eos_tok = solo[base.prompt.len() + 2];

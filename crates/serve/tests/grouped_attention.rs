@@ -10,7 +10,7 @@ use std::sync::OnceLock;
 use anda_llm::kv::{KvPoolConfig, KvStorage};
 use anda_llm::zoo::{opt_125m_sim, sim_model};
 use anda_llm::Model;
-use anda_serve::{Request, SamplingParams, Scheduler, SchedulerConfig};
+use anda_serve::{Request, SamplingMode, SamplingParams, Scheduler, SchedulerConfig};
 use rayon_lite::ThreadPool;
 
 fn model() -> &'static Model {
@@ -38,6 +38,7 @@ fn workload() -> Vec<Request> {
                 temperature: 0.9,
                 seed: 7,
             },
+            mode: SamplingMode::Single,
         },
         Request {
             prompt: vec![9, 9, 12],
@@ -48,6 +49,7 @@ fn workload() -> Vec<Request> {
                 temperature: 1.1,
                 seed: 99,
             },
+            mode: SamplingMode::Single,
         },
     ]
 }
@@ -71,6 +73,7 @@ fn run(
             max_pages: None,
         },
         grouped_attention: grouped,
+        ..SchedulerConfig::default()
     };
     let mut sched = Scheduler::with_pool(m, cfg, &pool);
     if with_prefix {
@@ -222,6 +225,7 @@ fn per_stream_fallback_reports_zero_pages_decoded() {
             max_pages: None,
         },
         grouped_attention: false,
+        ..SchedulerConfig::default()
     };
     let mut sched = Scheduler::with_pool(model(), cfg, &pool);
     for r in workload() {

@@ -8,7 +8,7 @@ use std::sync::OnceLock;
 use anda_llm::kv::{KvPoolConfig, KvStorage, PagePool};
 use anda_llm::zoo::{opt_125m_sim, sim_model};
 use anda_llm::Model;
-use anda_serve::{Request, SamplingParams, Scheduler, SchedulerConfig, SubmitError};
+use anda_serve::{Request, SamplingMode, SamplingParams, Scheduler, SchedulerConfig, SubmitError};
 use anda_tensor::Rng;
 use rayon_lite::ThreadPool;
 
@@ -57,6 +57,7 @@ fn workload() -> Vec<Request> {
                 temperature: 0.9,
                 seed: 7,
             },
+            mode: SamplingMode::Single,
         },
         Request {
             prompt: vec![9, 9, 9, 12, 40],
@@ -67,6 +68,7 @@ fn workload() -> Vec<Request> {
                 temperature: 1.2,
                 seed: 99,
             },
+            mode: SamplingMode::Single,
         },
     ]
 }
@@ -153,6 +155,7 @@ fn anda_pool_admits_a_batch_fp32_accounting_rejects() {
                 temperature: 0.8,
                 seed: i as u64,
             },
+            mode: SamplingMode::Single,
         })
         .collect();
 

@@ -19,7 +19,7 @@ use std::sync::OnceLock;
 use anda_llm::zoo::opt_125m_sim;
 use anda_llm::Model;
 use anda_serve::{
-    FinishReason, FinishedRequest, KvPoolConfig, Request, SamplingParams, Scheduler,
+    FinishReason, FinishedRequest, KvPoolConfig, Request, SamplingMode, SamplingParams, Scheduler,
     SchedulerConfig, SubmitError,
 };
 use anda_tensor::Rng;
@@ -44,6 +44,7 @@ fn build_request((prompt, max_new, has_eos, eos, seed): RawReq, hot: bool) -> Re
             temperature: if hot { 0.9 } else { 0.0 },
             seed,
         },
+        mode: SamplingMode::Single,
     }
 }
 
@@ -95,11 +96,17 @@ fn run_checked(sched: &mut Scheduler<'_>) -> Vec<FinishedRequest> {
             );
         }
         assert!(
-            sched.kv_pool().pages_in_use() <= sched.reserved_pages() + sched.pinned_pages(),
-            "leased pages {} outgrew the reservations {} + pinned {}",
+            sched.kv_pool().pages_in_use()
+                <= sched.reserved_pages() + sched.pinned_pages() + sched.radix_resident_pages(),
+            "leased pages {} outgrew the reservations {} + pinned {} + cache-resident {}",
             sched.kv_pool().pages_in_use(),
             sched.reserved_pages(),
-            sched.pinned_pages()
+            sched.pinned_pages(),
+            sched.radix_resident_pages()
+        );
+        assert!(
+            sched.stats().peak_pages_in_use >= sched.kv_pool().pages_in_use(),
+            "peak watermark fell behind the live page count"
         );
         assert!(
             sched.active_len() <= sched.config().max_batch,
@@ -110,11 +117,11 @@ fn run_checked(sched: &mut Scheduler<'_>) -> Vec<FinishedRequest> {
             "scheduler starved: no completion in 10k steps"
         );
     }
-    // Drained: every non-pinned page is back on the free list for the
-    // next wave (registered prefixes keep exactly their pin).
+    // Drained: every page not pinned by the registry or retained by the
+    // automatic prefix cache is back on the free list for the next wave.
     assert_eq!(
         sched.kv_pool().pages_in_use(),
-        sched.pinned_pages(),
+        sched.pinned_pages() + sched.radix_resident_pages(),
         "pages leaked at drain"
     );
     assert_eq!(sched.reserved_pages(), 0, "reservations leaked at drain");
@@ -352,7 +359,83 @@ proptest! {
         }
 
         // The registration outlives the wave and releases cleanly.
-        prop_assert!(sched.release_prefix("sys"));
+        prop_assert!(sched.release_prefix("sys").is_ok());
+        prop_assert_eq!(sched.kv_pool().pages_in_use(), 0);
+    }
+
+    /// Random prompt families over an auto-prefix scheduler on a
+    /// bounded pool: the radix cache keeps the lease invariant
+    /// (checked each iteration by `run_checked`), LRU eviction under
+    /// page pressure never corrupts a stream, and every completion is
+    /// bit-identical to the solo reference even when its prompt was
+    /// served from a cached prefix.
+    #[test]
+    fn auto_prefix_mixes_stay_exact_under_eviction(
+        family in prop::collection::vec(0usize..512, 8..24),
+        raw in prop::collection::vec(
+            (
+                0usize..=16,                              // shared family depth
+                prop::collection::vec(0usize..512, 1..5), // private tail
+                0usize..5,
+                0u64..100_000,
+            ),
+            2..8,
+        ),
+        hot in any::<bool>(),
+        max_batch in 1usize..4,
+        page_positions in 1usize..6,
+        capacity_tokens in 24usize..64,
+    ) {
+        let model = model();
+        let max_pages =
+            model.config().n_layers * capacity_tokens.div_ceil(page_positions);
+        let kv = KvPoolConfig {
+            page_positions,
+            max_pages: Some(max_pages),
+            ..KvPoolConfig::default()
+        };
+        let mut sched = Scheduler::with_pool(
+            model,
+            SchedulerConfig {
+                max_batch,
+                kv,
+                auto_prefix: true,
+                ..SchedulerConfig::default()
+            },
+            rayon_lite::global(),
+        );
+        let mut accepted = Vec::new();
+        for (depth, tail, max_new, seed) in raw {
+            let depth = depth.min(family.len());
+            let mut prompt = family[..depth].to_vec();
+            prompt.extend_from_slice(&tail);
+            let req = build_request((prompt, max_new, false, 0, seed), hot);
+            // Worst-case demand fits the pool by construction:
+            // depth (<=16) + tail (<=4) + max_new (<=4) stays within
+            // capacity_tokens' floor of 24.
+            let id = sched.submit(req.clone()).unwrap();
+            accepted.push((id, req));
+        }
+
+        let finished = run_checked(&mut sched);
+        let mut done_ids: Vec<_> = finished.iter().map(|f| f.id).collect();
+        done_ids.sort();
+        let submitted_ids: Vec<_> = accepted.iter().map(|(id, _)| *id).collect();
+        prop_assert_eq!(done_ids, submitted_ids, "someone starved");
+        for fin in &finished {
+            let (_, req) = accepted
+                .iter()
+                .find(|(id, _)| *id == fin.id)
+                .expect("finished id was accepted");
+            check_termination(model, req, fin);
+        }
+
+        // The cache accounts its residency exactly, and flushing it
+        // returns the pool to empty (nothing pinned here).
+        let resident = sched.radix_resident_pages();
+        prop_assert_eq!(sched.kv_pool().pages_in_use(), resident);
+        sched.flush_prefix_cache();
+        prop_assert_eq!(sched.radix_resident_pages(), 0);
         prop_assert_eq!(sched.kv_pool().pages_in_use(), 0);
     }
 }
@@ -425,6 +508,7 @@ fn submit_rejects_unservable_requests() {
             max_new: 2,
             eos: Some(vocab + 7),
             sampling: SamplingParams::greedy(),
+            mode: SamplingMode::Single,
         }),
         Err(SubmitError::TokenOutOfVocab {
             token: vocab + 7,
@@ -457,4 +541,113 @@ fn submit_rejects_unservable_requests() {
     // A servable request still goes through afterwards.
     assert!(sched.submit(Request::greedy(vec![1, 2], 4)).is_ok());
     assert_eq!(sched.run_to_completion().len(), 1);
+}
+
+/// A `max_new == 0` request is prefilled and retired inside the
+/// admission loop, so its pages never survive to a step-end sample.
+/// The peak watermark must still record the prefill footprint
+/// (regression: the peak used to be sampled only after the whole
+/// admission wave, missing these transients entirely).
+#[test]
+fn peak_watermark_sees_mid_admission_prefill() {
+    let model = model();
+    let pp = 4usize;
+    let mut sched = Scheduler::new(
+        model,
+        SchedulerConfig {
+            max_batch: 2,
+            kv: KvPoolConfig {
+                page_positions: pp,
+                max_pages: None,
+                ..KvPoolConfig::default()
+            },
+            ..SchedulerConfig::default()
+        },
+    );
+    let prompt: Vec<usize> = (0..9).map(|i| (i * 7 + 1) % 512).collect();
+    sched.submit(Request::greedy(prompt.clone(), 0)).unwrap();
+    let done = sched.run_to_completion();
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].tokens, prompt);
+    // Every page was returned before the first step-end sample could
+    // run; only the in-loop sample can have seen the footprint.
+    assert_eq!(sched.kv_pool().pages_in_use(), 0);
+    assert_eq!(
+        sched.stats().peak_pages_in_use,
+        model.config().n_layers * prompt.len().div_ceil(pp),
+    );
+}
+
+/// Pinning the whole pool must degrade the submit-time headroom to
+/// zero, never underflow it: a fully pinned pool rejects any request
+/// with `capacity: 0` instead of panicking (regression:
+/// `capacity - pinned_pages` was an unchecked subtraction).
+#[test]
+fn fully_pinned_pool_rejects_without_underflow() {
+    let model = model();
+    let n_layers = model.config().n_layers;
+    let pp = 4usize;
+    let max_pages = n_layers * 2; // exactly one 8-token prefix
+    let mut sched = Scheduler::new(
+        model,
+        SchedulerConfig {
+            max_batch: 2,
+            kv: KvPoolConfig {
+                page_positions: pp,
+                max_pages: Some(max_pages),
+                ..KvPoolConfig::default()
+            },
+            ..SchedulerConfig::default()
+        },
+    );
+    let prefix: Vec<usize> = (0..8).map(|i| (i * 37 + 3) % 512).collect();
+    let pinned = sched.register_prefix("sys", prefix).unwrap();
+    assert_eq!(pinned, max_pages);
+    assert_eq!(
+        sched.submit(Request::greedy(vec![1], 1)),
+        Err(SubmitError::ExceedsPoolCapacity {
+            pages: n_layers,
+            capacity: 0
+        })
+    );
+    // Releasing the pin restores the headroom and the request fits.
+    assert_eq!(sched.release_prefix("sys").unwrap(), max_pages);
+    assert!(sched.submit(Request::greedy(vec![1], 1)).is_ok());
+    assert_eq!(sched.run_to_completion().len(), 1);
+}
+
+/// Boundary arithmetic around the page-demand discount: an exactly
+/// page-aligned prefix discounts all of its whole pages without
+/// underflow, and a request whose demand is exactly the remaining
+/// headroom is admitted (the watermark is `<=`, not `<`).
+#[test]
+fn aligned_prefix_discount_and_exact_fit_admit() {
+    let model = model();
+    let n_layers = model.config().n_layers;
+    let pp = 4usize;
+    // Prefix pins 2 pages/layer; one exact-fit stream needs 1 more.
+    let max_pages = n_layers * 3;
+    let mut sched = Scheduler::new(
+        model,
+        SchedulerConfig {
+            max_batch: 2,
+            kv: KvPoolConfig {
+                page_positions: pp,
+                max_pages: Some(max_pages),
+                ..KvPoolConfig::default()
+            },
+            ..SchedulerConfig::default()
+        },
+    );
+    let prefix: Vec<usize> = (0..8).map(|i| (i * 11 + 5) % 512).collect();
+    sched.register_prefix("sys", prefix).unwrap();
+    // prompt 1 + max_new 0 on top of 8 shared positions: pages_for(9)
+    // = 3 minus the 2 shared whole pages — exactly one private page.
+    let req = Request::greedy(vec![42], 0).with_prefix("sys");
+    assert_eq!(sched.pages_needed(&req), n_layers);
+    // That demand equals the post-pin headroom exactly: admitted.
+    sched.submit(req).unwrap();
+    let done = sched.run_to_completion();
+    assert_eq!(done.len(), 1);
+    assert_eq!(sched.kv_pool().pages_in_use(), sched.pinned_pages());
 }

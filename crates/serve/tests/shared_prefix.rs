@@ -8,7 +8,10 @@ use std::sync::OnceLock;
 use anda_llm::kv::{KvPoolConfig, KvStorage};
 use anda_llm::zoo::{opt_125m_sim, sim_model};
 use anda_llm::Model;
-use anda_serve::{Request, SamplingParams, Scheduler, SchedulerConfig, SubmitError};
+use anda_serve::{
+    ReleasePrefixError, Request, SamplingMode, SamplingParams, Scheduler, SchedulerConfig,
+    SubmitError,
+};
 use rayon_lite::ThreadPool;
 
 fn model() -> &'static Model {
@@ -35,6 +38,7 @@ fn private_parts() -> Vec<Request> {
                 temperature: 0.9,
                 seed: 7,
             },
+            mode: SamplingMode::Single,
         },
         Request {
             prompt: vec![9, 9, 12],
@@ -45,6 +49,7 @@ fn private_parts() -> Vec<Request> {
                 temperature: 1.1,
                 seed: 99,
             },
+            mode: SamplingMode::Single,
         },
     ]
 }
@@ -159,6 +164,7 @@ fn admission_charges_only_unshared_pages() {
             temperature: 0.8,
             seed: i as u64,
         },
+        mode: SamplingMode::Single,
     };
 
     // Shared: everything fits at once.
@@ -260,13 +266,28 @@ fn registry_lifecycle_and_page_drain() {
         Err(SubmitError::UnknownPrefix)
     );
 
-    // Queued dependents block release; so do active streams.
-    sched
+    // Queued dependents block release; so do active streams. The error
+    // names the exact blockers either way.
+    let dep = sched
         .submit(Request::greedy(vec![1, 2], 3).with_prefix("p"))
         .unwrap();
-    assert!(!sched.release_prefix("p"), "pending dependent must block");
+    assert_eq!(
+        sched.release_prefix("p"),
+        Err(ReleasePrefixError::InUse {
+            active_forks: 0,
+            pending: vec![dep],
+        }),
+        "pending dependent must block, by id"
+    );
     sched.step();
-    assert!(!sched.release_prefix("p"), "active dependent must block");
+    assert_eq!(
+        sched.release_prefix("p"),
+        Err(ReleasePrefixError::InUse {
+            active_forks: 1,
+            pending: vec![],
+        }),
+        "active dependent must block, by fork count"
+    );
     while !sched.is_idle() {
         sched.step();
     }
@@ -283,11 +304,18 @@ fn registry_lifecycle_and_page_drain() {
     // prefix returns those too.
     assert_eq!(sched.reserved_pages(), 0);
     assert_eq!(sched.kv_pool().pages_in_use(), pinned);
-    assert!(!sched.release_prefix("ghost"), "unknown key");
-    assert!(sched.release_prefix("p"));
+    assert_eq!(
+        sched.release_prefix("ghost"),
+        Err(ReleasePrefixError::UnknownKey)
+    );
+    assert_eq!(sched.release_prefix("p"), Ok(pinned));
     assert_eq!(sched.pinned_pages(), 0);
     assert_eq!(sched.kv_pool().pages_in_use(), 0, "all pages drained");
-    assert!(!sched.release_prefix("p"), "double release is refused");
+    assert_eq!(
+        sched.release_prefix("p"),
+        Err(ReleasePrefixError::UnknownKey),
+        "double release is refused as unknown"
+    );
 }
 
 /// Mixed batches — prefix and non-prefix streams decoding side by side
