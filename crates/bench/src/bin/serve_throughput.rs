@@ -12,11 +12,19 @@
 //! at `--batch 4` than at `--batch 1` on the default synth model (needs
 //! >1 pool thread, of course; the pool is sized by `ANDA_THREADS`).
 //!
+//! A second scenario measures what chunked prefill buys: a short
+//! request is mid-decode when a long prompt arrives, and the short
+//! stream's TTFT and TPOT (p50/p99) are reported for monolithic vs
+//! chunked admission. The chunked leg doubles as a structural check —
+//! the short stream must sample on every step the long prompt is still
+//! prefilling, and `stalled_prefill_tokens` must stay zero.
+//!
 //! Usage: `serve_throughput [--smoke] [--enforce] [--batch A,B,…]
 //!         [--requests N] [--new T] [--prompt P]`
 //!
-//! `--enforce` turns the batch-4-beats-batch-1 bar into the exit code
-//! (skipped on a single-threaded pool, where no speedup is possible).
+//! `--enforce` turns the `batch4_vs_batch1 >= 1.0` bar into the exit
+//! code (skipped on a single-threaded pool or a timesliced single
+//! core, where no speedup is possible).
 
 use std::time::Instant;
 
@@ -101,6 +109,78 @@ fn serve_prefix_once(
     assert_eq!(done.len(), reqs.len());
     let stats = sched.stats();
     (elapsed, stats.sampled_tokens, stats.pages_decoded)
+}
+
+/// Latency scenario: a short request is mid-decode when a long prompt
+/// arrives. Steps the engine by hand, polling
+/// [`Scheduler::generated_len`], and returns the short stream's
+/// per-token completion times (seconds since its submission) plus the
+/// scheduler's stalled-prefill counter. With `chunk` set the long
+/// prompt is worked off as per-step grouped-batch chunks and the short
+/// stream must advance every single step of it — asserted here, so the
+/// smoke run is a structural no-stall check, not a timing one.
+fn serve_long_arrival(
+    model: &Model,
+    long_prompt_len: usize,
+    short_new: usize,
+    chunk: Option<usize>,
+) -> (Vec<f64>, u64) {
+    let vocab = model.config().vocab;
+    let mut sched = Scheduler::new(
+        model,
+        SchedulerConfig {
+            max_batch: 2,
+            kv: KvPoolConfig::default(),
+            prefill_chunk_tokens: chunk,
+            ..SchedulerConfig::default()
+        },
+    );
+    let mk = |i: usize, prompt_len: usize, max_new: usize| Request {
+        prompt: workload_prompt(i, prompt_len, vocab),
+        prefix: None,
+        max_new,
+        eos: None,
+        sampling: SamplingParams {
+            temperature: 0.8,
+            seed: i as u64,
+        },
+        mode: SamplingMode::Single,
+    };
+    let t0 = Instant::now();
+    let short_id = sched.submit(mk(0, 8, short_new)).unwrap();
+    let mut long_id = None;
+    let mut times = Vec::with_capacity(short_new);
+    let mut seen = 0usize;
+    while !sched.is_idle() {
+        // The long prompt lands once the short stream is two tokens in.
+        if long_id.is_none() && seen >= 2 {
+            long_id = Some(sched.submit(mk(1, long_prompt_len, 4)).unwrap());
+        }
+        let short_active = seen == 0 || sched.generated_len(short_id).is_some();
+        let long_prefilling =
+            chunk.is_some() && long_id.is_some_and(|id| sched.generated_len(id) == Some(0));
+        sched.step();
+        let t = t0.elapsed().as_secs_f64();
+        let now = match sched.generated_len(short_id) {
+            Some(g) => g,
+            // The short stream retires on the step its last token lands.
+            None if short_active => seen + 1,
+            None => seen,
+        };
+        if now > seen {
+            times.push(t);
+            seen = now;
+        } else if long_prefilling && short_active {
+            panic!("chunked prefill stalled the co-scheduled short stream");
+        }
+    }
+    assert_eq!(times.len(), short_new);
+    (times, sched.stats().stalled_prefill_tokens)
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample set.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
 }
 
 fn main() {
@@ -218,6 +298,61 @@ fn main() {
         eprintln!("FAIL: grouped batched attention must not regress shared-prefix serving");
         std::process::exit(1);
     }
+
+    // Long-prompt arrival latency: TTFT and TPOT of a short request
+    // that is already decoding when a long prompt shows up. Monolithic
+    // admission prefills the whole prompt inside one step — the short
+    // stream's inter-token gap spikes by the entire prefill — while
+    // chunked admission works it off at `prefill_chunk_tokens`/step
+    // alongside the short stream's decodes.
+    let long_len = if smoke { 48 } else { 256 };
+    let short_new = if smoke { 12 } else { 48 };
+    let chunk_budget = if smoke { 8 } else { 16 };
+    let lat_reps = if smoke { 1 } else { reps };
+    let mut mono_times: Vec<f64> = Vec::new();
+    let mut chunked_times: Vec<f64> = Vec::new();
+    let mut mono_ttft = f64::INFINITY;
+    let mut chunked_ttft = f64::INFINITY;
+    let mut mono_stalled = 0u64;
+    for _ in 0..lat_reps {
+        let (times, stalled) = serve_long_arrival(&model, long_len, short_new, None);
+        mono_ttft = mono_ttft.min(times[0]);
+        mono_times.extend(times.windows(2).map(|w| w[1] - w[0]));
+        mono_stalled = stalled;
+        let (times, stalled) = serve_long_arrival(&model, long_len, short_new, Some(chunk_budget));
+        assert_eq!(stalled, 0, "chunked admission must never stall");
+        chunked_ttft = chunked_ttft.min(times[0]);
+        chunked_times.extend(times.windows(2).map(|w| w[1] - w[0]));
+    }
+    assert_eq!(
+        mono_stalled, long_len as u64,
+        "monolithic admission must account its stall"
+    );
+    mono_times.sort_by(f64::total_cmp);
+    chunked_times.sort_by(f64::total_cmp);
+    let (mono_p50, mono_p99) = (percentile(&mono_times, 0.5), percentile(&mono_times, 0.99));
+    let (chk_p50, chk_p99) = (
+        percentile(&chunked_times, 0.5),
+        percentile(&chunked_times, 0.99),
+    );
+    println!(
+        "long-prompt arrival ({long_len} tokens) against a short decode: \
+         monolithic TTFT {:.2}ms TPOT p50/p99 {:.2}/{:.2}ms | \
+         chunked({chunk_budget}) TTFT {:.2}ms TPOT p50/p99 {:.2}/{:.2}ms",
+        mono_ttft * 1e3,
+        mono_p50 * 1e3,
+        mono_p99 * 1e3,
+        chunked_ttft * 1e3,
+        chk_p50 * 1e3,
+        chk_p99 * 1e3,
+    );
+    report.metric("short_ttft_monolithic_s", mono_ttft);
+    report.metric("short_ttft_chunked_s", chunked_ttft);
+    report.metric("short_tpot_p50_monolithic_s", mono_p50);
+    report.metric("short_tpot_p99_monolithic_s", mono_p99);
+    report.metric("short_tpot_p50_chunked_s", chk_p50);
+    report.metric("short_tpot_p99_chunked_s", chk_p99);
+    report.metric("short_tpot_p99_chunked_vs_monolithic", chk_p99 / mono_p99);
 
     let b1 = measured.iter().find(|(b, ..)| *b == 1);
     let b4 = measured.iter().find(|(b, ..)| *b == 4);

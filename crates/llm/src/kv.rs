@@ -1498,6 +1498,15 @@ impl<'a> Iterator for RowIter<'a> {
 /// `+=`; callers zero it). Exactly the serial per-head math, factored out
 /// so heads can run on pool workers; the row iterators walk FP16 pages in
 /// place and decoded Anda scratch identically.
+///
+/// The attended window is `scores_h.len()`, which may be *shorter* than
+/// the KV table behind `rows`: every loop (scores, softmax, value mix)
+/// zips against `scores_h`, so only that many leading rows are read and
+/// later rows never enter the reduction. This truncation contract is
+/// load-bearing for chunked prefill — a chunk's lane for position `p`
+/// passes a `p + 1`-long score lane against a table that already holds
+/// the whole chunk's rows, and gets causal masking (bit-identical to a
+/// solo decode at `p`) without staging a per-lane table.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn attend_head(
     q: &[f32],

@@ -508,10 +508,13 @@ impl Model {
         tokens
     }
 
-    /// Runs KV-cached prefill: one [`Model::decode_step`] per token,
-    /// starting at the cache's current length. After the call `s` holds the
-    /// last position's next-token logits ([`DecodeScratch::logits`]), ready
-    /// for the first sample.
+    /// Runs KV-cached prefill: the hidden-state decode pass per token,
+    /// starting at the cache's current length, then **one** LM head over
+    /// the final position. After the call `s` holds the last position's
+    /// next-token logits ([`DecodeScratch::logits`]), ready for the first
+    /// sample — bit-identical to running [`Model::decode_step`] per token
+    /// (which is how this used to be built), minus the intermediate
+    /// positions' LM heads, whose logits nothing ever read.
     ///
     /// Starting at the cache's length is what makes this the
     /// prefill-into-forked-cache entry point for shared-prefix serving: a
@@ -523,6 +526,11 @@ impl Model {
     /// bits a private prefill would have written (copy-on-write preserves
     /// them on append).
     ///
+    /// The same resumability powers *chunked* prefill
+    /// ([`Model::prefill_chunk`]): any split of `tokens` into consecutive
+    /// chunks, prefilled in order against the same cache, writes the same
+    /// KV rows and produces the same final logits.
+    ///
     /// # Panics
     ///
     /// Panics if `tokens` is empty or the cache would grow past `max_seq`.
@@ -530,7 +538,34 @@ impl Model {
         assert!(!tokens.is_empty(), "prompt must not be empty");
         let start = cache.len();
         for (i, &tok) in tokens.iter().enumerate() {
-            self.decode_step(tok, start + i, cache, s);
+            self.decode_hidden_impl(tok, start + i, cache, s, true);
+        }
+        self.lm_head_into(&s.x, &mut s.logits);
+    }
+
+    /// One resumable chunk of a prefill: advances the cache by `tokens`
+    /// consecutive prompt positions (starting at the cache's current
+    /// length — the cursor is the cache itself) and leaves the chunk's
+    /// last final-normed hidden state in [`DecodeScratch::hidden_state`].
+    /// No LM head runs: mid-prompt logits are dead work, and the serving
+    /// layer batches the final chunk's LM head with the rest of its step
+    /// ([`Model::lm_head_batch`]).
+    ///
+    /// Prefilling a prompt as any sequence of chunks is bit-identical to
+    /// [`Model::prefill`] in one call: each position's kernels read only
+    /// the cache rows before it, which are the same however the chunk
+    /// boundaries fall. Kernels run serially (`par = false`), matching
+    /// [`Model::decode_hidden`] — this is the per-stream fallback's chunk
+    /// unit, called from inside a batch-level scope.
+    ///
+    /// # Panics
+    ///
+    /// As [`Model::prefill`].
+    pub fn prefill_chunk(&self, tokens: &[usize], cache: &mut KvCache, s: &mut DecodeScratch) {
+        assert!(!tokens.is_empty(), "prefill chunk must not be empty");
+        let start = cache.len();
+        for (i, &tok) in tokens.iter().enumerate() {
+            self.decode_hidden_impl(tok, start + i, cache, s, false);
         }
     }
 
@@ -635,19 +670,22 @@ impl Model {
     ) {
         for entry in batch.iter() {
             assert!(
-                entry.token < self.config.vocab,
-                "token {} out of vocab",
-                entry.token
+                !entry.tokens.is_empty(),
+                "batch entry must carry at least one token"
             );
+            for &token in entry.tokens {
+                assert!(token < self.config.vocab, "token {token} out of vocab");
+            }
             assert_eq!(
                 entry.pos,
                 entry.cache.len(),
                 "decode position must match the cached length"
             );
             assert!(
-                entry.pos < self.config.max_seq,
-                "decode position {} reaches max_seq {}",
+                entry.pos + entry.tokens.len() <= self.config.max_seq,
+                "positions {}..{} exceed max_seq {}",
                 entry.pos,
+                entry.pos + entry.tokens.len(),
                 self.config.max_seq
             );
             assert_eq!(
@@ -663,107 +701,133 @@ impl Model {
         let dh = self.config.d_head();
         let heads = self.config.n_heads;
         let scale = 1.0 / (dh as f32).sqrt();
+        let n_layers = self.layers.len();
 
-        for l in 0..self.layers.len() {
+        for l in 0..n_layers {
             let layer = &self.layers[l];
             let prev = l.checked_sub(1).map(|p| &self.layers[p]);
+            // On the last layer only each entry's final lane feeds
+            // anything downstream: earlier chunk tokens exist to append
+            // their K/V rows, and once those land (phase 1) their
+            // attend/finish would compute dead residuals — so the walk
+            // skips them. A span of one (a decode step) skips nothing.
+            let last_layer = l + 1 == n_layers;
 
-            // Phase 1: per-stream pre-attention staging. The previous
-            // layer's post-attention work runs here too, so each stream
-            // executes exactly the per-stream op sequence (embed, then
-            // per layer: stage → append → attend → finish).
-            pool.scope(|sc| {
-                for entry in batch.iter_mut() {
-                    sc.spawn(move || {
-                        let s = &mut *entry.scratch;
-                        match prev {
-                            None => self.embed_into(entry.token, entry.pos, &mut s.x),
-                            Some(prev) => self.finish_layer(prev, s, false),
+            // Phase 1: per-stream pre-attention staging, entries claimed
+            // one at a time across the pool. Within an entry the span's
+            // tokens run strictly in position order — lane j's staging
+            // reads lane j's residual and appends its K/V row before
+            // lane j+1 stages — which is exactly the solo per-token op
+            // sequence (embed, then per layer: stage → append → attend →
+            // finish); a decode step is simply a span of one.
+            pool.par_chunks_mut(batch, 1, |_, part| {
+                let entry = &mut part[0];
+                let span = entry.tokens.len();
+                let s = &mut *entry.scratch;
+                if prev.is_none() {
+                    s.x.clear();
+                    s.x.resize(span * d, 0.0);
+                    s.q.clear();
+                    s.q.resize(span * d, 0.0);
+                }
+                for (j, &token) in entry.tokens.iter().enumerate() {
+                    match prev {
+                        None => {
+                            self.embed_into_lane(token, entry.pos + j, &mut s.x[j * d..(j + 1) * d])
                         }
-                        self.stage_qkv(layer, entry.pos, s, false);
-                        let (kv_pool, kv_layers) = entry.cache.split_mut();
-                        kv_layers[l].push(kv_pool, &s.k_row, &s.v_row);
-                    });
+                        Some(prev) => self.finish_layer_lane(prev, j, s, false),
+                    }
+                    self.stage_qkv_lane(layer, entry.pos + j, j, s, false);
+                    let (kv_pool, kv_layers) = entry.cache.split_mut();
+                    kv_layers[l].push(kv_pool, &s.k_row, &s.v_row);
                 }
             });
 
             // Phase 2 (serial): stage every stream's KV view. Each
             // physical Anda page *reserves* a shared-arena range at most
             // once this layer, keyed by page identity — shared prefix
-            // pages land once for the whole batch.
+            // pages land once for the whole batch, and a prefill chunk
+            // attending through a forked prefix reuses the same staging.
+            // Lane j of a span attends its causal window `t_j = pos + j
+            // + 1`, shorter than the table (which already holds the
+            // whole span's rows); `attend_head` reads exactly
+            // `scores_h.len()` leading rows, which is what makes a chunk
+            // lane causal — and bit-identical to the solo decode of
+            // position `pos + j` — for free.
             decode_cache.begin_layer();
             let mut batch_muladds = 0usize;
             for (idx, entry) in batch.iter_mut().enumerate() {
+                let span = entry.tokens.len();
                 let kv = entry.cache.layer(l);
-                let t = kv.len();
+                debug_assert_eq!(kv.len(), entry.pos + span, "phase 1 appended the span");
                 let s = &mut *entry.scratch;
                 decode_cache.stage_layer(idx, kv, &mut s.kv_segs);
+                let lane0 = if last_layer { span - 1 } else { 0 };
                 s.attn.clear();
-                s.attn.resize(d, 0.0);
+                s.attn.resize(span * d, 0.0);
+                let mut lane_floats = 0usize;
+                for j in lane0..span {
+                    let t_j = entry.pos + j + 1;
+                    lane_floats += heads * t_j;
+                    batch_muladds += 2 * heads * t_j * dh;
+                }
                 s.scores.clear();
-                s.scores.resize(heads * t, 0.0);
+                s.scores.resize(lane_floats, 0.0);
                 s.probs.clear();
-                s.probs.resize(heads * t, 0.0);
-                batch_muladds += 2 * heads * t * dh;
+                s.probs.resize(lane_floats, 0.0);
             }
 
             // Phase 2b: decode the newly staged pages into their
             // (disjoint, bump-allocated in staging order) arena ranges.
             // Pages are independent, so the decode fans across the pool
-            // when there is enough of it — this keeps the decode-once
-            // walk from *serializing* work the per-stream path would
-            // have done inside parallel per-stream jobs.
+            // when there is enough of it; the arena is carved inside the
+            // scope directly, so no per-layer job list is allocated.
             {
                 let (pending, arena_k, arena_v) = decode_cache.pending_split();
                 let decode_elems: usize = pending.iter().map(|p| p.fill * d).sum();
-                let mut jobs = Vec::with_capacity(pending.len());
+                let fan_decode =
+                    pool.threads() > 1 && pending.len() > 1 && decode_elems >= DECODE_PAR_MIN_ELEMS;
+                let batch_ref: &[BatchEntry<'_>] = &*batch;
                 let mut k_rest: &mut [f32] = arena_k;
                 let mut v_rest: &mut [f32] = arena_v;
                 let mut cursor = 0usize;
-                for p in pending.iter() {
-                    debug_assert_eq!(p.off, cursor, "pending ranges must be contiguous");
-                    let elems = p.fill * d;
-                    let (k_chunk, k_tail) = std::mem::take(&mut k_rest).split_at_mut(elems);
-                    let (v_chunk, v_tail) = std::mem::take(&mut v_rest).split_at_mut(elems);
-                    k_rest = k_tail;
-                    v_rest = v_tail;
-                    cursor += elems;
-                    jobs.push((p.entry, p.page, p.fill, k_chunk, v_chunk));
-                }
-                pending.clear();
-                if pool.threads() > 1 && jobs.len() > 1 && decode_elems >= DECODE_PAR_MIN_ELEMS {
-                    let batch_ref: &[BatchEntry<'_>] = &*batch;
-                    pool.scope(|sc| {
-                        for (entry, page, fill, k_chunk, v_chunk) in jobs {
-                            sc.spawn(move || {
-                                batch_ref[entry]
-                                    .cache
-                                    .layer(l)
-                                    .page_at(page)
-                                    .decode_rows_into(fill, k_chunk, v_chunk);
-                            });
+                pool.scope(|sc| {
+                    for p in pending.iter() {
+                        debug_assert_eq!(p.off, cursor, "pending ranges must be contiguous");
+                        let elems = p.fill * d;
+                        let (k_chunk, k_tail) = std::mem::take(&mut k_rest).split_at_mut(elems);
+                        let (v_chunk, v_tail) = std::mem::take(&mut v_rest).split_at_mut(elems);
+                        k_rest = k_tail;
+                        v_rest = v_tail;
+                        cursor += elems;
+                        let (entry, page, fill) = (p.entry, p.page, p.fill);
+                        let mut job = move || {
+                            batch_ref[entry]
+                                .cache
+                                .layer(l)
+                                .page_at(page)
+                                .decode_rows_into(fill, k_chunk, v_chunk);
+                        };
+                        if fan_decode {
+                            sc.spawn(job);
+                        } else {
+                            job();
                         }
-                    });
-                } else {
-                    for (entry, page, fill, k_chunk, v_chunk) in jobs {
-                        batch[entry]
-                            .cache
-                            .layer(l)
-                            .page_at(page)
-                            .decode_rows_into(fill, k_chunk, v_chunk);
                     }
-                }
+                });
+                pending.clear();
             }
 
-            // Phase 3: attend, fanned by (stream, head). Below the work
-            // threshold the heads run inline — the serial fallback (the
-            // decode-once staging above is kept either way).
+            // Phase 3: attend, fanned by (stream, lane, head). Below the
+            // work threshold the heads run inline — the serial fallback
+            // (the decode-once staging above is kept either way).
             let (arena_k, arena_v) = decode_cache.arenas();
             let fan_out = pool.threads() > 1 && batch_muladds >= ATTN_PAR_MIN_MULADDS;
             pool.scope(|sc| {
                 for entry in batch.iter_mut() {
+                    let span = entry.tokens.len();
+                    let pos = entry.pos;
                     let kv = entry.cache.layer(l);
-                    let t = kv.len();
                     let DecodeScratch {
                         q,
                         attn,
@@ -779,34 +843,56 @@ impl Model {
                         segs: kv_segs,
                     };
                     let q: &[f32] = q;
-                    let head_lanes = attn
-                        .chunks_mut(dh)
-                        .zip(scores.chunks_mut(t).zip(probs.chunks_mut(t)))
-                        .enumerate();
-                    for (head, (attn_h, (scores_h, probs_h))) in head_lanes {
-                        if fan_out {
-                            sc.spawn(move || {
-                                attend_head(q, rows, head, dh, scale, attn_h, scores_h, probs_h);
-                            });
-                        } else {
-                            attend_head(q, rows, head, dh, scale, attn_h, scores_h, probs_h);
+                    let lane0 = if last_layer { span - 1 } else { 0 };
+                    let mut attn_rest: &mut [f32] = &mut attn[lane0 * d..];
+                    let mut scores_rest: &mut [f32] = scores;
+                    let mut probs_rest: &mut [f32] = probs;
+                    for j in lane0..span {
+                        let t_j = pos + j + 1;
+                        let (attn_j, a_tail) = std::mem::take(&mut attn_rest).split_at_mut(d);
+                        let (scores_j, s_tail) =
+                            std::mem::take(&mut scores_rest).split_at_mut(heads * t_j);
+                        let (probs_j, p_tail) =
+                            std::mem::take(&mut probs_rest).split_at_mut(heads * t_j);
+                        attn_rest = a_tail;
+                        scores_rest = s_tail;
+                        probs_rest = p_tail;
+                        let q_j = &q[j * d..(j + 1) * d];
+                        let head_lanes = attn_j
+                            .chunks_mut(dh)
+                            .zip(scores_j.chunks_mut(t_j).zip(probs_j.chunks_mut(t_j)))
+                            .enumerate();
+                        for (head, (attn_h, (scores_h, probs_h))) in head_lanes {
+                            if fan_out {
+                                sc.spawn(move || {
+                                    attend_head(
+                                        q_j, rows, head, dh, scale, attn_h, scores_h, probs_h,
+                                    );
+                                });
+                            } else {
+                                attend_head(q_j, rows, head, dh, scale, attn_h, scores_h, probs_h);
+                            }
                         }
                     }
                 }
             });
         }
 
-        // Epilogue: finish the last layer and apply the final norm, one
-        // job per stream.
+        // Epilogue: finish the last layer's final lane and apply the
+        // final norm, entries claimed across the pool; the final lane's
+        // residual is collapsed to the front of `x` so
+        // `hidden_state()` stays `d_model` wide regardless of span.
         let last = self.layers.last().expect("models have at least one layer");
-        pool.scope(|sc| {
-            for entry in batch.iter_mut() {
-                sc.spawn(move || {
-                    let s = &mut *entry.scratch;
-                    self.finish_layer(last, s, false);
-                    self.norm_vec(&mut s.x, &self.final_gain, &self.final_bias);
-                });
+        pool.par_chunks_mut(batch, 1, |_, part| {
+            let entry = &mut part[0];
+            let span = entry.tokens.len();
+            let s = &mut *entry.scratch;
+            self.finish_layer_lane(last, span - 1, s, false);
+            if span > 1 {
+                s.x.copy_within((span - 1) * d.., 0);
             }
+            s.x.truncate(d);
+            self.norm_vec(&mut s.x, &self.final_gain, &self.final_bias);
         });
     }
 
@@ -900,9 +986,17 @@ impl Model {
     /// opens with.
     fn embed_into(&self, token: usize, pos: usize, x: &mut Vec<f32>) {
         x.clear();
-        x.extend_from_slice(self.embed.row(token));
+        x.resize(self.config.d_model, 0.0);
+        self.embed_into_lane(token, pos, x);
+    }
+
+    /// [`Model::embed_into`] targeting one pre-sized `d_model`-wide lane
+    /// of a multi-token residual buffer (prefill chunks keep one lane
+    /// per chunk token).
+    fn embed_into_lane(&self, token: usize, pos: usize, x_lane: &mut [f32]) {
+        x_lane.copy_from_slice(self.embed.row(token));
         if let Some(posm) = &self.pos_embed {
-            for (xv, &pv) in x.iter_mut().zip(posm.row(pos)) {
+            for (xv, &pv) in x_lane.iter_mut().zip(posm.row(pos)) {
                 *xv += pv;
             }
         }
@@ -915,26 +1009,54 @@ impl Model {
     /// Shared verbatim by the per-stream and grouped decode paths, so
     /// the two cannot drift numerically.
     fn stage_qkv(&self, layer: &Layer, pos: usize, s: &mut DecodeScratch, par: bool) {
+        s.q.clear();
+        s.q.resize(self.config.d_model, 0.0);
+        self.stage_qkv_lane(layer, pos, 0, s, par);
+    }
+
+    /// [`Model::stage_qkv`] for lane `lane` of a multi-token span: reads
+    /// the residual from `s.x`'s lane, writes the query into `s.q`'s
+    /// lane (both pre-sized `span × d`), and stages the K/V rows in the
+    /// shared `s.k_row`/`s.v_row` temporaries — span tokens run
+    /// sequentially within a batch entry, so the staged rows are
+    /// consumed (cache-appended) before the next lane overwrites them.
+    fn stage_qkv_lane(
+        &self,
+        layer: &Layer,
+        pos: usize,
+        lane: usize,
+        s: &mut DecodeScratch,
+        par: bool,
+    ) {
         let d = self.config.d_model;
         let dh = self.config.d_head();
         let heads = self.config.n_heads;
-        s.h.clear();
-        s.h.extend_from_slice(&s.x);
-        self.norm_vec(&mut s.h, &layer.attn_gain, &layer.attn_bias);
-        round_to_f16(&mut s.h);
-        vec_matmul_into(&s.h, &layer.wqkv, &mut s.qkv, par);
-        s.q.clear();
-        s.q.extend_from_slice(&s.qkv[..d]);
+        let DecodeScratch {
+            x,
+            h,
+            qkv,
+            q,
+            k_row,
+            v_row,
+            ..
+        } = s;
+        h.clear();
+        h.extend_from_slice(&x[lane * d..(lane + 1) * d]);
+        self.norm_vec(h, &layer.attn_gain, &layer.attn_bias);
+        round_to_f16(h);
+        vec_matmul_into(h, &layer.wqkv, qkv, par);
+        let q_lane = &mut q[lane * d..(lane + 1) * d];
+        q_lane.copy_from_slice(&qkv[..d]);
         // Stage the K/V rows in scratch; the cache's tail page encodes
         // them under its storage policy (no per-token allocation).
-        s.k_row.clear();
-        s.k_row.extend_from_slice(&s.qkv[d..2 * d]);
-        s.v_row.clear();
-        s.v_row.extend_from_slice(&s.qkv[2 * d..]);
+        k_row.clear();
+        k_row.extend_from_slice(&qkv[d..2 * d]);
+        v_row.clear();
+        v_row.extend_from_slice(&qkv[2 * d..]);
         if self.config.family == Family::Llama {
             for head in 0..heads {
-                rope_in_place(&mut s.q[head * dh..(head + 1) * dh], pos);
-                rope_in_place(&mut s.k_row[head * dh..(head + 1) * dh], pos);
+                rope_in_place(&mut q_lane[head * dh..(head + 1) * dh], pos);
+                rope_in_place(&mut k_row[head * dh..(head + 1) * dh], pos);
             }
         }
     }
@@ -943,35 +1065,55 @@ impl Model {
     /// mix, output projection + residual, then the FFN block + residual.
     /// Shared verbatim by the per-stream and grouped decode paths.
     fn finish_layer(&self, layer: &Layer, s: &mut DecodeScratch, par: bool) {
-        round_to_f16(&mut s.attn);
-        vec_matmul_into(&s.attn, &layer.wo, &mut s.proj, par);
-        for (xv, ov) in s.x.iter_mut().zip(&s.proj) {
+        self.finish_layer_lane(layer, 0, s, par);
+    }
+
+    /// [`Model::finish_layer`] for lane `lane` of a multi-token span:
+    /// reads the head mix from `s.attn`'s lane and updates `s.x`'s lane
+    /// in place; the GeMM temporaries (`h`, `gate`, `hidden`, `proj`)
+    /// are shared across lanes, sequential within a batch entry.
+    fn finish_layer_lane(&self, layer: &Layer, lane: usize, s: &mut DecodeScratch, par: bool) {
+        let d = self.config.d_model;
+        let DecodeScratch {
+            x,
+            h,
+            attn,
+            proj,
+            gate,
+            hidden,
+            ..
+        } = s;
+        let x_lane = &mut x[lane * d..(lane + 1) * d];
+        let attn_lane = &mut attn[lane * d..(lane + 1) * d];
+        round_to_f16(attn_lane);
+        vec_matmul_into(attn_lane, &layer.wo, proj, par);
+        for (xv, ov) in x_lane.iter_mut().zip(&*proj) {
             *xv += ov;
         }
 
         // FFN block.
-        s.h.clear();
-        s.h.extend_from_slice(&s.x);
-        self.norm_vec(&mut s.h, &layer.ffn_gain, &layer.ffn_bias);
-        round_to_f16(&mut s.h);
+        h.clear();
+        h.extend_from_slice(x_lane);
+        self.norm_vec(h, &layer.ffn_gain, &layer.ffn_bias);
+        round_to_f16(h);
         match (&layer.wgate, self.config.family) {
             (Some(wgate), Family::Llama) => {
-                vec_matmul_into(&s.h, wgate, &mut s.gate, par);
-                vec_matmul_into(&s.h, &layer.wup, &mut s.hidden, par);
-                for (u, &g) in s.hidden.iter_mut().zip(&s.gate) {
+                vec_matmul_into(h, wgate, gate, par);
+                vec_matmul_into(h, &layer.wup, hidden, par);
+                for (u, &g) in hidden.iter_mut().zip(&*gate) {
                     *u *= ops::silu(g);
                 }
             }
             _ => {
-                vec_matmul_into(&s.h, &layer.wup, &mut s.hidden, par);
-                for u in s.hidden.iter_mut() {
+                vec_matmul_into(h, &layer.wup, hidden, par);
+                for u in hidden.iter_mut() {
                     *u = ops::relu(*u);
                 }
             }
         }
-        round_to_f16(&mut s.hidden);
-        vec_matmul_into(&s.hidden, &layer.wdown, &mut s.proj, par);
-        for (xv, dv) in s.x.iter_mut().zip(&s.proj) {
+        round_to_f16(hidden);
+        vec_matmul_into(hidden, &layer.wdown, proj, par);
+        for (xv, dv) in x_lane.iter_mut().zip(&*proj) {
             *xv += dv;
         }
     }
@@ -1256,20 +1398,28 @@ impl DecodeScratch {
     }
 }
 
-/// One stream's slot in a [`Model::decode_hidden_batch`] call: the token
-/// to decode, its position, and mutable borrows of the stream's own
-/// cache and scratch. Entries are independent (disjoint borrows), which
-/// is what lets the grouped walk fan per-stream work across pool
-/// workers.
+/// One stream's slot in a [`Model::decode_hidden_batch`] call: the
+/// token span to process, its starting position, and mutable borrows of
+/// the stream's own cache and scratch. Entries are independent (disjoint
+/// borrows), which is what lets the grouped walk fan per-stream work
+/// across pool workers.
+///
+/// A classic decode step is a span of one (the stream's latest sampled
+/// token); a *prefill chunk* is a span of several consecutive prompt
+/// positions, processed in one grouped step with per-token causal
+/// attention — the two are the same operation at different widths, so
+/// the serving layer packs them into the same batch.
 pub struct BatchEntry<'s> {
-    /// The token to decode (the stream's latest sampled token).
-    pub token: usize,
-    /// Its position; must equal `cache.len()`.
+    /// The consecutive tokens to process (non-empty). One token is a
+    /// decode step; several are a prefill chunk.
+    pub tokens: &'s [usize],
+    /// Position of `tokens[0]`; must equal `cache.len()`.
     pub pos: usize,
     /// The stream's KV cache.
     pub cache: &'s mut KvCache,
     /// The stream's decode scratch; receives the final-normed hidden
-    /// state ([`DecodeScratch::hidden_state`]).
+    /// state of the span's **last** token
+    /// ([`DecodeScratch::hidden_state`]).
     pub scratch: &'s mut DecodeScratch,
 }
 

@@ -91,8 +91,8 @@ fn step_hidden(
             .iter_mut()
             .zip(scratches.iter_mut())
             .zip(lens.iter().zip(&next))
-            .map(|((cache, scratch), (&pos, &token))| BatchEntry {
-                token,
+            .map(|((cache, scratch), (&pos, token))| BatchEntry {
+                tokens: std::slice::from_ref(token),
                 pos,
                 cache,
                 scratch,
@@ -167,8 +167,8 @@ fn step_hidden_forked(
             .iter_mut()
             .zip(scratches.iter_mut())
             .zip(lens.iter().zip(&next))
-            .map(|((cache, scratch), (&pos, &token))| BatchEntry {
-                token,
+            .map(|((cache, scratch), (&pos, token))| BatchEntry {
+                tokens: std::slice::from_ref(token),
                 pos,
                 cache,
                 scratch,
@@ -275,6 +275,86 @@ fn shared_prefix_pages_decode_once_per_step() {
         true,
     );
     assert_eq!(decoded, 7 * n_layers);
+}
+
+/// Multi-token batch entries (prefill chunks) are bit-identical to
+/// monolithic [`Model::prefill`]: feeding a prompt as grouped chunk
+/// spans — packed next to a live one-token decode stream — leaves the
+/// same final hidden state as one prefill call, and the co-scheduled
+/// decode stream stays bit-identical to its solo oracle.
+#[test]
+fn chunk_spans_match_monolithic_prefill() {
+    let model = model();
+    let vocab = model.config().vocab;
+    let n_layers = model.config().n_layers;
+    let prompt: Vec<usize> = (0..10).map(|j| tok(2, j, vocab)).collect();
+    let co_prompt: Vec<usize> = (0..5).map(|j| tok(3, j, vocab)).collect();
+    for &storage in &POLICIES {
+        for &(pp, split) in &[(4usize, 1usize), (4, 5), (8, 3), (8, 9)] {
+            let n_chunks = prompt.len().div_ceil(split);
+
+            // Oracle: monolithic prefill; the co-stream decodes solo.
+            let pool = PagePool::new(KvPoolConfig {
+                storage,
+                page_positions: pp,
+                max_pages: None,
+            });
+            let mut oracle_cache = pool.new_cache(n_layers);
+            let mut oracle_s = DecodeScratch::new();
+            model.prefill(&prompt, &mut oracle_cache, &mut oracle_s);
+            let want_hidden = bits(oracle_s.hidden_state());
+            let mut co_cache = pool.new_cache(n_layers);
+            let mut co_s = DecodeScratch::new();
+            model.prefill(&co_prompt, &mut co_cache, &mut co_s);
+            for step in 0..n_chunks {
+                model.decode_hidden(tok(3, 5 + step, vocab), 5 + step, &mut co_cache, &mut co_s);
+            }
+            let want_co = bits(co_s.hidden_state());
+
+            // Chunked: the prompt arrives `split` tokens per grouped
+            // step, packed next to the co-stream's one-token decodes.
+            let pool = PagePool::new(KvPoolConfig {
+                storage,
+                page_positions: pp,
+                max_pages: None,
+            });
+            let mut chunk_cache = pool.new_cache(n_layers);
+            let mut chunk_s = DecodeScratch::new();
+            let mut co_cache = pool.new_cache(n_layers);
+            let mut co_s = DecodeScratch::new();
+            model.prefill(&co_prompt, &mut co_cache, &mut co_s);
+            let co_next: Vec<usize> = (0..n_chunks).map(|step| tok(3, 5 + step, vocab)).collect();
+            let mut decode_cache = PageDecodeCache::new();
+            let workers = ThreadPool::new(4);
+            for (step, chunk) in prompt.chunks(split).enumerate() {
+                let mut entries = vec![
+                    BatchEntry {
+                        tokens: chunk,
+                        pos: step * split,
+                        cache: &mut chunk_cache,
+                        scratch: &mut chunk_s,
+                    },
+                    BatchEntry {
+                        tokens: std::slice::from_ref(&co_next[step]),
+                        pos: 5 + step,
+                        cache: &mut co_cache,
+                        scratch: &mut co_s,
+                    },
+                ];
+                model.decode_hidden_batch(&mut entries, &mut decode_cache, &workers);
+            }
+            assert_eq!(
+                bits(chunk_s.hidden_state()),
+                want_hidden,
+                "chunked prefill diverged under {storage:?}, pp {pp}, split {split}"
+            );
+            assert_eq!(
+                bits(co_s.hidden_state()),
+                want_co,
+                "co-decoded stream diverged under {storage:?}, pp {pp}, split {split}"
+            );
+        }
+    }
 }
 
 /// Float-policy pages are read in place; the grouped path must not

@@ -49,6 +49,18 @@
 //! divergent tails isolate copy-on-write — the prompt's KV is charged
 //! once, and each sample is bit-identical to a standalone request
 //! seeded with `seed + sample_index`.
+//!
+//! Prefill itself is schedulable work, not an admission-time stall:
+//! with [`SchedulerConfig::prefill_chunk_tokens`] set, a new prompt is
+//! admitted instantly (slot + page reservation only) and worked off as
+//! multi-token chunks — each step packs up to the budget's worth of
+//! prompt tokens from still-prefilling streams into the *same* grouped
+//! batch as every active stream's one-token decode, so chunk attention
+//! shares the per-step page-decode cache and no decode stream ever
+//! waits on a long prompt. A chunked stream samples nothing until its
+//! final chunk lands (same step: the last prompt position's hidden
+//! state flows straight into the batched LM head), and the tokens it
+//! then produces are bit-identical to monolithic admission.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -92,6 +104,24 @@ pub struct SchedulerConfig {
     /// so a drained pool intentionally keeps cache-resident pages —
     /// opt-in for workloads with prompt reuse.
     pub auto_prefix: bool,
+    /// Per-step prompt-token budget for *chunked prefill*. `None` (the
+    /// default) prefills each prompt whole at admission — every active
+    /// decode stream stalls for the full prompt. `Some(budget)` admits
+    /// single-sample requests without prefilling: each step packs up to
+    /// `budget` prompt tokens from admitted-but-unprefilled streams
+    /// (slot order, at least one token per step so admission always
+    /// progresses) *alongside* the one-token decode of every active
+    /// stream, all through the same grouped batched step — so a long
+    /// prompt arrival costs co-scheduled streams at most the marginal
+    /// chunk compute per step, never a monolithic stall. A prefilling
+    /// stream occupies its full reserved pages but samples nothing
+    /// until its last chunk lands (that step it joins the batched LM
+    /// head like any decoding stream, and enters the radix tree under
+    /// `auto_prefix`). Multi-sample requests and `max_new == 0`
+    /// requests keep the monolithic path: siblings fork the primary's
+    /// *completed* prefill. Token streams are bit-exact either way; the
+    /// knob only reorders when prompt compute happens.
+    pub prefill_chunk_tokens: Option<usize>,
 }
 
 impl Default for SchedulerConfig {
@@ -101,6 +131,7 @@ impl Default for SchedulerConfig {
             kv: KvPoolConfig::default(),
             grouped_attention: true,
             auto_prefix: false,
+            prefill_chunk_tokens: None,
         }
     }
 }
@@ -280,6 +311,18 @@ pub struct SchedulerStats {
     /// position for [`SamplingMode::Parallel`] / [`SamplingMode::BestOf`]
     /// (the primary stream of a group is not counted — it prefilled).
     pub sample_forks: u64,
+    /// Prefill chunks packed into decode steps (one per stream per step
+    /// granted budget), cumulative. Stays 0 without
+    /// [`SchedulerConfig::prefill_chunk_tokens`].
+    pub prefill_chunks: u64,
+    /// Prompt tokens prefilled monolithically inside admission while at
+    /// least one other stream was active — each one a token's worth of
+    /// stall imposed on every co-scheduled decode stream. The number
+    /// chunked prefill exists to drive to 0: with
+    /// [`SchedulerConfig::prefill_chunk_tokens`] set, single-sample
+    /// admissions never prefill inline, so only multi-sample groups can
+    /// still add here.
+    pub stalled_prefill_tokens: u64,
 }
 
 /// One active decode stream.
@@ -316,8 +359,20 @@ struct Stream {
     /// grouped streams (singles skip the log-softmax work).
     cum_logprob: f64,
     /// Admitted this iteration: its first token comes from the prefill
-    /// logits, so it skips the decode phase once.
+    /// logits, so it skips the decode phase once. Never set for
+    /// chunked-prefill streams, whose first token comes from the batched
+    /// LM head of their final chunk's step.
     fresh: bool,
+    /// Chunked-prefill cursor: prompt positions `[0, cursor)` are cached
+    /// (the fork depth at admission, then advanced by each granted
+    /// chunk); `None` once the whole prompt is prefilled — or always,
+    /// for monolithic admissions. A `Some` stream decodes nothing and
+    /// samples nothing; it only consumes granted chunk budget.
+    prefill_cursor: Option<usize>,
+    /// Prompt tokens granted to this stream by the current step's budget
+    /// packing (chunk start is the cursor); 0 outside a step or when
+    /// budget-starved.
+    step_chunk: usize,
     done: Option<FinishReason>,
 }
 
@@ -690,17 +745,46 @@ impl<'a> Scheduler<'a> {
         self.prefixes.get(key).map(|e| e.tokens.len())
     }
 
-    /// Runs one engine iteration: admit + prefill whatever fits, then
-    /// advance every active stream by one token (a grouped batched
-    /// decode — or the per-stream fallback — for the hidden-state work,
-    /// then one batched LM-head dispatch). Returns the number of tokens
-    /// sampled this iteration.
+    /// Runs one engine iteration: admit whatever fits, then advance
+    /// every active stream by one token (a grouped batched decode — or
+    /// the per-stream fallback — for the hidden-state work, then one
+    /// batched LM-head dispatch). With
+    /// [`SchedulerConfig::prefill_chunk_tokens`] set, admitted-but-
+    /// unprefilled streams also advance: up to the budget's worth of
+    /// their prompt tokens ride in the same batch as everyone else's
+    /// decode, so a long prompt never stalls active streams. Returns
+    /// the number of tokens sampled this iteration.
     pub fn step(&mut self) -> usize {
         if self.is_idle() {
             return 0;
         }
         self.stats.steps += 1;
         self.admit();
+
+        // Chunk-budget packing: grant this step's prompt-token budget
+        // to still-prefilling streams in slot order. The budget is
+        // clamped to at least 1 so the head of the prefill line always
+        // advances; decode streams are untouched — their one-token
+        // entries share the batch (and the page-decode cache) with the
+        // chunks below.
+        let mut chunk_budget = match self.cfg.prefill_chunk_tokens {
+            Some(b) => b.max(1),
+            None => 0,
+        };
+        let mut chunk_tokens = 0usize;
+        for stream in self.slots.iter_mut().flatten() {
+            stream.step_chunk = 0;
+            if chunk_budget == 0 {
+                continue;
+            }
+            let Some(cursor) = stream.prefill_cursor else {
+                continue;
+            };
+            let take = (stream.prompt_len - cursor).min(chunk_budget);
+            stream.step_chunk = take;
+            chunk_budget -= take;
+            chunk_tokens += take;
+        }
 
         // Decode phase. Grouped (default): one KV-page walk per layer
         // for the whole batch via `Model::decode_hidden_batch` — each
@@ -720,12 +804,38 @@ impl<'a> Scheduler<'a> {
                 .slots
                 .iter_mut()
                 .flatten()
-                .filter(|stream| !stream.fresh)
-                .map(|stream| BatchEntry {
-                    token: *stream.tokens.last().expect("stream holds its prompt"),
-                    pos: stream.tokens.len() - 1,
-                    cache: &mut stream.cache,
-                    scratch: &mut stream.scratch,
+                .filter_map(|stream| {
+                    let Stream {
+                        tokens,
+                        cache,
+                        scratch,
+                        prefill_cursor,
+                        step_chunk,
+                        fresh,
+                        ..
+                    } = stream;
+                    if let Some(cursor) = *prefill_cursor {
+                        // Still prefilling: the granted chunk is one
+                        // multi-token entry (span = chunk length).
+                        if *step_chunk == 0 {
+                            return None;
+                        }
+                        return Some(BatchEntry {
+                            tokens: &tokens[cursor..cursor + *step_chunk],
+                            pos: cursor,
+                            cache,
+                            scratch,
+                        });
+                    }
+                    if *fresh {
+                        return None;
+                    }
+                    Some(BatchEntry {
+                        tokens: &tokens[tokens.len() - 1..],
+                        pos: tokens.len() - 1,
+                        cache,
+                        scratch,
+                    })
                 })
                 .collect();
             model.decode_hidden_batch(&mut entries, &mut self.decode_cache, self.pool);
@@ -733,22 +843,77 @@ impl<'a> Scheduler<'a> {
         } else {
             self.pool.scope(|sc| {
                 for stream in self.slots.iter_mut().flatten() {
-                    if stream.fresh {
+                    let Stream {
+                        tokens,
+                        cache,
+                        scratch,
+                        prefill_cursor,
+                        step_chunk,
+                        fresh,
+                        ..
+                    } = stream;
+                    if let Some(cursor) = *prefill_cursor {
+                        if *step_chunk == 0 {
+                            continue;
+                        }
+                        let chunk = &tokens[cursor..cursor + *step_chunk];
+                        sc.spawn(move || {
+                            model.prefill_chunk(chunk, cache, scratch);
+                        });
                         continue;
                     }
-                    let token = *stream.tokens.last().expect("stream holds its prompt");
-                    let pos = stream.tokens.len() - 1;
+                    if *fresh {
+                        continue;
+                    }
+                    let token = *tokens.last().expect("stream holds its prompt");
+                    let pos = tokens.len() - 1;
                     sc.spawn(move || {
-                        model.decode_hidden(token, pos, &mut stream.cache, &mut stream.scratch);
+                        model.decode_hidden(token, pos, cache, scratch);
                     });
                 }
             });
         }
 
-        // Batched LM head: one GEMM-shaped dispatch over all hidden rows.
+        // Advance the cursors for the chunks just landed. A stream
+        // whose final chunk completed flips to decode mode *this step*:
+        // its last prompt position's hidden state is already in
+        // scratch, so it flows into the batched LM head below and
+        // samples its first token now — once its turn in the budget
+        // comes, chunked admission costs no extra steps versus
+        // monolithic.
+        for stream in self.slots.iter_mut().flatten() {
+            if stream.step_chunk == 0 {
+                continue;
+            }
+            let take = stream.step_chunk;
+            stream.step_chunk = 0;
+            let cursor = stream
+                .prefill_cursor
+                .expect("granted budget implies a cursor")
+                + take;
+            self.stats.prefill_tokens += take as u64;
+            self.stats.prefill_chunks += 1;
+            if cursor == stream.prompt_len {
+                stream.prefill_cursor = None;
+                // The completed prompt enters the prefix cache only now
+                // — insert-on-completion mirrors the monolithic path's
+                // insert-after-prefill, so the tree never serves a
+                // partially prefilled prefix.
+                if self.cfg.auto_prefix && stream.prefix.is_none() {
+                    self.radix
+                        .insert(&stream.tokens[..stream.prompt_len], &mut stream.cache);
+                }
+            } else {
+                stream.prefill_cursor = Some(cursor);
+            }
+        }
+
+        // Batched LM head: one GEMM-shaped dispatch over all hidden
+        // rows. Still-prefilling streams have no row — their scratch
+        // holds a mid-prompt hidden state that never reaches sampling.
         self.batch.clear();
         for stream in self.slots.iter().flatten() {
-            if !stream.fresh {
+            if !stream.fresh && stream.prefill_cursor.is_none() {
                 self.batch.push_hidden(stream.scratch.hidden_state());
             }
         }
@@ -760,6 +925,9 @@ impl<'a> Scheduler<'a> {
         let mut row = 0;
         let mut sampled = 0;
         for stream in self.slots.iter_mut().flatten() {
+            if stream.prefill_cursor.is_some() {
+                continue;
+            }
             let temperature = stream.sampling.temperature;
             let was_fresh = stream.fresh;
             let next = if was_fresh {
@@ -800,7 +968,7 @@ impl<'a> Scheduler<'a> {
 
         self.retire();
         assert!(
-            sampled > 0 || self.is_idle(),
+            sampled > 0 || chunk_tokens > 0 || self.is_idle(),
             "scheduler iteration made no progress"
         );
         sampled
@@ -834,6 +1002,19 @@ impl<'a> Scheduler<'a> {
     /// Streams currently holding a slot.
     pub fn active_len(&self) -> usize {
         self.slots.iter().flatten().count()
+    }
+
+    /// Tokens generated so far by the primary (sample 0) stream of
+    /// `id`, or `None` while it is not active (pending, or already
+    /// finished). A still-prefilling chunked stream reports `Some(0)` —
+    /// the probe a latency harness needs to measure time-to-first-token
+    /// step by step.
+    pub fn generated_len(&self, id: RequestId) -> Option<usize> {
+        self.slots
+            .iter()
+            .flatten()
+            .find(|s| s.id == id && s.sample_index == 0)
+            .map(|s| s.tokens.len().saturating_sub(s.prompt_len))
     }
 
     /// Unshared KV pages reserved by active streams and live sampling
@@ -982,18 +1163,36 @@ impl<'a> Scheduler<'a> {
                 cached >= prefix_len && cached < tokens.len(),
                 "fork covers the shared prefix and leaves prompt to prefill"
             );
-            // Prefill only what is not already cached — with a shared
-            // (explicit or automatic) prefix that is the uncovered
-            // suffix alone, the latency and compute win that rides along
-            // with the memory one.
-            self.model
-                .prefill(&tokens[cached..], &mut cache, &mut scratch);
-            self.stats.prefill_tokens += (tokens.len() - cached) as u64;
-            // Feed the full prompt back into the tree (its whole-page
-            // prefix, forked from this stream's pages) so the *next*
-            // prompt can hit deeper.
-            if self.cfg.auto_prefix && request.prefix.is_none() {
-                self.radix.insert(&tokens, &mut cache);
+            // Chunked admission (`prefill_chunk_tokens` set, single
+            // sample, something to generate) defers the prefill to
+            // `step`'s per-step budget: the stream takes its slot and
+            // page reservation now but its prompt is worked off as
+            // grouped-batch chunks, so admission never stalls active
+            // decodes. Sampling groups keep the monolithic path —
+            // siblings fork the fully prefilled cache and adopt its
+            // logits — as do `max_new == 0` requests, which finish
+            // before any step could grant them budget.
+            let chunked = self.cfg.prefill_chunk_tokens.is_some() && n == 1 && request.max_new > 0;
+            if !chunked {
+                // Prefill only what is not already cached — with a
+                // shared (explicit or automatic) prefix that is the
+                // uncovered suffix alone, the latency and compute win
+                // that rides along with the memory one.
+                if self.active_len() > 0 {
+                    // Every prompt token prefilled here ran while the
+                    // active streams sat the step out — the stall
+                    // chunked admission exists to remove.
+                    self.stats.stalled_prefill_tokens += (tokens.len() - cached) as u64;
+                }
+                self.model
+                    .prefill(&tokens[cached..], &mut cache, &mut scratch);
+                self.stats.prefill_tokens += (tokens.len() - cached) as u64;
+                // Feed the full prompt back into the tree (its whole-page
+                // prefix, forked from this stream's pages) so the *next*
+                // prompt can hit deeper.
+                if self.cfg.auto_prefix && request.prefix.is_none() {
+                    self.radix.insert(&tokens, &mut cache);
+                }
             }
             self.reserved_pages += demand;
             let prompt_len = tokens.len();
@@ -1060,6 +1259,8 @@ impl<'a> Scheduler<'a> {
                     sample_index: i,
                     cum_logprob: 0.0,
                     fresh: true,
+                    prefill_cursor: None,
+                    step_chunk: 0,
                     done,
                 });
             }
@@ -1079,7 +1280,12 @@ impl<'a> Scheduler<'a> {
                 group,
                 sample_index: 0,
                 cum_logprob: 0.0,
-                fresh: true,
+                // A chunked stream's first token comes from the batched
+                // LM head of its final chunk's step, not from admission
+                // logits — it is never `fresh`.
+                fresh: !chunked,
+                prefill_cursor: chunked.then_some(cached),
+                step_chunk: 0,
                 done,
             });
             // Mid-admission peak: the prefill and sibling forks above

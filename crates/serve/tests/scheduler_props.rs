@@ -438,6 +438,80 @@ proptest! {
         prop_assert_eq!(sched.radix_resident_pages(), 0);
         prop_assert_eq!(sched.kv_pool().pages_in_use(), 0);
     }
+
+    /// With chunked prefill enabled, an admitted decode stream never
+    /// stalls: once a stream has sampled at least once, **every**
+    /// subsequent step advances it by exactly one token until it
+    /// finishes — long-prompt arrivals included — so the per-admission
+    /// stall budget is zero, not just "at most one step". Outputs stay
+    /// bit-identical to the solo reference.
+    #[test]
+    fn chunked_prefill_never_stalls_decode_streams(
+        raw in prop::collection::vec(
+            (
+                prop::collection::vec(0usize..512, 1..24),
+                1usize..6,
+                any::<bool>(),
+                0usize..512,
+                0u64..100_000,
+            ),
+            1..7,
+        ),
+        hot in any::<bool>(),
+        max_batch in 2usize..5,
+        chunk in 0usize..7,
+        page_positions in 1usize..6,
+    ) {
+        let model = model();
+        let kv = KvPoolConfig { page_positions, ..KvPoolConfig::default() };
+        let mut sched = Scheduler::with_pool(
+            model,
+            SchedulerConfig {
+                max_batch,
+                kv,
+                prefill_chunk_tokens: Some(chunk),
+                ..SchedulerConfig::default()
+            },
+            rayon_lite::global(),
+        );
+        let mut accepted = Vec::new();
+        for r in raw {
+            let req = build_request(r, hot);
+            let id = sched.submit(req.clone()).unwrap();
+            accepted.push((id, req));
+        }
+
+        let mut steps = 0usize;
+        while !sched.is_idle() {
+            let decoding: Vec<_> = accepted
+                .iter()
+                .filter_map(|(id, _)| {
+                    sched.generated_len(*id).filter(|&g| g > 0).map(|g| (*id, g))
+                })
+                .collect();
+            sched.step();
+            for (id, before) in decoding {
+                // Still active after the step → it must have sampled.
+                if let Some(after) = sched.generated_len(id) {
+                    prop_assert_eq!(after, before + 1, "decode stream stalled");
+                }
+            }
+            steps += 1;
+            prop_assert!(steps <= 10_000, "scheduler starved");
+        }
+        prop_assert_eq!(sched.stats().stalled_prefill_tokens, 0);
+
+        let mut finished = sched.take_finished();
+        finished.sort_by_key(|f| f.id);
+        prop_assert_eq!(finished.len(), accepted.len(), "someone starved");
+        for fin in &finished {
+            let (_, req) = accepted
+                .iter()
+                .find(|(id, _)| *id == fin.id)
+                .expect("finished id was accepted");
+            check_termination(model, req, fin);
+        }
+    }
 }
 
 /// With one slot, completion order is exactly submission order — the

@@ -10,7 +10,11 @@
 //!   borrowed data, in the style of `rayon::scope`.
 //! - [`ThreadPool::par_chunks_mut`] — the one parallel iterator shape the
 //!   kernels use: disjoint contiguous chunks of a mutable slice (output
-//!   row ranges), each handed to a closure with its chunk index.
+//!   row ranges), each handed to a closure with its chunk index. Chunks
+//!   are *claimed* from a shared atomic cursor rather than pre-assigned,
+//!   so uneven per-chunk work (mixed prefill-chunk/decode jobs, pages
+//!   with different fill) self-balances across the pool — the minimal
+//!   work-stealing shape, without deques.
 //!
 //! Design notes:
 //!
@@ -35,6 +39,7 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
@@ -155,6 +160,16 @@ impl ThreadPool {
     /// are done. Chunk `i` covers `data[i * chunk_len ..]`; the final
     /// chunk may be shorter.
     ///
+    /// Chunks are not pre-assigned to threads: at most
+    /// `min(threads, n_chunks)` claim loops are spawned, each repeatedly
+    /// taking the next unclaimed chunk index from a shared atomic cursor.
+    /// A thread stuck on a heavy chunk therefore claims fewer chunks while
+    /// its peers drain the rest — uneven per-chunk work self-balances, and
+    /// the pool queue holds `O(threads)` jobs instead of `O(n_chunks)`.
+    /// Chunk boundaries (and thus every floating-point result) are
+    /// identical to the pre-split form: claiming only changes *which
+    /// thread* runs a chunk, never what the chunk computes.
+    ///
     /// # Panics
     ///
     /// Panics if `chunk_len == 0` while `data` is non-empty, or if `f`
@@ -168,14 +183,51 @@ impl ThreadPool {
             return;
         }
         assert!(chunk_len > 0, "par_chunks_mut chunk_len must be > 0");
-        self.scope(|s| {
+        let n_chunks = data.len().div_ceil(chunk_len);
+        let claimers = self.threads.min(n_chunks);
+        if claimers <= 1 {
             for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
-                let f = &f;
-                s.spawn(move || f(idx, chunk));
+                f(idx, chunk);
+            }
+            return;
+        }
+        let len = data.len();
+        let base = SendPtr(data.as_mut_ptr());
+        let cursor = AtomicUsize::new(0);
+        self.scope(|s| {
+            for _ in 0..claimers {
+                let (f, base, cursor) = (&f, &base, &cursor);
+                s.spawn(move || loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n_chunks {
+                        break;
+                    }
+                    let start = idx * chunk_len;
+                    let end = (start + chunk_len).min(len);
+                    // SAFETY: `fetch_add` hands out each chunk index at
+                    // most once, indices map to disjoint in-bounds ranges
+                    // of `data`, and the scope joins every claim loop
+                    // before `data`'s borrow ends — so each element is
+                    // aliased by exactly one live `&mut` slice.
+                    let chunk =
+                        unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
+                    f(idx, chunk);
+                });
             }
         });
     }
 }
+
+/// A raw base pointer that claim loops may share across threads.
+///
+/// Soundness comes from the claiming protocol in
+/// [`ThreadPool::par_chunks_mut`] (disjoint ranges, scope-bounded
+/// lifetime), not from this wrapper — it only asserts the `Send`/`Sync`
+/// bounds the protocol justifies.
+struct SendPtr<T>(*mut T);
+
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
@@ -362,6 +414,37 @@ mod tests {
                 let expect: Vec<usize> = (1..=len).collect();
                 assert_eq!(data, expect, "threads {threads} len {len} chunk {chunk}");
             }
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_claims_each_chunk_exactly_once_under_uneven_work() {
+        // Chunk 0 is made pathologically heavy; with pre-split
+        // assignment half the chunks would wait behind it on one
+        // thread, and a claiming bug (double-claim / skip) would show
+        // up in the per-chunk execution counts.
+        for threads in [2, 3, 7] {
+            let pool = ThreadPool::new(threads);
+            let n = 64;
+            let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            let mut data = vec![0u64; n];
+            pool.par_chunks_mut(&mut data, 1, |idx, part| {
+                counts[idx].fetch_add(1, Ordering::Relaxed);
+                let spins = if idx == 0 { 200_000 } else { 10 };
+                let mut acc = 1u64;
+                for i in 0..spins {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                part[0] = acc | 1;
+            });
+            for (idx, c) in counts.iter().enumerate() {
+                assert_eq!(
+                    c.load(Ordering::Relaxed),
+                    1,
+                    "threads {threads} chunk {idx}"
+                );
+            }
+            assert!(data.iter().all(|&x| x != 0));
         }
     }
 
