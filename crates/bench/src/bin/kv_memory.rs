@@ -25,7 +25,7 @@ use anda_bench::{arg_val, workload_prompt, BenchReport, Table};
 use anda_llm::kv::{KvPoolConfig, KvStorage, PagePool};
 use anda_llm::zoo::opt_125m_sim;
 use anda_llm::DecodeScratch;
-use anda_serve::{Request, SamplingMode, SamplingParams, Scheduler, SchedulerConfig, SubmitError};
+use anda_serve::{Request, Scheduler, SchedulerConfig, SubmitError};
 
 fn policy_name(storage: KvStorage) -> String {
     match storage {
@@ -145,16 +145,13 @@ fn main() {
     );
 
     let reqs: Vec<Request> = (0..batch)
-        .map(|i| Request {
-            prompt: workload_prompt(i, prompt_len, cfg.vocab),
-            prefix: None,
-            max_new,
-            eos: None,
-            sampling: SamplingParams {
-                temperature: 0.8,
-                seed: i as u64,
-            },
-            mode: SamplingMode::Single,
+        .map(|i| {
+            Request::builder(workload_prompt(i, prompt_len, cfg.vocab))
+                .max_new(max_new)
+                .temperature(0.8)
+                .seed(i as u64)
+                .build()
+                .unwrap()
         })
         .collect();
 

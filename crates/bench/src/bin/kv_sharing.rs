@@ -21,23 +21,18 @@
 use anda_bench::{arg_val, workload_prompt, BenchReport, Table};
 use anda_llm::kv::{KvPoolConfig, KvStorage};
 use anda_llm::zoo::opt_125m_sim;
-use anda_serve::{
-    FinishedRequest, Request, SamplingMode, SamplingParams, Scheduler, SchedulerConfig,
-};
+use anda_serve::{FinishedRequest, Request, Scheduler, SchedulerConfig};
 
 /// The request-private parts of the workload: distinct prompts, seeds.
 fn private_parts(batch: usize, prompt_len: usize, max_new: usize, vocab: usize) -> Vec<Request> {
     (0..batch)
-        .map(|i| Request {
-            prompt: workload_prompt(i, prompt_len, vocab),
-            prefix: None,
-            max_new,
-            eos: None,
-            sampling: SamplingParams {
-                temperature: 0.8,
-                seed: i as u64,
-            },
-            mode: SamplingMode::Single,
+        .map(|i| {
+            Request::builder(workload_prompt(i, prompt_len, vocab))
+                .max_new(max_new)
+                .temperature(0.8)
+                .seed(i as u64)
+                .build()
+                .unwrap()
         })
         .collect()
 }

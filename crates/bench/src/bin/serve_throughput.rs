@@ -19,6 +19,15 @@
 //! the short stream must sample on every step the long prompt is still
 //! prefilling, and `stalled_prefill_tokens` must stay zero.
 //!
+//! The third scenario is the SLO harness: mixed-priority requests
+//! arrive on a seeded Poisson schedule and are served through the
+//! [`Engine`] front door against a page-bounded pool, reporting
+//! per-priority-class TTFT/TPOT p50/p99 and goodput in *virtual steps*
+//! (deterministic across machines). A FIFO leg replays the identical
+//! arrivals with priorities and preemption off; the smoke run enforces
+//! that priority admission leaves high-priority TTFT p99 no worse than
+//! FIFO.
+//!
 //! Usage: `serve_throughput [--smoke] [--enforce] [--batch A,B,…]
 //!         [--requests N] [--new T] [--prompt P]`
 //!
@@ -32,23 +41,21 @@ use anda_bench::{arg_val, workload_prompt, BenchReport, Table};
 use anda_llm::zoo::opt_125m_sim;
 use anda_llm::Model;
 use anda_serve::{
-    KvPoolConfig, KvStorage, Request, SamplingMode, SamplingParams, Scheduler, SchedulerConfig,
+    ArrivalSchedule, Engine, KvPoolConfig, KvStorage, Priority, Replay, Request, RequestState,
+    Scheduler, SchedulerConfig,
 };
 
 /// The benchmark workload: `n` requests with staggered prompts and seeds.
 fn workload(model: &Model, n: usize, prompt_len: usize, max_new: usize) -> Vec<Request> {
     let vocab = model.config().vocab;
     (0..n)
-        .map(|i| Request {
-            prompt: workload_prompt(i, prompt_len, vocab),
-            prefix: None,
-            max_new,
-            eos: None,
-            sampling: SamplingParams {
-                temperature: 0.8,
-                seed: i as u64,
-            },
-            mode: SamplingMode::Single,
+        .map(|i| {
+            Request::builder(workload_prompt(i, prompt_len, vocab))
+                .max_new(max_new)
+                .temperature(0.8)
+                .seed(i as u64)
+                .build()
+                .unwrap()
         })
         .collect()
 }
@@ -135,16 +142,13 @@ fn serve_long_arrival(
             ..SchedulerConfig::default()
         },
     );
-    let mk = |i: usize, prompt_len: usize, max_new: usize| Request {
-        prompt: workload_prompt(i, prompt_len, vocab),
-        prefix: None,
-        max_new,
-        eos: None,
-        sampling: SamplingParams {
-            temperature: 0.8,
-            seed: i as u64,
-        },
-        mode: SamplingMode::Single,
+    let mk = |i: usize, prompt_len: usize, max_new: usize| {
+        Request::builder(workload_prompt(i, prompt_len, vocab))
+            .max_new(max_new)
+            .temperature(0.8)
+            .seed(i as u64)
+            .build()
+            .unwrap()
     };
     let t0 = Instant::now();
     let short_id = sched.submit(mk(0, 8, short_new)).unwrap();
@@ -181,6 +185,155 @@ fn serve_long_arrival(
 /// Nearest-rank percentile of an ascending-sorted sample set.
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+/// Priority classes of the SLO harness, in report-key order. Request
+/// `i` belongs to class `i % 3`, so every class sees the same share of
+/// the arrival process.
+const CLASSES: [(&str, Priority); 3] = [
+    ("high", Priority::High),
+    ("normal", Priority::Normal),
+    ("low", Priority::Low),
+];
+
+/// Per-class latency distributions of one SLO-harness leg, all in
+/// virtual steps (see [`serve_slo`]).
+struct SloLeg {
+    /// Per-class TTFT samples: steps from arrival to first token.
+    ttft: [Vec<f64>; 3],
+    /// Per-class TPOT samples: mean inter-token steps after the first.
+    tpot: [Vec<f64>; 3],
+    /// Per-class tokens-per-step from requests whose TTFT met the SLO.
+    goodput: [f64; 3],
+    /// Virtual steps the leg ran end to end.
+    steps: u64,
+    preemptions: u64,
+}
+
+/// One SLO-harness leg: `n` requests arrive on a seeded Poisson
+/// schedule and are served through the [`Engine`] front door, with
+/// every latency measured in *virtual steps* (`Engine::steps`) — the
+/// numbers are exactly reproducible on any machine at any thread
+/// count. The KV pool is sized to hold only ~3 resident requests, so
+/// admission runs under genuine page pressure. With `priorities` the
+/// requests cycle High/Normal/Low and preemption is on: a High arrival
+/// that cannot get pages suspends the lowest-priority incumbent.
+/// Without, every request is Normal and preemption is off — the FIFO
+/// baseline under identical pressure. Class accounting always uses the
+/// would-be class (`i % 3`), so the same population is compared across
+/// legs.
+fn serve_slo(
+    model: &Model,
+    n: usize,
+    prompt_len: usize,
+    max_new: usize,
+    mean_gap: f64,
+    priorities: bool,
+) -> SloLeg {
+    let vocab = model.config().vocab;
+    let n_layers = model.config().n_layers;
+    let page_positions = 8usize;
+    let per_request = (prompt_len + max_new).div_ceil(page_positions);
+    let engine = Engine::new(
+        model,
+        SchedulerConfig {
+            max_batch: 6,
+            kv: KvPoolConfig {
+                page_positions,
+                max_pages: Some(n_layers * (3 * per_request + 1)),
+                ..KvPoolConfig::default()
+            },
+            preemption: priorities,
+            ..SchedulerConfig::default()
+        },
+    );
+    let reqs: Vec<Request> = (0..n)
+        .map(|i| {
+            let prio = if priorities {
+                CLASSES[i % 3].1
+            } else {
+                Priority::Normal
+            };
+            Request::builder(workload_prompt(i, prompt_len, vocab))
+                .max_new(max_new)
+                .temperature(0.8)
+                .seed(i as u64)
+                .priority(prio)
+                .build()
+                .unwrap()
+        })
+        .collect();
+
+    struct Track<'a> {
+        handle: anda_serve::SubmitHandle<'a>,
+        class: usize,
+        arrival: u64,
+        first: Option<u64>,
+        finish: Option<u64>,
+        generated: usize,
+    }
+    let mut replay = Replay::new(ArrivalSchedule::poisson(0xA17DA, mean_gap, n));
+    let mut tracks: Vec<Track> = Vec::with_capacity(n);
+    while !(replay.exhausted() && engine.is_idle()) {
+        let now = engine.steps();
+        for i in replay.due(now) {
+            let handle = engine
+                .submit(reqs[i].clone())
+                .expect("slo load is servable");
+            tracks.push(Track {
+                handle,
+                class: i % 3,
+                arrival: now,
+                first: None,
+                finish: None,
+                generated: 0,
+            });
+        }
+        engine.step();
+        let now = engine.steps();
+        for t in &mut tracks {
+            if t.finish.is_some() {
+                continue;
+            }
+            let fresh = t.handle.try_next_tokens();
+            if !fresh.is_empty() {
+                t.generated += fresh.len();
+                t.first.get_or_insert(now);
+            }
+            if t.handle.state() == RequestState::Finished {
+                t.finish = Some(now);
+            }
+        }
+    }
+    let steps = engine.steps();
+    let preemptions = engine.scheduler().stats().preemptions;
+
+    // A request is "good" when its first token landed within the SLO
+    // deadline; goodput counts only those requests' tokens.
+    let slo_ttft = 4.0 * mean_gap;
+    let mut leg = SloLeg {
+        ttft: Default::default(),
+        tpot: Default::default(),
+        goodput: [0.0; 3],
+        steps,
+        preemptions,
+    };
+    for t in &tracks {
+        let (first, finish) = (t.first.expect("every request sampled"), t.finish.unwrap());
+        let ttft = (first - t.arrival) as f64;
+        leg.ttft[t.class].push(ttft);
+        if t.generated > 1 {
+            leg.tpot[t.class].push((finish - first) as f64 / (t.generated - 1) as f64);
+        }
+        if ttft <= slo_ttft {
+            leg.goodput[t.class] += t.generated as f64 / steps as f64;
+        }
+    }
+    for class in 0..3 {
+        leg.ttft[class].sort_by(f64::total_cmp);
+        leg.tpot[class].sort_by(f64::total_cmp);
+    }
+    leg
 }
 
 fn main() {
@@ -353,6 +506,91 @@ fn main() {
     report.metric("short_tpot_p50_chunked_s", chk_p50);
     report.metric("short_tpot_p99_chunked_s", chk_p99);
     report.metric("short_tpot_p99_chunked_vs_monolithic", chk_p99 / mono_p99);
+
+    // SLO harness: mixed-priority Poisson traffic through the Engine
+    // front door, measured in virtual steps (fully deterministic — the
+    // priority-vs-FIFO comparison is exact, not a timing race). The
+    // priority leg runs WRR admission + page-pressure preemption; the
+    // FIFO leg serves the identical arrival process with every request
+    // Normal and preemption off.
+    let slo_n = if smoke { 9 } else { 18 };
+    let slo_prompt = if smoke { 8 } else { 24 };
+    let slo_new = if smoke { 8 } else { 24 };
+    let slo_gap = 2.0;
+    let pri = serve_slo(&model, slo_n, slo_prompt, slo_new, slo_gap, true);
+    let fifo = serve_slo(&model, slo_n, slo_prompt, slo_new, slo_gap, false);
+    println!(
+        "\nSLO harness — {slo_n} requests, Poisson mean gap {slo_gap} steps, \
+         prompt {slo_prompt} + {slo_new} new, pool holds ~3 residents \
+         ({} preemptions on the priority leg, {} steps vs {} FIFO)",
+        pri.preemptions, pri.steps, fifo.steps
+    );
+    let mut slo_table = Table::new(&[
+        "class",
+        "ttft p50/p99 (steps)",
+        "tpot p50/p99 (steps)",
+        "goodput tok/step",
+    ]);
+    for (class, &(name, _)) in CLASSES.iter().enumerate() {
+        for (leg, tag) in [(&pri, "priority"), (&fifo, "fifo")] {
+            slo_table.row_owned(vec![
+                format!("{name} ({tag})"),
+                format!(
+                    "{:.0} / {:.0}",
+                    percentile(&leg.ttft[class], 0.5),
+                    percentile(&leg.ttft[class], 0.99)
+                ),
+                format!(
+                    "{:.2} / {:.2}",
+                    percentile(&leg.tpot[class], 0.5),
+                    percentile(&leg.tpot[class], 0.99)
+                ),
+                format!("{:.3}", leg.goodput[class]),
+            ]);
+        }
+    }
+    println!("{}", slo_table.render());
+    for (class, &(name, _)) in CLASSES.iter().enumerate() {
+        report.metric(
+            &format!("slo_{name}_ttft_p50_steps"),
+            percentile(&pri.ttft[class], 0.5),
+        );
+        report.metric(
+            &format!("slo_{name}_ttft_p99_steps"),
+            percentile(&pri.ttft[class], 0.99),
+        );
+        report.metric(
+            &format!("slo_{name}_tpot_p50_steps"),
+            percentile(&pri.tpot[class], 0.5),
+        );
+        report.metric(
+            &format!("slo_{name}_tpot_p99_steps"),
+            percentile(&pri.tpot[class], 0.99),
+        );
+        report.metric(
+            &format!("slo_{name}_goodput_tokens_per_step"),
+            pri.goodput[class],
+        );
+        report.metric(
+            &format!("slo_fifo_{name}_ttft_p99_steps"),
+            percentile(&fifo.ttft[class], 0.99),
+        );
+    }
+    report.metric("slo_preemptions", pri.preemptions as f64);
+    let pri_high_p99 = percentile(&pri.ttft[0], 0.99);
+    let fifo_high_p99 = percentile(&fifo.ttft[0], 0.99);
+    report.metric("slo_high_ttft_p99_vs_fifo", pri_high_p99 / fifo_high_p99);
+    // Acceptance: priority admission must actually buy the High class
+    // latency — its TTFT p99 may not be worse than under FIFO. Virtual
+    // time makes this exact, so the smoke run enforces it outright.
+    if (smoke || enforce) && pri_high_p99 > fifo_high_p99 {
+        report.write_and_announce();
+        eprintln!(
+            "FAIL: high-priority TTFT p99 ({pri_high_p99} steps) must be no worse than \
+             FIFO ({fifo_high_p99} steps)"
+        );
+        std::process::exit(1);
+    }
 
     let b1 = measured.iter().find(|(b, ..)| *b == 1);
     let b4 = measured.iter().find(|(b, ..)| *b == 4);

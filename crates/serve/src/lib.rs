@@ -3,12 +3,20 @@
 //! The paper's end-to-end efficiency story assumes many decode streams
 //! sharing the compute substrate. This crate provides the missing piece
 //! over `anda-llm`'s incremental-decode API: an Orca-style
-//! iteration-level [`Scheduler`] that admits requests (FIFO, under
-//! page-accounted KV admission), prefills new arrivals, and then
-//! continuous-batches decode — every iteration advances **all** active
-//! streams by one token, sharding the per-stream hidden-state work
-//! across one `rayon-lite` scope per batch and finishing with a single
-//! batched LM-head GEMM (`Model::lm_head_batch`).
+//! iteration-level [`Scheduler`] that admits requests (weighted
+//! round-robin across [`Priority`] classes, under page-accounted KV
+//! admission, preempting outranked streams when slots or pages run
+//! out), prefills new arrivals, and then continuous-batches decode —
+//! every iteration advances **all** active streams by one token,
+//! sharding the per-stream hidden-state work across one `rayon-lite`
+//! scope per batch and finishing with a single batched LM-head GEMM
+//! (`Model::lm_head_batch`). The [`Engine`] wraps that loop in a
+//! handle-based serving front door: [`Engine::submit`] returns a
+//! [`SubmitHandle`] that polls its stream
+//! ([`SubmitHandle::try_next_tokens`]), reports its lifecycle state,
+//! cancels it, or drives it to completion — see [`engine`] for the
+//! lifecycle diagram, and [`workload`] for deterministic Poisson /
+//! trace-replay arrival schedules in virtual step time.
 //!
 //! # KV memory model
 //!
@@ -40,10 +48,11 @@
 //! prompts against it — forking the longest cached whole-page prefix,
 //! prefilling only the uncovered suffix — and LRU-evicts cold tree
 //! leaves under page pressure. The same fork mechanism, applied
-//! mid-stream, serves multi-sample requests: [`Request::parallel`] /
-//! [`Request::best_of`] prefill the prompt once and fork the live cache
-//! into `n` sibling streams whose sample `i` is bit-identical to a
-//! standalone request seeded `seed + i`.
+//! mid-stream, serves multi-sample requests:
+//! [`RequestBuilder::parallel`] / [`RequestBuilder::best_of`] prefill
+//! the prompt once and fork the live cache into `n` sibling streams
+//! whose sample `i` is bit-identical to a standalone request seeded
+//! `seed + i`.
 //!
 //! # Determinism
 //!
@@ -61,7 +70,7 @@
 //! ```
 //! use anda_llm::zoo::opt_125m_sim;
 //! use anda_serve::{
-//!     KvPoolConfig, KvStorage, Request, Scheduler, SchedulerConfig, SamplingMode, SamplingParams,
+//!     KvPoolConfig, KvStorage, Priority, Request, Scheduler, SchedulerConfig,
 //! };
 //!
 //! let model = opt_125m_sim().build();
@@ -77,16 +86,20 @@
 //! // A shared few-shot header: prefilled once, forked into every
 //! // stream that references it.
 //! sched.register_prefix("header", vec![11, 12, 13, 14]).unwrap();
-//! sched.submit(Request::greedy(vec![1, 2, 3], 4)).unwrap();
-//! sched.submit(Request {
-//!     prompt: vec![7, 8],
-//!     prefix: Some("header".into()),
-//!     max_new: 3,
-//!     eos: None,
-//!     sampling: SamplingParams { temperature: 0.8, seed: 42 },
-//!     mode: SamplingMode::Single,
-//! }).unwrap();
-//! sched.submit(Request::greedy(vec![9], 2).with_prefix("header")).unwrap();
+//! sched.submit(Request::builder([1, 2, 3]).max_new(4).build().unwrap()).unwrap();
+//! sched.submit(
+//!     Request::builder([7, 8])
+//!         .max_new(3)
+//!         .prefix("header")
+//!         .temperature(0.8)
+//!         .seed(42)
+//!         .priority(Priority::High)
+//!         .build()
+//!         .unwrap(),
+//! ).unwrap();
+//! sched.submit(
+//!     Request::builder([9]).max_new(2).prefix("header").build().unwrap(),
+//! ).unwrap();
 //! let done = sched.run_to_completion();
 //! assert_eq!(done.len(), 3);
 //! for r in &done {
@@ -95,13 +108,21 @@
 //! assert_eq!(sched.stats().prefix_forks, 2);
 //! ```
 
+pub mod engine;
 pub mod radix;
 pub mod request;
 pub mod scheduler;
+pub mod workload;
 
 pub use anda_llm::kv::{KvPoolConfig, KvStorage, PagePool, SharedPage};
+pub use engine::{Engine, RequestState, SubmitHandle};
 pub use radix::{RadixMatch, RadixTree};
 pub use request::{
-    FinishReason, FinishedRequest, Request, RequestId, SamplingMode, SamplingParams,
+    FinishReason, FinishedRequest, Priority, Request, RequestBuilder, RequestError, RequestId,
+    SamplingMode, SamplingParams,
 };
-pub use scheduler::{ReleasePrefixError, Scheduler, SchedulerConfig, SchedulerStats, SubmitError};
+pub use scheduler::{
+    CancelError, Cancelled, PoolSnapshot, PrefixCacheSnapshot, ReleasePrefixError, Scheduler,
+    SchedulerConfig, SchedulerStats, StreamStatus, SubmitError,
+};
+pub use workload::{ArrivalSchedule, Replay};

@@ -1,4 +1,11 @@
 //! Request and response types for the serving layer.
+//!
+//! Requests are built with the validating [`RequestBuilder`]
+//! ([`Request::builder`]): nonsense configurations — an empty prompt,
+//! `parallel(0)`, `best_of(1)` — are rejected at *build* time with a
+//! [`RequestError`], instead of surfacing later at submit. The old
+//! mutating constructors ([`Request::greedy`] and friends) remain as
+//! deprecated shims for one release.
 
 /// Identifier assigned to a request at submission, unique per
 /// [`Scheduler`](crate::Scheduler).
@@ -10,6 +17,106 @@ impl std::fmt::Display for RequestId {
         write!(f, "req-{}", self.0)
     }
 }
+
+/// Admission priority class of a request.
+///
+/// The scheduler admits by *weighted round-robin* between classes (see
+/// [`Priority::weight`]) rather than strict priority, so low classes
+/// are starvation-bounded, and — with preemption enabled — a blocked
+/// high-class arrival may *suspend* a lower-class victim stream to
+/// reclaim its KV pages ([`SchedulerStats::preemptions`]).
+///
+/// Ordering: `High < Normal < Low`, i.e. the [`Ord`] minimum is the
+/// most urgent class ([`Priority::outranks`] reads better at call
+/// sites).
+///
+/// [`SchedulerStats::preemptions`]: crate::SchedulerStats::preemptions
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-sensitive traffic: largest admission share, may preempt.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Throughput/batch traffic: smallest admission share, first choice
+    /// as a preemption victim.
+    Low,
+}
+
+impl Priority {
+    /// Every class, most urgent first (also the queue index order).
+    pub const CLASSES: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    /// Dense index of this class (`High = 0`, `Normal = 1`, `Low = 2`).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Weighted-round-robin admission share of this class: out of every
+    /// 7 admission grants under contention, `High` gets 4, `Normal` 2,
+    /// `Low` 1 — the starvation bound the scheduler property tests pin.
+    pub fn weight(self) -> usize {
+        match self {
+            Priority::High => 4,
+            Priority::Normal => 2,
+            Priority::Low => 1,
+        }
+    }
+
+    /// `true` when `self` is a strictly more urgent class than `other`
+    /// (only strictly-outranked streams may be preempted).
+    pub fn outranks(self, other: Priority) -> bool {
+        self < other
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        })
+    }
+}
+
+/// Why [`RequestBuilder::build`] rejected a request configuration.
+/// Catching nonsense at build time keeps [`Scheduler::submit`] errors
+/// about the *model and pool* (vocab, `max_seq`, capacity), not about
+/// malformed requests.
+///
+/// [`Scheduler::submit`]: crate::Scheduler::submit
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RequestError {
+    /// The prompt was empty.
+    EmptyPrompt,
+    /// `parallel(0)` or `best_of(0)`: a multi-sample mode with zero
+    /// samples.
+    ZeroSamples,
+    /// `best_of(1)`: selecting the best of one candidate is
+    /// [`SamplingMode::Single`] spelled confusingly — use that instead.
+    DegenerateBestOf,
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::EmptyPrompt => write!(f, "prompt must not be empty"),
+            RequestError::ZeroSamples => {
+                write!(f, "sampling mode must request at least one sample")
+            }
+            RequestError::DegenerateBestOf => {
+                write!(
+                    f,
+                    "best_of(1) is Single spelled confusingly; use mode Single"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
 
 /// Per-request sampling configuration.
 ///
@@ -109,10 +216,30 @@ pub struct Request {
     /// Completion multiplicity: one stream, `n` parallel samples, or
     /// best-of-`n` (see [`SamplingMode`]).
     pub mode: SamplingMode,
+    /// Admission class (see [`Priority`]): weighted-round-robin share
+    /// and preemption rank. Defaults to [`Priority::Normal`].
+    pub priority: Priority,
 }
 
 impl Request {
+    /// Starts building a request around `prompt`. The builder validates
+    /// at [`RequestBuilder::build`]; every knob defaults to the benign
+    /// choice (greedy single completion, no EOS, no prefix,
+    /// [`Priority::Normal`], `max_new = 0`).
+    pub fn builder(prompt: impl Into<Vec<usize>>) -> RequestBuilder {
+        RequestBuilder {
+            prompt: prompt.into(),
+            prefix: None,
+            max_new: 0,
+            eos: None,
+            sampling: SamplingParams::greedy(),
+            mode: SamplingMode::Single,
+            priority: Priority::Normal,
+        }
+    }
+
     /// A greedy request with no EOS and no shared prefix.
+    #[deprecated(note = "use `Request::builder(prompt).max_new(n).build()`")]
     pub fn greedy(prompt: Vec<usize>, max_new: usize) -> Self {
         Request {
             prompt,
@@ -121,11 +248,13 @@ impl Request {
             eos: None,
             sampling: SamplingParams::greedy(),
             mode: SamplingMode::Single,
+            priority: Priority::Normal,
         }
     }
 
     /// This request routed through the shared prefix registered under
     /// `key` (builder style).
+    #[deprecated(note = "use `RequestBuilder::prefix`")]
     pub fn with_prefix(mut self, key: impl Into<String>) -> Self {
         self.prefix = Some(key.into());
         self
@@ -134,6 +263,7 @@ impl Request {
     /// This request as `n` parallel samples over one shared prompt
     /// cache (builder style); sample `i` decodes with seed
     /// `sampling.seed + i`.
+    #[deprecated(note = "use `RequestBuilder::parallel`, which rejects `n = 0` at build time")]
     pub fn parallel(mut self, n: usize) -> Self {
         self.mode = SamplingMode::Parallel { n };
         self
@@ -142,6 +272,7 @@ impl Request {
     /// This request as best-of-`n`: `n` candidates decode over one
     /// shared prompt cache and only the highest cumulative-logprob
     /// completion is reported (builder style).
+    #[deprecated(note = "use `RequestBuilder::best_of`, which rejects `n <= 1` at build time")]
     pub fn best_of(mut self, n: usize) -> Self {
         self.mode = SamplingMode::BestOf { n };
         self
@@ -156,6 +287,143 @@ impl Request {
     /// them.
     pub fn reserve_tokens(&self) -> usize {
         self.prompt.len().saturating_add(self.max_new)
+    }
+}
+
+/// Validating builder for [`Request`] ([`Request::builder`]).
+///
+/// Setters never fail; [`RequestBuilder::build`] performs all the
+/// *request-shape* validation (the scheduler still checks model- and
+/// pool-dependent facts — vocab, `max_seq`, pool capacity — at
+/// submit).
+///
+/// # Example
+///
+/// ```
+/// use anda_serve::{Priority, Request, RequestError, SamplingMode};
+///
+/// let req = Request::builder(vec![1, 2, 3])
+///     .max_new(16)
+///     .temperature(0.8)
+///     .seed(42)
+///     .priority(Priority::High)
+///     .best_of(4)
+///     .build()
+///     .unwrap();
+/// assert_eq!(req.mode, SamplingMode::BestOf { n: 4 });
+///
+/// // Nonsense is rejected at build time, not at submit:
+/// assert_eq!(
+///     Request::builder(vec![1]).best_of(1).build().unwrap_err(),
+///     RequestError::DegenerateBestOf,
+/// );
+/// assert_eq!(
+///     Request::builder(vec![]).build().unwrap_err(),
+///     RequestError::EmptyPrompt,
+/// );
+/// ```
+#[derive(Clone, Debug)]
+pub struct RequestBuilder {
+    prompt: Vec<usize>,
+    prefix: Option<String>,
+    max_new: usize,
+    eos: Option<usize>,
+    sampling: SamplingParams,
+    mode: SamplingMode,
+    priority: Priority,
+}
+
+impl RequestBuilder {
+    /// Maximum number of new tokens to generate (default 0).
+    pub fn max_new(mut self, n: usize) -> Self {
+        self.max_new = n;
+        self
+    }
+
+    /// Stop generation once `token` is sampled.
+    pub fn eos(mut self, token: usize) -> Self {
+        self.eos = Some(token);
+        self
+    }
+
+    /// Full sampling configuration in one call.
+    pub fn sampling(mut self, sampling: SamplingParams) -> Self {
+        self.sampling = sampling;
+        self
+    }
+
+    /// Softmax temperature (`<= 0` is greedy, the default).
+    pub fn temperature(mut self, temperature: f32) -> Self {
+        self.sampling.temperature = temperature;
+        self
+    }
+
+    /// Seed of the stream-private RNG.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.sampling.seed = seed;
+        self
+    }
+
+    /// Route through the shared prefix registered under `key`
+    /// ([`Scheduler::register_prefix`]).
+    ///
+    /// [`Scheduler::register_prefix`]: crate::Scheduler::register_prefix
+    pub fn prefix(mut self, key: impl Into<String>) -> Self {
+        self.prefix = Some(key.into());
+        self
+    }
+
+    /// Completion multiplicity (validated at build).
+    pub fn mode(mut self, mode: SamplingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// `n` parallel samples over one shared prompt cache; sample `i`
+    /// decodes with seed `seed + i`.
+    pub fn parallel(self, n: usize) -> Self {
+        self.mode(SamplingMode::Parallel { n })
+    }
+
+    /// Best-of-`n`: `n` candidates decode over one shared prompt cache,
+    /// only the highest cumulative-logprob completion is reported.
+    pub fn best_of(self, n: usize) -> Self {
+        self.mode(SamplingMode::BestOf { n })
+    }
+
+    /// Admission class (default [`Priority::Normal`]).
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Validates the configuration and produces the [`Request`].
+    ///
+    /// # Errors
+    ///
+    /// [`RequestError::EmptyPrompt`] for an empty prompt,
+    /// [`RequestError::ZeroSamples`] for `parallel(0)` / `best_of(0)`,
+    /// [`RequestError::DegenerateBestOf`] for `best_of(1)`.
+    pub fn build(self) -> Result<Request, RequestError> {
+        if self.prompt.is_empty() {
+            return Err(RequestError::EmptyPrompt);
+        }
+        match self.mode {
+            SamplingMode::Parallel { n: 0 } | SamplingMode::BestOf { n: 0 } => {
+                return Err(RequestError::ZeroSamples)
+            }
+            SamplingMode::BestOf { n: 1 } => return Err(RequestError::DegenerateBestOf),
+            _ => {}
+        }
+        Ok(Request {
+            prompt: self.prompt,
+            prefix: self.prefix,
+            max_new: self.max_new,
+            eos: self.eos,
+            sampling: self.sampling,
+            mode: self.mode,
+            priority: self.priority,
+        })
     }
 }
 

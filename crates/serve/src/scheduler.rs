@@ -61,8 +61,36 @@
 //! final chunk lands (same step: the last prompt position's hidden
 //! state flows straight into the batched LM head), and the tokens it
 //! then produces are bit-identical to monolithic admission.
+//!
+//! # Priority, fairness and preemption
+//!
+//! Every request carries a [`Priority`] class. Pending work is queued
+//! per class and admitted by *weighted round-robin* (`High:Normal:Low =
+//! 4:2:1`, a fixed interleaved schedule), so high-class traffic gets
+//! the lion's share of admission grants under contention while low
+//! classes are starvation-bounded: a non-empty class's head is offered
+//! admission within at most 6 grants to the other classes. Within a
+//! class, admission stays FIFO with no overtaking — a blocked class
+//! head blocks the admission loop, exactly like the old single-queue
+//! FIFO, so an accepted request is still guaranteed to be served.
+//!
+//! When a blocked arrival *strictly outranks* an active stream and
+//! [`SchedulerConfig::preemption`] is on, the scheduler **suspends a
+//! victim** instead of waiting: the lowest-priority (then
+//! most-page-holding) single-sample stream is unscheduled, its KV pages
+//! are released back to the pool ([`KvCache::release_pages`]), and its
+//! tokens-so-far plus its live RNG are parked as a resumable work item
+//! at the *front* of its class queue. Resume re-prefills the full
+//! generated-so-far sequence into a fresh cache — bit-exact because
+//! prefill and decode write identical KV rows (the chunked-prefill
+//! contract), and the saved RNG continues where it left off, so a
+//! suspended-and-resumed stream emits exactly the tokens of a
+//! never-preempted twin. Multi-sample groups are never preempted
+//! (their shared-page ledger is not suspendable), and a victim is only
+//! chosen if its resume demand fits the pool, so every suspended
+//! stream eventually finishes.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use anda_llm::kv::{KvPoolConfig, PageDecodeCache, PagePool};
 use anda_llm::model::{BatchEntry, BatchOutput};
@@ -72,8 +100,23 @@ use rayon_lite::ThreadPool;
 
 use crate::radix::{NodeId, RadixTree};
 use crate::request::{
-    FinishReason, FinishedRequest, Request, RequestId, SamplingMode, SamplingParams,
+    FinishReason, FinishedRequest, Priority, Request, RequestId, SamplingMode, SamplingParams,
 };
+
+/// The weighted-round-robin admission schedule: one entry per grant,
+/// interleaved so no class waits longer than it must. `High` appears
+/// [`Priority::weight`]` = 4` times, `Normal` 2, `Low` 1 — the 4:2:1
+/// share (and the ≤ 6-grant starvation bound) the scheduler property
+/// tests pin.
+const WRR_SCHEDULE: [Priority; 7] = [
+    Priority::High,
+    Priority::Normal,
+    Priority::High,
+    Priority::Low,
+    Priority::High,
+    Priority::Normal,
+    Priority::High,
+];
 
 /// Admission policy knobs.
 #[derive(Clone, Copy, Debug)]
@@ -122,6 +165,18 @@ pub struct SchedulerConfig {
     /// *completed* prefill. Token streams are bit-exact either way; the
     /// knob only reorders when prompt compute happens.
     pub prefill_chunk_tokens: Option<usize>,
+    /// Preemption under pressure: when an arrival that *strictly
+    /// outranks* an active single-sample stream cannot be admitted (no
+    /// free slot, or the page watermark is exceeded even after radix
+    /// eviction), suspend the lowest-priority, most-page-holding victim
+    /// — release its KV pages, park its tokens-so-far and RNG — and
+    /// resume it later by re-prefilling its full generated-so-far
+    /// sequence (bit-exact; see the module docs). `false` makes a
+    /// blocked arrival wait instead, whatever its class. Default
+    /// `true`; with single-class (all-[`Priority::Normal`]) traffic
+    /// preemption never triggers, so uniform workloads behave exactly
+    /// as before either way.
+    pub preemption: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -132,6 +187,7 @@ impl Default for SchedulerConfig {
             grouped_attention: true,
             auto_prefix: false,
             prefill_chunk_tokens: None,
+            preemption: true,
         }
     }
 }
@@ -141,6 +197,7 @@ impl Default for SchedulerConfig {
 /// makes FIFO admission starvation-free: an admitted queue head always
 /// fits once enough earlier streams finish.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SubmitError {
     /// The prompt was empty.
     EmptyPrompt,
@@ -158,14 +215,27 @@ pub enum SubmitError {
         /// The model's maximum sequence length.
         max_seq: usize,
     },
-    /// The request's worst-case KV page demand exceeds what the pool can
-    /// ever offer it (capacity minus the pages pinned by registered
-    /// prefixes), so it could never be admitted.
+    /// The request's worst-case KV page demand exceeds the pool's raw
+    /// capacity: it could **never** be admitted, no matter what else
+    /// drains or is released. Permanent — resubmitting is pointless.
     ExceedsPoolCapacity {
         /// Worst-case unshared page demand across all layers.
         pages: usize,
-        /// The pool's capacity in pages net of pinned prefix pages.
+        /// The pool's total capacity in pages.
         capacity: usize,
+    },
+    /// The request would fit an empty pool, but not the pool as
+    /// currently *pinned* (registered prefix caches hold pages for as
+    /// long as they stay registered). Transient — resubmitting after a
+    /// [`Scheduler::release_prefix`] can succeed. Distinct from
+    /// [`SubmitError::ExceedsPoolCapacity`], which the old single
+    /// variant conflated with this case.
+    PoolSaturated {
+        /// Worst-case unshared page demand across all layers.
+        pages: usize,
+        /// Capacity currently available to streams (total minus pinned
+        /// prefix pages).
+        available: usize,
     },
     /// The request names a prefix key that is not (or no longer) in the
     /// scheduler's registry.
@@ -201,7 +271,15 @@ impl std::fmt::Display for SubmitError {
             SubmitError::ExceedsPoolCapacity { pages, capacity } => {
                 write!(
                     f,
-                    "worst-case KV demand of {pages} pages exceeds the pool's {capacity}"
+                    "worst-case KV demand of {pages} pages exceeds the pool's total {capacity} \
+                     (can never fit)"
+                )
+            }
+            SubmitError::PoolSaturated { pages, available } => {
+                write!(
+                    f,
+                    "worst-case KV demand of {pages} pages exceeds the {available} currently \
+                     unpinned (retry after releasing a prefix)"
                 )
             }
             SubmitError::UnknownPrefix => {
@@ -229,6 +307,7 @@ impl std::error::Error for SubmitError {}
 /// the release so the caller can tell "retry later" from "wrong key"
 /// (the old `bool` return conflated the two).
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ReleasePrefixError {
     /// No prefix is registered under the given key (perhaps it was
     /// already released) — retrying cannot succeed.
@@ -268,6 +347,117 @@ impl std::fmt::Display for ReleasePrefixError {
 }
 
 impl std::error::Error for ReleasePrefixError {}
+
+/// Why [`Scheduler::cancel`] (or a handle operation on a cancelled
+/// request) failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CancelError {
+    /// The id was never issued by this scheduler, or its result has
+    /// already been drained.
+    Unknown(RequestId),
+    /// The request already finished; its results are (or were)
+    /// available.
+    AlreadyFinished(RequestId),
+    /// The request was already cancelled.
+    Cancelled(RequestId),
+}
+
+impl std::fmt::Display for CancelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CancelError::Unknown(id) => write!(f, "{id} is not live on this scheduler"),
+            CancelError::AlreadyFinished(id) => write!(f, "{id} already finished"),
+            CancelError::Cancelled(id) => write!(f, "{id} was already cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for CancelError {}
+
+/// What a successful [`Scheduler::cancel`] tore down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cancelled {
+    /// The request was still queued; its queue slot was freed.
+    Pending,
+    /// The request was actively decoding; all its streams (the whole
+    /// sibling group for multi-sample requests) were retired and their
+    /// pages released this very step.
+    Active {
+        /// Streams retired (the group size for multi-sample requests).
+        streams: usize,
+    },
+    /// The request was suspended by preemption; its parked resume item
+    /// was dropped.
+    Suspended,
+}
+
+/// Where a live request currently is in the engine lifecycle
+/// (`Pending → Prefilling → Decoding ⇄ Suspended → Finished`); see
+/// [`Scheduler::status`]. `Finished`/`Cancelled` are not *live* states
+/// — the scheduler reports `None` for them, and the [`Engine`] layers
+/// its own bookkeeping on top.
+///
+/// [`Engine`]: crate::Engine
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamStatus {
+    /// Queued, not yet admitted.
+    Pending,
+    /// Admitted and working off its prompt (chunked prefill, or a
+    /// resumed stream re-prefilling its generated-so-far sequence).
+    Prefilling,
+    /// Actively decoding one token per step.
+    Decoding,
+    /// Preempted: pages released, parked for resume.
+    Suspended,
+}
+
+/// One coherent view of the scheduler's page accounting
+/// ([`Scheduler::pool_snapshot`]) — replaces the old getter sprawl
+/// (`pinned_pages()`, `reserved_pages()`, `radix_resident_pages()`, …)
+/// with a single struct read at one instant. The admission watermark
+/// invariant reads `pinned_pages + reserved_pages +
+/// radix_resident_pages <= capacity` and physical usage satisfies
+/// `pages_in_use <= pinned_pages + reserved_pages +
+/// radix_resident_pages` (reservations are worst-case).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolSnapshot {
+    /// Pool capacity in pages (`None` = unbounded).
+    pub capacity: Option<usize>,
+    /// Physical pages ever created by the pool.
+    pub pages_created: usize,
+    /// Physical pages currently leased out.
+    pub pages_in_use: usize,
+    /// Pages on the free list awaiting reuse.
+    pub pages_free: usize,
+    /// Pages pinned by registered prefix caches.
+    pub pinned_pages: usize,
+    /// Worst-case pages reserved by active streams and live sampling
+    /// groups (unshared demand).
+    pub reserved_pages: usize,
+    /// Pages held resident by the automatic prefix cache's radix tree.
+    pub radix_resident_pages: usize,
+    /// KV positions actually cached right now across active streams.
+    pub cached_tokens: usize,
+}
+
+/// One coherent view of the automatic prefix cache
+/// ([`Scheduler::prefix_cache_snapshot`]): radix-tree shape plus the
+/// hit/eviction counters that used to be scattered across getters and
+/// stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrefixCacheSnapshot {
+    /// Nodes currently in the radix tree.
+    pub nodes: usize,
+    /// Pages the tree holds resident (counted by the admission
+    /// watermark).
+    pub resident_pages: usize,
+    /// Nodes evicted under page pressure, cumulative.
+    pub evictions: u64,
+    /// Prompt positions served from the tree instead of prefilled,
+    /// cumulative.
+    pub hit_tokens: u64,
+}
 
 /// Aggregate counters, mostly for benches and capacity tests.
 #[derive(Clone, Copy, Debug, Default)]
@@ -323,6 +513,20 @@ pub struct SchedulerStats {
     /// admissions never prefill inline, so only multi-sample groups can
     /// still add here.
     pub stalled_prefill_tokens: u64,
+    /// Streams suspended by preemption (pages released, parked for
+    /// resume), cumulative.
+    pub preemptions: u64,
+    /// Suspended streams re-admitted (each re-prefilled its full
+    /// generated-so-far sequence), cumulative. At drain this equals
+    /// [`SchedulerStats::preemptions`] minus cancelled suspensions.
+    pub resumes: u64,
+    /// Tokens re-prefilled by resumes — the compute cost preemption
+    /// paid for its memory reclamation (these positions had already
+    /// been prefilled or decoded once before the suspend).
+    pub resumed_prefill_tokens: u64,
+    /// Requests cancelled via [`Scheduler::cancel`] (each one counted
+    /// once, whether it was pending, active, or suspended).
+    pub cancelled: u64,
 }
 
 /// One active decode stream.
@@ -334,6 +538,9 @@ struct Stream {
     max_new: usize,
     eos: Option<usize>,
     sampling: SamplingParams,
+    /// Admission class; decides preemption rank (only strictly
+    /// lower-priority streams may be suspended for an arrival).
+    priority: Priority,
     rng: Rng,
     cache: KvCache,
     scratch: DecodeScratch,
@@ -369,6 +576,12 @@ struct Stream {
     /// for monolithic admissions. A `Some` stream decodes nothing and
     /// samples nothing; it only consumes granted chunk budget.
     prefill_cursor: Option<usize>,
+    /// Positions the chunked cursor must reach before this stream
+    /// samples: `prompt_len` for a normal admission, `tokens.len()` at
+    /// resume for a preemption-suspended stream (whose generated-so-far
+    /// suffix re-prefills too, and which must never re-enter the radix
+    /// tree — its "prompt" isn't one).
+    prefill_target: usize,
     /// Prompt tokens granted to this stream by the current step's budget
     /// packing (chunk start is the cursor); 0 outside a step or when
     /// budget-starved.
@@ -379,6 +592,46 @@ struct Stream {
 struct Pending {
     id: RequestId,
     request: Request,
+}
+
+/// A preempted stream parked for resume: everything needed to continue
+/// bit-exactly except its KV pages, which went back to the pool. The
+/// token prefix (prompt + generated-so-far) is re-prefilled at resume —
+/// prefill writes the identical KV rows decode did — and the live RNG
+/// continues, so the resumed stream's remaining tokens match a
+/// never-preempted twin's exactly. Only single-sample streams are ever
+/// suspended, so no group/logprob state is parked.
+struct SuspendedStream {
+    id: RequestId,
+    /// Prompt followed by every token generated before the suspend
+    /// (the last one's KV row was not yet appended — exactly the state
+    /// a decode step resumes from).
+    tokens: Vec<usize>,
+    prompt_len: usize,
+    max_new: usize,
+    eos: Option<usize>,
+    sampling: SamplingParams,
+    priority: Priority,
+    /// The live RNG, mid-stream: resume must draw the same samples the
+    /// uninterrupted stream would have.
+    rng: Rng,
+}
+
+/// One unit of admissible work in a class queue: a not-yet-admitted
+/// request, or a suspended stream awaiting resume (parked at the front
+/// of its class so it is that class's next grant).
+enum WorkItem {
+    New(Pending),
+    Resume(SuspendedStream),
+}
+
+impl WorkItem {
+    fn id(&self) -> RequestId {
+        match self {
+            WorkItem::New(p) => p.id,
+            WorkItem::Resume(s) => s.id,
+        }
+    }
 }
 
 /// Shared bookkeeping of one multi-sample request's sibling streams.
@@ -434,7 +687,13 @@ pub struct Scheduler<'a> {
     cfg: SchedulerConfig,
     /// The KV page pool every stream's cache leases from.
     kv_pool: PagePool,
-    pending: VecDeque<Pending>,
+    /// Pending work per priority class ([`Priority::index`]-indexed):
+    /// FIFO within a class, weighted round-robin between classes.
+    /// Suspended streams re-enter at the front of their class.
+    pending: [VecDeque<WorkItem>; 3],
+    /// Cursor into [`WRR_SCHEDULE`]; advances one entry per admission
+    /// grant, parks on the blocked entry otherwise (no overtaking).
+    wrr_cursor: usize,
     slots: Vec<Option<Stream>>,
     /// Retired caches awaiting reuse by future non-prefix admissions
     /// (their pages are already back on the pool's free list; prefix
@@ -457,6 +716,9 @@ pub struct Scheduler<'a> {
     /// (identity-keyed, so shared prefix pages decode once per step).
     decode_cache: PageDecodeCache,
     finished: Vec<FinishedRequest>,
+    /// Ids torn down by [`Scheduler::cancel`]: a repeated cancel
+    /// reports [`CancelError::Cancelled`] instead of `Unknown`.
+    cancelled: HashSet<RequestId>,
     next_id: u64,
     /// Sum of active streams' unshared page reservations
     /// (`pinned + reserved <= kv.max_pages`).
@@ -484,7 +746,8 @@ impl<'a> Scheduler<'a> {
             pool,
             cfg,
             kv_pool: PagePool::new(cfg.kv),
-            pending: VecDeque::new(),
+            pending: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            wrr_cursor: 0,
             slots: Vec::new(),
             spare_caches: Vec::new(),
             spare_scratches: Vec::new(),
@@ -495,6 +758,7 @@ impl<'a> Scheduler<'a> {
             batch: BatchOutput::new(),
             decode_cache: PageDecodeCache::new(),
             finished: Vec::new(),
+            cancelled: HashSet::new(),
             next_id: 0,
             reserved_pages: 0,
             stats: SchedulerStats::default(),
@@ -557,6 +821,17 @@ impl<'a> Scheduler<'a> {
         primary + (n - 1) * self.member_tail_pages(request, prefix_len)
     }
 
+    /// Worst-case KV page demand of resuming suspended stream `s`: its
+    /// full sequence so far plus its remaining generation budget, with
+    /// no sharing discounts (resume re-prefills privately). The sum
+    /// `tokens.len() + (max_new - generated)` telescopes to
+    /// `prompt_len + max_new`, so the demand is fixed at suspend time —
+    /// victim selection checks it against the pool capacity up front,
+    /// guaranteeing every suspended stream can eventually resume.
+    fn resume_demand(&self, s: &SuspendedStream) -> usize {
+        self.model.config().n_layers * self.cfg.kv.pages_for(s.prompt_len + s.max_new)
+    }
+
     /// Pages one member of a multi-sample group reserves privately: its
     /// worst-case pages beyond the prompt's whole (group-shared) pages.
     fn member_tail_pages(&self, request: &Request, prefix_len: usize) -> usize {
@@ -607,17 +882,25 @@ impl<'a> Scheduler<'a> {
         }
         let pages = self.pages_needed(&request);
         if let Some(capacity) = self.kv_pool.capacity() {
-            // Saturating: registration keeps `pinned <= capacity`, but a
-            // capacity check must degrade to "zero headroom", never
-            // underflow, if that invariant is ever perturbed.
-            let capacity = capacity.saturating_sub(self.pinned_pages);
+            // Two distinct refusals: a demand beyond the *raw* capacity
+            // can never be served (permanent), while one beyond the
+            // currently unpinned capacity could fit after a
+            // `release_prefix` (transient). Saturating: registration
+            // keeps `pinned <= capacity`, but a capacity check must
+            // degrade to "zero headroom", never underflow, if that
+            // invariant is ever perturbed.
             if pages > capacity {
                 return Err(SubmitError::ExceedsPoolCapacity { pages, capacity });
+            }
+            let available = capacity.saturating_sub(self.pinned_pages);
+            if pages > available {
+                return Err(SubmitError::PoolSaturated { pages, available });
             }
         }
         let id = RequestId(self.next_id);
         self.next_id += 1;
-        self.pending.push_back(Pending { id, request });
+        let class = request.priority.index();
+        self.pending[class].push_back(WorkItem::New(Pending { id, request }));
         Ok(id)
     }
 
@@ -660,22 +943,32 @@ impl<'a> Scheduler<'a> {
         }
         let pages = self.model.config().n_layers * self.kv_pool.pages_for(tokens.len());
         if let Some(cap) = self.kv_pool.capacity() {
+            if pages > cap {
+                return Err(SubmitError::ExceedsPoolCapacity {
+                    pages,
+                    capacity: cap,
+                });
+            }
             // The pin must leave room for the immediate prefill next to
             // every active reservation, and for the largest already-
-            // accepted pending request once the pool drains — otherwise
-            // this registration would strand a request submit promised
-            // to serve.
+            // accepted work item once the pool drains — pending request
+            // or suspended stream — otherwise this registration would
+            // strand work submit already promised to serve.
             let worst_pending = self
                 .pending
                 .iter()
-                .map(|p| self.pages_needed(&p.request))
+                .flatten()
+                .map(|item| match item {
+                    WorkItem::New(p) => self.pages_needed(&p.request),
+                    WorkItem::Resume(s) => self.resume_demand(s),
+                })
                 .max()
                 .unwrap_or(0);
-            let capacity = cap
+            let available = cap
                 .saturating_sub(self.pinned_pages)
                 .saturating_sub(self.reserved_pages.max(worst_pending));
-            if pages > capacity {
-                return Err(SubmitError::ExceedsPoolCapacity { pages, capacity });
+            if pages > available {
+                return Err(SubmitError::PoolSaturated { pages, available });
             }
         }
         let mut cache = self.kv_pool.new_cache(self.model.config().n_layers);
@@ -715,12 +1008,19 @@ impl<'a> Scheduler<'a> {
         let Some(entry) = self.prefixes.get(key) else {
             return Err(ReleasePrefixError::UnknownKey);
         };
-        let pending: Vec<RequestId> = self
+        let mut pending: Vec<RequestId> = self
             .pending
             .iter()
-            .filter(|p| p.request.prefix.as_deref() == Some(key))
-            .map(|p| p.id)
+            .flatten()
+            .filter_map(|item| match item {
+                WorkItem::New(p) if p.request.prefix.as_deref() == Some(key) => Some(p.id),
+                // Suspended streams re-prefill their full sequence
+                // privately at resume — they no longer depend on the
+                // pinned cache.
+                _ => None,
+            })
             .collect();
+        pending.sort();
         if entry.active > 0 || !pending.is_empty() {
             return Err(ReleasePrefixError::InUse {
                 active_forks: entry.active,
@@ -733,11 +1033,6 @@ impl<'a> Scheduler<'a> {
         // longer co-owned rejoins the pool's free list.
         drop(entry.cache);
         Ok(entry.pinned_pages)
-    }
-
-    /// Pages pinned by all registered prefix caches.
-    pub fn pinned_pages(&self) -> usize {
-        self.pinned_pages
     }
 
     /// The token length of the prefix registered under `key`.
@@ -780,7 +1075,7 @@ impl<'a> Scheduler<'a> {
             let Some(cursor) = stream.prefill_cursor else {
                 continue;
             };
-            let take = (stream.prompt_len - cursor).min(chunk_budget);
+            let take = (stream.prefill_target - cursor).min(chunk_budget);
             stream.step_chunk = take;
             chunk_budget -= take;
             chunk_tokens += take;
@@ -893,13 +1188,19 @@ impl<'a> Scheduler<'a> {
                 + take;
             self.stats.prefill_tokens += take as u64;
             self.stats.prefill_chunks += 1;
-            if cursor == stream.prompt_len {
+            if cursor == stream.prefill_target {
                 stream.prefill_cursor = None;
                 // The completed prompt enters the prefix cache only now
                 // — insert-on-completion mirrors the monolithic path's
                 // insert-after-prefill, so the tree never serves a
-                // partially prefilled prefix.
-                if self.cfg.auto_prefix && stream.prefix.is_none() {
+                // partially prefilled prefix. Resumed streams
+                // (`prefill_target > prompt_len`) stay out: their
+                // re-prefilled sequence includes generated tokens,
+                // which are not a prompt.
+                if self.cfg.auto_prefix
+                    && stream.prefix.is_none()
+                    && stream.prefill_target == stream.prompt_len
+                {
                     self.radix
                         .insert(&stream.tokens[..stream.prompt_len], &mut stream.cache);
                 }
@@ -989,14 +1290,24 @@ impl<'a> Scheduler<'a> {
         std::mem::take(&mut self.finished)
     }
 
-    /// `true` when no request is pending or active.
+    /// `true` when no request is pending, suspended, or active.
     pub fn is_idle(&self) -> bool {
-        self.pending.is_empty() && self.slots.iter().all(Option::is_none)
+        self.pending.iter().all(VecDeque::is_empty) && self.slots.iter().all(Option::is_none)
     }
 
-    /// Requests queued but not yet admitted.
+    /// Work items queued but not holding a slot: unadmitted requests
+    /// plus preemption-suspended streams awaiting resume.
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.pending.iter().map(VecDeque::len).sum()
+    }
+
+    /// Preemption-suspended streams currently parked for resume.
+    pub fn suspended_len(&self) -> usize {
+        self.pending
+            .iter()
+            .flatten()
+            .filter(|item| matches!(item, WorkItem::Resume(_)))
+            .count()
     }
 
     /// Streams currently holding a slot.
@@ -1005,36 +1316,78 @@ impl<'a> Scheduler<'a> {
     }
 
     /// Tokens generated so far by the primary (sample 0) stream of
-    /// `id`, or `None` while it is not active (pending, or already
-    /// finished). A still-prefilling chunked stream reports `Some(0)` —
-    /// the probe a latency harness needs to measure time-to-first-token
-    /// step by step.
+    /// `id`, or `None` while it is neither active nor suspended
+    /// (pending, or already finished). A still-prefilling chunked
+    /// stream reports `Some(0)` — the probe a latency harness needs to
+    /// measure time-to-first-token step by step. A suspended stream
+    /// reports its generated-so-far count.
     pub fn generated_len(&self, id: RequestId) -> Option<usize> {
+        self.stream_tokens(id)
+            .zip(self.prompt_len_of(id))
+            .map(|(tokens, prompt)| tokens.len().saturating_sub(prompt))
+    }
+
+    /// The token sequence (effective prompt + generated so far) of the
+    /// primary stream of `id`, while it is live (active or suspended) —
+    /// the poll surface [`Engine`](crate::Engine) handles stream
+    /// incremental tokens from.
+    pub fn stream_tokens(&self, id: RequestId) -> Option<&[usize]> {
         self.slots
             .iter()
             .flatten()
             .find(|s| s.id == id && s.sample_index == 0)
-            .map(|s| s.tokens.len().saturating_sub(s.prompt_len))
+            .map(|s| s.tokens.as_slice())
+            .or_else(|| {
+                self.pending.iter().flatten().find_map(|item| match item {
+                    WorkItem::Resume(s) if s.id == id => Some(s.tokens.as_slice()),
+                    _ => None,
+                })
+            })
     }
 
-    /// Unshared KV pages reserved by active streams and live sampling
-    /// groups (`pinned_pages() + reserved_pages() +
-    /// radix_resident_pages()` never exceeds the pool capacity).
-    pub fn reserved_pages(&self) -> usize {
-        self.reserved_pages
+    /// Effective prompt length of the live request `id` (prefix tokens
+    /// included), if it is active or suspended.
+    fn prompt_len_of(&self, id: RequestId) -> Option<usize> {
+        self.slots
+            .iter()
+            .flatten()
+            .find(|s| s.id == id && s.sample_index == 0)
+            .map(|s| s.prompt_len)
+            .or_else(|| {
+                self.pending.iter().flatten().find_map(|item| match item {
+                    WorkItem::Resume(s) if s.id == id => Some(s.prompt_len),
+                    _ => None,
+                })
+            })
     }
 
-    /// Pages held resident by the automatic prefix cache (0 unless
-    /// [`SchedulerConfig::auto_prefix`] is on). Counted against the
-    /// admission watermark; reclaimed by LRU eviction under pressure or
-    /// by [`Scheduler::flush_prefix_cache`].
-    pub fn radix_resident_pages(&self) -> usize {
-        self.radix.resident_pages()
+    /// Lifecycle position of the live request `id`: `Pending`,
+    /// `Prefilling`, `Decoding` or `Suspended` — `None` once it has
+    /// finished or was cancelled (the [`Engine`](crate::Engine) keeps
+    /// that bookkeeping).
+    pub fn status(&self, id: RequestId) -> Option<StreamStatus> {
+        if let Some(s) = self
+            .slots
+            .iter()
+            .flatten()
+            .find(|s| s.id == id && s.sample_index == 0)
+        {
+            return Some(if s.prefill_cursor.is_some() {
+                StreamStatus::Prefilling
+            } else {
+                StreamStatus::Decoding
+            });
+        }
+        self.pending.iter().flatten().find_map(|item| match item {
+            WorkItem::New(p) if p.id == id => Some(StreamStatus::Pending),
+            WorkItem::Resume(s) if s.id == id => Some(StreamStatus::Suspended),
+            _ => None,
+        })
     }
 
-    /// Nodes currently in the automatic prefix cache's radix tree.
-    pub fn radix_nodes(&self) -> usize {
-        self.radix.node_count()
+    /// Whether `id` was torn down by [`Scheduler::cancel`].
+    pub fn is_cancelled(&self, id: RequestId) -> bool {
+        self.cancelled.contains(&id)
     }
 
     /// Evicts every evictable automatic-prefix-cache node (all nodes no
@@ -1048,8 +1401,35 @@ impl<'a> Scheduler<'a> {
     }
 
     /// KV positions actually cached right now across active streams.
-    pub fn cached_tokens(&self) -> usize {
+    fn cached_tokens(&self) -> usize {
         self.slots.iter().flatten().map(|s| s.cache.len()).sum()
+    }
+
+    /// One coherent view of the page accounting: pool occupancy, pinned
+    /// prefix pages, stream reservations and radix residency, read at
+    /// one instant — the replacement for the old per-quantity getters.
+    pub fn pool_snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot {
+            capacity: self.kv_pool.capacity(),
+            pages_created: self.kv_pool.pages_created(),
+            pages_in_use: self.kv_pool.pages_in_use(),
+            pages_free: self.kv_pool.pages_free(),
+            pinned_pages: self.pinned_pages,
+            reserved_pages: self.reserved_pages,
+            radix_resident_pages: self.radix.resident_pages(),
+            cached_tokens: self.cached_tokens(),
+        }
+    }
+
+    /// One coherent view of the automatic prefix cache: tree shape,
+    /// residency, eviction and hit counters.
+    pub fn prefix_cache_snapshot(&self) -> PrefixCacheSnapshot {
+        PrefixCacheSnapshot {
+            nodes: self.radix.node_count(),
+            resident_pages: self.radix.resident_pages(),
+            evictions: self.radix.evictions(),
+            hit_tokens: self.stats.cache_hit_tokens,
+        }
     }
 
     /// The KV page pool streams lease from (page accounting lives here).
@@ -1067,28 +1447,263 @@ impl<'a> Scheduler<'a> {
         self.cfg
     }
 
-    /// FIFO admission: only the queue head may be admitted, into the
-    /// first free slot(s), while both enough slots for its whole sample
-    /// group and free-page headroom exist (`pinned + reserved +
-    /// radix_resident + demand <= capacity`, the free-page watermark
-    /// over *unshared* demand). A prefix request's cache is forked from
-    /// the registry's pinned cache — the prefix positions arrive as
-    /// refcounted shared pages, already prefilled — and only the private
-    /// prompt suffix is prefilled, so the stream can still sample its
-    /// first token this iteration. With `auto_prefix`, a plain request
-    /// is first matched against the radix tree (forking its longest
-    /// cached whole-page prefix the same way) and its full prompt is
-    /// inserted back after prefill; when the watermark blocks, cold tree
-    /// leaves are evicted LRU before giving up. Multi-sample requests
-    /// fork `n - 1` siblings off the primary's just-prefilled cache at
-    /// its live position.
+    /// Weighted-round-robin admission over the per-class queues: the
+    /// schedule entry under the cursor names a class; that class's head
+    /// work item (new request, or suspended resume — resumes park at
+    /// the front) is offered admission. A grant advances the cursor; a
+    /// blocked head parks the cursor and stops admission entirely —
+    /// within a class there is no overtaking, so class order is exactly
+    /// submission order and accepted work is never starved by later,
+    /// smaller requests. With single-class traffic this degenerates to
+    /// the old FIFO admission.
+    ///
+    /// Blocked means: not enough free slots for the whole sample group
+    /// (the arrival parks — slots turn over every few steps, so waiting
+    /// is cheap and keeps the WRR bound intact), or the page watermark
+    /// (`pinned + reserved + radix_resident + demand <= capacity`, over
+    /// *unshared* demand) fails even after LRU eviction of cold radix
+    /// leaves. Page pressure is the expensive kind of blocked — a big
+    /// incumbent can hold pages for its whole generation — so there,
+    /// with [`SchedulerConfig::preemption`] on, victims the arrival
+    /// strictly outranks are suspended ([`Scheduler::suspend`]) and the
+    /// watermark retried before giving up.
     fn admit(&mut self) {
-        while let Some(front) = self.pending.front() {
-            let n = front.request.mode.samples();
-            if self.active_len() + n > self.cfg.max_batch {
+        while let Some(class) = self.next_wrr_class() {
+            let item = self.pending[class]
+                .pop_front()
+                .expect("WRR picked a non-empty class");
+            let admitted = match item {
+                WorkItem::New(pending) => self.admit_new(class, pending),
+                WorkItem::Resume(suspended) => self.admit_resume(class, suspended),
+            };
+            if !admitted {
                 break;
             }
-            let Pending { id, request } = self.pending.pop_front().expect("front exists");
+            self.wrr_cursor = (self.wrr_cursor + 1) % WRR_SCHEDULE.len();
+        }
+    }
+
+    /// The class the WRR cursor selects: the first schedule entry at or
+    /// after the cursor whose class has pending work (the cursor parks
+    /// on that entry). `None` when every queue is empty.
+    fn next_wrr_class(&mut self) -> Option<usize> {
+        for i in 0..WRR_SCHEDULE.len() {
+            let pos = (self.wrr_cursor + i) % WRR_SCHEDULE.len();
+            let class = WRR_SCHEDULE[pos].index();
+            if !self.pending[class].is_empty() {
+                self.wrr_cursor = pos;
+                return Some(class);
+            }
+        }
+        None
+    }
+
+    /// Suspends the best preemption victim for a blocked arrival of
+    /// class `rank`: an active, not-yet-done, single-sample stream of a
+    /// strictly lower class whose (undiscounted) resume demand fits the
+    /// pool — lowest class first, most reserved pages among equals,
+    /// highest slot as the final deterministic tie-break. Returns
+    /// `false` (suspending nothing) when preemption is off or no such
+    /// victim exists. Multi-sample groups are never victims: their
+    /// shared-page ledger and lockstep sibling decode are not
+    /// suspendable.
+    fn preempt_for(&mut self, rank: usize) -> bool {
+        if !self.cfg.preemption {
+            return false;
+        }
+        let n_layers = self.model.config().n_layers;
+        let victim = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|s| (i, s)))
+            .filter(|(_, s)| s.done.is_none() && s.group.is_none())
+            .filter(|(_, s)| s.priority.index() > rank)
+            .filter(|(_, s)| match self.kv_pool.capacity() {
+                // A victim must stay resumable: its re-prefill demand
+                // has to fit next to the pinned pages, or suspending it
+                // would strand it forever.
+                Some(cap) => {
+                    n_layers * self.cfg.kv.pages_for(s.prompt_len + s.max_new)
+                        <= cap.saturating_sub(self.pinned_pages)
+                }
+                None => true,
+            })
+            .max_by_key(|&(i, s)| (s.priority.index(), s.reserved_pages, i))
+            .map(|(i, _)| i);
+        let Some(slot) = victim else { return false };
+        self.suspend(slot);
+        true
+    }
+
+    /// Unschedules the stream in `slot`: releases its worst-case page
+    /// reservation and its physical KV pages back to the pool
+    /// ([`KvCache::release_pages`]), detaches it from the prefix
+    /// registry and the radix tree (resume re-prefills privately, so it
+    /// no longer blocks a `release_prefix` or an eviction), and parks
+    /// its tokens-so-far plus its *live* RNG at the front of its class
+    /// queue as a resume item — the class's very next grant.
+    fn suspend(&mut self, slot: usize) {
+        let mut stream = self.slots[slot].take().expect("victim slot is occupied");
+        self.reserved_pages -= stream.reserved_pages;
+        if let Some(key) = stream.prefix.take() {
+            self.prefixes
+                .get_mut(&key)
+                .expect("registrations outlive their streams")
+                .active -= 1;
+        }
+        if let Some(node) = stream.radix_node.take() {
+            self.radix.release(node);
+        }
+        stream.cache.release_pages();
+        if self.spare_caches.len() < self.cfg.max_batch {
+            self.spare_caches.push(stream.cache);
+        }
+        self.spare_scratches.push(stream.scratch);
+        self.stats.preemptions += 1;
+        let class = stream.priority.index();
+        self.pending[class].push_front(WorkItem::Resume(SuspendedStream {
+            id: stream.id,
+            tokens: stream.tokens,
+            prompt_len: stream.prompt_len,
+            max_new: stream.max_new,
+            eos: stream.eos,
+            sampling: stream.sampling,
+            priority: stream.priority,
+            rng: stream.rng,
+        }));
+    }
+
+    /// Makes `demand` pages admissible under the watermark for an
+    /// arrival of class `class`: LRU-evicts cold radix leaves first,
+    /// then suspends strictly-outranked victims until the demand fits.
+    /// `false` when it cannot (the caller pushes its work item back).
+    fn ensure_headroom(&mut self, class: usize, demand: usize) -> bool {
+        let Some(cap) = self.kv_pool.capacity() else {
+            return true;
+        };
+        loop {
+            let claimed = self.pinned_pages + self.reserved_pages + self.radix.resident_pages();
+            if claimed + demand <= cap {
+                return true;
+            }
+            // Page pressure: reclaim cold cached prefixes before
+            // preempting or refusing. Eviction only drops unreferenced
+            // leaves, so acquired hits (and every active stream's
+            // match) are safe.
+            self.radix.evict_lru(claimed + demand - cap);
+            self.stats.radix_evictions = self.radix.evictions();
+            let claimed = self.pinned_pages + self.reserved_pages + self.radix.resident_pages();
+            if claimed + demand <= cap {
+                return true;
+            }
+            if !self.preempt_for(class) {
+                return false;
+            }
+        }
+    }
+
+    /// Re-admits a suspended stream: one slot, undiscounted page
+    /// demand, then a re-prefill of its full token sequence so far —
+    /// monolithic (the stream then samples from the prefill's
+    /// last-position logits like a fresh admission), or chunked when
+    /// the config prefers it (the re-prefill rides the per-step budget
+    /// and the first resumed token comes off the batched LM head).
+    /// Either way the parked RNG continues, so the remaining tokens are
+    /// bit-identical to a twin that was never suspended. Returns
+    /// `false` (work item pushed back) when blocked.
+    fn admit_resume(&mut self, class: usize, suspended: SuspendedStream) -> bool {
+        if self.active_len() + 1 > self.cfg.max_batch {
+            self.pending[class].push_front(WorkItem::Resume(suspended));
+            return false;
+        }
+        let demand = self.resume_demand(&suspended);
+        if !self.ensure_headroom(class, demand) {
+            self.pending[class].push_front(WorkItem::Resume(suspended));
+            return false;
+        }
+        let SuspendedStream {
+            id,
+            tokens,
+            prompt_len,
+            max_new,
+            eos,
+            sampling,
+            priority,
+            rng,
+        } = suspended;
+        let mut scratch = self.spare_scratches.pop().unwrap_or_default();
+        let mut cache = self
+            .spare_caches
+            .pop()
+            .unwrap_or_else(|| self.kv_pool.new_cache(self.model.config().n_layers));
+        debug_assert!(cache.is_empty(), "spare caches are reset at retirement");
+        let chunked = self.cfg.prefill_chunk_tokens.is_some();
+        if !chunked {
+            if self.active_len() > 0 {
+                self.stats.stalled_prefill_tokens += tokens.len() as u64;
+            }
+            self.model.prefill(&tokens, &mut cache, &mut scratch);
+            self.stats.prefill_tokens += tokens.len() as u64;
+        }
+        self.stats.resumes += 1;
+        self.stats.resumed_prefill_tokens += tokens.len() as u64;
+        self.reserved_pages += demand;
+        let prefill_target = tokens.len();
+        let stream = Stream {
+            id,
+            tokens,
+            prompt_len,
+            max_new,
+            eos,
+            sampling,
+            priority,
+            rng,
+            cache,
+            scratch,
+            reserved_pages: demand,
+            prefix: None,
+            radix_node: None,
+            group: None,
+            sample_index: 0,
+            cum_logprob: 0.0,
+            // The next token draws from the re-prefill's last-position
+            // logits — exactly the logits the never-suspended twin
+            // sampled its next token from.
+            fresh: !chunked,
+            prefill_cursor: chunked.then_some(0),
+            prefill_target,
+            step_chunk: 0,
+            done: None,
+        };
+        self.stats.peak_pages_in_use = self
+            .stats
+            .peak_pages_in_use
+            .max(self.kv_pool.pages_in_use());
+        self.place(stream);
+        true
+    }
+
+    /// Admits one new request — the per-item body of the old FIFO
+    /// admission. A prefix request's cache is forked from the
+    /// registry's pinned cache — the prefix positions arrive as
+    /// refcounted shared pages, already prefilled — and only the
+    /// private prompt suffix is prefilled, so the stream can still
+    /// sample its first token this iteration. With `auto_prefix`, a
+    /// plain request is first matched against the radix tree (forking
+    /// its longest cached whole-page prefix the same way) and its full
+    /// prompt is inserted back after prefill. Multi-sample requests
+    /// fork `n - 1` siblings off the primary's just-prefilled cache at
+    /// its live position. Returns `false` (work item pushed back) when
+    /// blocked on slots or pages.
+    fn admit_new(&mut self, class: usize, pending: Pending) -> bool {
+        let n = pending.request.mode.samples();
+        if self.active_len() + n > self.cfg.max_batch {
+            self.pending[class].push_front(WorkItem::New(pending));
+            return false;
+        }
+        {
+            let Pending { id, request } = pending;
             // Match the prompt against the automatic prefix cache. The
             // lookup is capped one short of the prompt: a fresh stream
             // samples its first token from the prefill logits of its
@@ -1105,24 +1720,12 @@ impl<'a> Scheduler<'a> {
                 None
             };
             let demand = self.demand_with_hit(&request, hit.map_or(0, |m| m.depth));
-            if let Some(cap) = self.kv_pool.capacity() {
-                let claimed = self.pinned_pages + self.reserved_pages + self.radix.resident_pages();
-                if claimed + demand > cap {
-                    // Page pressure: reclaim cold cached prefixes before
-                    // refusing. Eviction only drops unreferenced leaves,
-                    // so the acquired hit (and every active stream's
-                    // match) is safe.
-                    self.radix.evict_lru(claimed + demand - cap);
-                    self.stats.radix_evictions = self.radix.evictions();
+            if !self.ensure_headroom(class, demand) {
+                if let Some(m) = hit {
+                    self.radix.release(m.node);
                 }
-                let claimed = self.pinned_pages + self.reserved_pages + self.radix.resident_pages();
-                if claimed + demand > cap {
-                    if let Some(m) = hit {
-                        self.radix.release(m.node);
-                    }
-                    self.pending.push_front(Pending { id, request });
-                    break;
-                }
+                self.pending[class].push_front(WorkItem::New(Pending { id, request }));
+                return false;
             }
             let mut scratch = self.spare_scratches.pop().unwrap_or_default();
             let (mut cache, mut tokens) = match request.prefix.as_deref() {
@@ -1249,6 +1852,7 @@ impl<'a> Scheduler<'a> {
                     max_new: request.max_new,
                     eos: request.eos,
                     sampling: request.sampling,
+                    priority: request.priority,
                     rng: Rng::new(request.sampling.seed.wrapping_add(i as u64)),
                     cache: sib_cache,
                     scratch: sib_scratch,
@@ -1260,6 +1864,7 @@ impl<'a> Scheduler<'a> {
                     cum_logprob: 0.0,
                     fresh: true,
                     prefill_cursor: None,
+                    prefill_target: prompt_len,
                     step_chunk: 0,
                     done,
                 });
@@ -1271,6 +1876,7 @@ impl<'a> Scheduler<'a> {
                 max_new: request.max_new,
                 eos: request.eos,
                 sampling: request.sampling,
+                priority: request.priority,
                 rng: Rng::new(request.sampling.seed),
                 cache,
                 scratch,
@@ -1285,6 +1891,7 @@ impl<'a> Scheduler<'a> {
                 // logits — it is never `fresh`.
                 fresh: !chunked,
                 prefill_cursor: chunked.then_some(cached),
+                prefill_target: prompt_len,
                 step_chunk: 0,
                 done,
             });
@@ -1305,6 +1912,92 @@ impl<'a> Scheduler<'a> {
                 }
             }
         }
+        true
+    }
+
+    /// Cancels the request `id` wherever it currently lives, freeing
+    /// its resources this step:
+    ///
+    /// - still queued (new or suspended): removed from its class queue
+    ///   — [`Cancelled::Pending`] / [`Cancelled::Suspended`];
+    /// - active: every sibling stream is discarded this step — pages
+    ///   released, prefix/radix references dropped, group ledger (and
+    ///   its shared-page charge) retired with no result recorded —
+    ///   [`Cancelled::Active`] with the number of streams torn down.
+    ///
+    /// A finished-but-undrained request reports
+    /// [`CancelError::AlreadyFinished`] (its result stays collectable);
+    /// an unknown or already-drained id reports
+    /// [`CancelError::Unknown`]; a repeated cancel reports
+    /// [`CancelError::Cancelled`]. Co-batched survivors are untouched —
+    /// their pages, positions and RNGs never observe the cancel, so
+    /// their tokens stay bit-identical to a run where the cancelled
+    /// request was never submitted.
+    pub fn cancel(&mut self, id: RequestId) -> Result<Cancelled, CancelError> {
+        if self.cancelled.contains(&id) {
+            return Err(CancelError::Cancelled(id));
+        }
+        for queue in &mut self.pending {
+            if let Some(pos) = queue.iter().position(|item| item.id() == id) {
+                let item = queue.remove(pos).expect("position just found");
+                self.stats.cancelled += 1;
+                self.cancelled.insert(id);
+                return Ok(match item {
+                    WorkItem::New(_) => Cancelled::Pending,
+                    WorkItem::Resume(_) => Cancelled::Suspended,
+                });
+            }
+        }
+        let slots: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.as_ref().is_some_and(|s| s.id == id))
+            .map(|(i, _)| i)
+            .collect();
+        if !slots.is_empty() {
+            let mut streams = 0;
+            for i in slots {
+                let stream = self.slots[i].take().expect("slot matched above");
+                self.discard(stream);
+                streams += 1;
+            }
+            // The whole group is gone: retire its ledger and the
+            // shared-page charge no member carried individually.
+            if let Some(group) = self.groups.remove(&id.0) {
+                self.reserved_pages -= group.shared_pages;
+            }
+            self.stats.cancelled += 1;
+            self.cancelled.insert(id);
+            return Ok(Cancelled::Active { streams });
+        }
+        if self.finished.iter().any(|f| f.id == id) {
+            return Err(CancelError::AlreadyFinished(id));
+        }
+        Err(CancelError::Unknown(id))
+    }
+
+    /// Tears down an active stream without recording a result: the
+    /// page-release half of [`Scheduler::finish`] (reservation, prefix
+    /// and radix references, physical pages, recycled allocations) with
+    /// no `FinishedRequest` and no group bookkeeping — the cancel path
+    /// retires the ledger wholesale instead.
+    fn discard(&mut self, mut stream: Stream) {
+        self.reserved_pages -= stream.reserved_pages;
+        if let Some(key) = stream.prefix.take() {
+            self.prefixes
+                .get_mut(&key)
+                .expect("registrations outlive their streams")
+                .active -= 1;
+        }
+        if let Some(node) = stream.radix_node.take() {
+            self.radix.release(node);
+        }
+        stream.cache.reset();
+        if self.spare_caches.len() < self.cfg.max_batch {
+            self.spare_caches.push(stream.cache);
+        }
+        self.spare_scratches.push(stream.scratch);
     }
 
     /// Puts `stream` in the first free slot (growing up to `max_batch`).

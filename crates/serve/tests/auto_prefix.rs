@@ -9,9 +9,7 @@ use std::sync::OnceLock;
 use anda_llm::kv::{KvPoolConfig, KvStorage};
 use anda_llm::zoo::opt_125m_sim;
 use anda_llm::Model;
-use anda_serve::{
-    FinishedRequest, Request, SamplingMode, SamplingParams, Scheduler, SchedulerConfig,
-};
+use anda_serve::{FinishedRequest, Request, Scheduler, SchedulerConfig};
 
 fn model() -> &'static Model {
     static MODEL: OnceLock<Model> = OnceLock::new();
@@ -29,31 +27,31 @@ fn workload() -> Vec<Request> {
         p
     };
     vec![
-        Request::greedy(with_tail(24, &[7, 8, 9]), 8),
-        Request::greedy(with_tail(24, &[7, 8, 9]), 8), // exact repeat
-        Request {
-            prompt: with_tail(16, &[300, 301]),
-            prefix: None,
-            max_new: 6,
-            eos: None,
-            sampling: SamplingParams {
-                temperature: 0.9,
-                seed: 7,
-            },
-            mode: SamplingMode::Single,
-        },
-        Request {
-            prompt: with_tail(8, &[42]),
-            prefix: None,
-            max_new: 10,
-            eos: Some(40),
-            sampling: SamplingParams {
-                temperature: 1.1,
-                seed: 99,
-            },
-            mode: SamplingMode::Single,
-        },
-        Request::greedy(vec![450, 451, 452, 453], 5), // unrelated
+        Request::builder(with_tail(24, &[7, 8, 9]))
+            .max_new(8)
+            .build()
+            .unwrap(),
+        Request::builder(with_tail(24, &[7, 8, 9]))
+            .max_new(8)
+            .build()
+            .unwrap(), // exact repeat
+        Request::builder(with_tail(16, &[300, 301]))
+            .max_new(6)
+            .temperature(0.9)
+            .seed(7)
+            .build()
+            .unwrap(),
+        Request::builder(with_tail(8, &[42]))
+            .max_new(10)
+            .eos(40)
+            .temperature(1.1)
+            .seed(99)
+            .build()
+            .unwrap(),
+        Request::builder(vec![450, 451, 452, 453])
+            .max_new(5)
+            .build()
+            .unwrap(), // unrelated
     ]
 }
 
@@ -139,8 +137,12 @@ fn repeat_prompt_hit_accounting_is_exact() {
             ..SchedulerConfig::default()
         },
     );
-    sched.submit(Request::greedy(prompt.clone(), 4)).unwrap();
-    sched.submit(Request::greedy(prompt.clone(), 4)).unwrap();
+    sched
+        .submit(Request::builder(prompt.clone()).max_new(4).build().unwrap())
+        .unwrap();
+    sched
+        .submit(Request::builder(prompt.clone()).max_new(4).build().unwrap())
+        .unwrap();
     let done = sched.run_to_completion();
     assert_eq!(done.len(), 2);
     assert_eq!(done[0].tokens, done[1].tokens);
@@ -150,8 +152,11 @@ fn repeat_prompt_hit_accounting_is_exact() {
     assert_eq!(stats.prefix_forks, 1);
     // The tree retains the prompt's whole pages after the drain; an
     // explicit flush returns the pool to empty.
-    assert!(sched.radix_resident_pages() > 0);
-    assert_eq!(sched.kv_pool().pages_in_use(), sched.radix_resident_pages());
+    assert!(sched.pool_snapshot().radix_resident_pages > 0);
+    assert_eq!(
+        sched.kv_pool().pages_in_use(),
+        sched.pool_snapshot().radix_resident_pages
+    );
     sched.flush_prefix_cache();
     assert_eq!(sched.kv_pool().pages_in_use(), 0);
 }
@@ -171,7 +176,7 @@ fn eviction_under_page_pressure_stays_bit_exact() {
             .map(|i| {
                 let mut p: Vec<usize> = (0..18).map(|j| (j * 31 + tag * 101 + 13) % 500).collect();
                 p.push(tag * 10 + i);
-                Request::greedy(p, 4)
+                Request::builder(p).max_new(4).build().unwrap()
             })
             .collect()
     };
@@ -251,7 +256,9 @@ fn auto_prefix_coexists_with_explicit_registry() {
         let prefix: Vec<usize> = (0..16).map(|i| (i * 7 + 3) % 500).collect();
         sched.register_prefix("sys", prefix).unwrap();
         for r in workload() {
-            sched.submit(r.clone().with_prefix("sys")).unwrap();
+            let mut prefixed = r.clone();
+            prefixed.prefix = Some("sys".into());
+            sched.submit(prefixed).unwrap();
             sched.submit(r).unwrap();
         }
         let done = sorted_outputs(sched.run_to_completion());

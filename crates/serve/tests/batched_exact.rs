@@ -14,10 +14,7 @@ use std::sync::OnceLock;
 
 use anda_llm::zoo::{opt_125m_sim, sim_model};
 use anda_llm::Model;
-use anda_serve::{
-    FinishReason, KvPoolConfig, Request, RequestId, SamplingMode, SamplingParams, Scheduler,
-    SchedulerConfig,
-};
+use anda_serve::{FinishReason, KvPoolConfig, Request, RequestId, Scheduler, SchedulerConfig};
 use anda_tensor::Rng;
 use rayon_lite::ThreadPool;
 
@@ -50,40 +47,25 @@ fn reference(model: &Model, req: &Request) -> Vec<usize> {
 /// lengths, temperatures and seeds.
 fn workload() -> Vec<Request> {
     vec![
-        Request::greedy(vec![1, 2, 3], 12),
-        Request {
-            prompt: vec![400, 5],
-            prefix: None,
-            max_new: 9,
-            eos: None,
-            sampling: SamplingParams {
-                temperature: 0.9,
-                seed: 7,
-            },
-            mode: SamplingMode::Single,
-        },
-        Request {
-            prompt: vec![9, 9, 9, 12, 40],
-            prefix: None,
-            max_new: 15,
-            eos: None,
-            sampling: SamplingParams {
-                temperature: 1.2,
-                seed: 99,
-            },
-            mode: SamplingMode::Single,
-        },
-        Request {
-            prompt: vec![17, 250, 3],
-            prefix: None,
-            max_new: 6,
-            eos: None,
-            sampling: SamplingParams {
-                temperature: 0.7,
-                seed: 12345,
-            },
-            mode: SamplingMode::Single,
-        },
+        Request::builder(vec![1, 2, 3]).max_new(12).build().unwrap(),
+        Request::builder(vec![400, 5])
+            .max_new(9)
+            .temperature(0.9)
+            .seed(7)
+            .build()
+            .unwrap(),
+        Request::builder(vec![9, 9, 9, 12, 40])
+            .max_new(15)
+            .temperature(1.2)
+            .seed(99)
+            .build()
+            .unwrap(),
+        Request::builder(vec![17, 250, 3])
+            .max_new(6)
+            .temperature(0.7)
+            .seed(12345)
+            .build()
+            .unwrap(),
     ]
 }
 
@@ -220,29 +202,19 @@ fn budget_constrained_admission_waves_stay_exact() {
 fn llama_family_batched_decode_is_exact() {
     let model = llama();
     let reqs = vec![
-        Request::greedy(vec![4, 8, 15], 8),
-        Request {
-            prompt: vec![16, 23],
-            prefix: None,
-            max_new: 10,
-            eos: None,
-            sampling: SamplingParams {
-                temperature: 1.0,
-                seed: 2024,
-            },
-            mode: SamplingMode::Single,
-        },
-        Request {
-            prompt: vec![42, 108, 3, 7],
-            prefix: None,
-            max_new: 5,
-            eos: None,
-            sampling: SamplingParams {
-                temperature: 0.6,
-                seed: 31337,
-            },
-            mode: SamplingMode::Single,
-        },
+        Request::builder(vec![4, 8, 15]).max_new(8).build().unwrap(),
+        Request::builder(vec![16, 23])
+            .max_new(10)
+            .temperature(1.0)
+            .seed(2024)
+            .build()
+            .unwrap(),
+        Request::builder(vec![42, 108, 3, 7])
+            .max_new(5)
+            .temperature(0.6)
+            .seed(31337)
+            .build()
+            .unwrap(),
     ];
     for threads in [1, 4] {
         let pool = ThreadPool::new(threads);
@@ -270,17 +242,12 @@ fn eos_truncation_matches_reference() {
     let model = model();
     // Pick, per seed, the token the reference actually generates third,
     // and use it as EOS — guaranteeing the EOS path fires mid-stream.
-    let base = Request {
-        prompt: vec![30, 60, 90],
-        prefix: None,
-        max_new: 10,
-        eos: None,
-        sampling: SamplingParams {
-            temperature: 1.1,
-            seed: 555,
-        },
-        mode: SamplingMode::Single,
-    };
+    let base = Request::builder(vec![30, 60, 90])
+        .max_new(10)
+        .temperature(1.1)
+        .seed(555)
+        .build()
+        .unwrap();
     let solo = reference(model, &base);
     let eos_tok = solo[base.prompt.len() + 2];
     let req = Request {
@@ -299,7 +266,9 @@ fn eos_truncation_matches_reference() {
     // Run it alongside unrelated traffic to prove batching does not
     // perturb the truncation point.
     sched.submit(req.clone()).unwrap();
-    sched.submit(Request::greedy(vec![1, 2], 6)).unwrap();
+    sched
+        .submit(Request::builder(vec![1, 2]).max_new(6).build().unwrap())
+        .unwrap();
     let finished = sched.run_to_completion();
     let hit = finished.iter().find(|f| f.id == RequestId(0)).unwrap();
     assert_eq!(hit.tokens, reference(model, &req));

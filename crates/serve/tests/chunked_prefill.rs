@@ -12,7 +12,7 @@ use std::sync::OnceLock;
 use anda_llm::kv::{KvPoolConfig, KvStorage};
 use anda_llm::zoo::{opt_125m_sim, sim_model};
 use anda_llm::Model;
-use anda_serve::{Request, SamplingMode, SamplingParams, Scheduler, SchedulerConfig};
+use anda_serve::{Request, Scheduler, SchedulerConfig};
 use rayon_lite::ThreadPool;
 
 fn model() -> &'static Model {
@@ -47,30 +47,21 @@ fn long_prompt(salt: usize) -> Vec<usize> {
 /// must interleave with.
 fn workload() -> Vec<Request> {
     vec![
-        Request::greedy(vec![1, 2, 3], 10),
-        Request::greedy(long_prompt(1), 8),
-        Request {
-            prompt: vec![400, 5, 77, 8],
-            prefix: None,
-            max_new: 8,
-            eos: None,
-            sampling: SamplingParams {
-                temperature: 0.9,
-                seed: 7,
-            },
-            mode: SamplingMode::Single,
-        },
-        Request {
-            prompt: vec![9, 9, 12],
-            prefix: None,
-            max_new: 12,
-            eos: Some(40),
-            sampling: SamplingParams {
-                temperature: 1.1,
-                seed: 99,
-            },
-            mode: SamplingMode::Single,
-        },
+        Request::builder([1, 2, 3]).max_new(10).build().unwrap(),
+        Request::builder(long_prompt(1)).max_new(8).build().unwrap(),
+        Request::builder([400, 5, 77, 8])
+            .max_new(8)
+            .temperature(0.9)
+            .seed(7)
+            .build()
+            .unwrap(),
+        Request::builder([9, 9, 12])
+            .max_new(12)
+            .eos(40)
+            .temperature(1.1)
+            .seed(99)
+            .build()
+            .unwrap(),
     ]
 }
 
@@ -194,10 +185,14 @@ fn chunked_composes_with_auto_prefix() {
         ..SchedulerConfig::default()
     };
     let mut sched = Scheduler::with_pool(model(), cfg, &pool);
-    sched.submit(Request::greedy(long_prompt(1), 4)).unwrap();
+    sched
+        .submit(Request::builder(long_prompt(1)).max_new(4).build().unwrap())
+        .unwrap();
     let first = sched.run_to_completion();
     assert_eq!(sched.stats().cache_hit_tokens, 0);
-    sched.submit(Request::greedy(long_prompt(1), 4)).unwrap();
+    sched
+        .submit(Request::builder(long_prompt(1)).max_new(4).build().unwrap())
+        .unwrap();
     let second = sched.run_to_completion();
     assert!(
         sched.stats().cache_hit_tokens > 0,
@@ -220,19 +215,19 @@ fn groups_stay_monolithic_alongside_chunked_singles() {
         };
         let mut sched = Scheduler::with_pool(model(), cfg, &pool);
         sched
-            .submit(Request {
-                prompt: vec![3, 1, 4, 1, 5],
-                prefix: None,
-                max_new: 6,
-                eos: None,
-                sampling: SamplingParams {
-                    temperature: 0.8,
-                    seed: 11,
-                },
-                mode: SamplingMode::Parallel { n: 2 },
-            })
+            .submit(
+                Request::builder(vec![3, 1, 4, 1, 5])
+                    .max_new(6)
+                    .temperature(0.8)
+                    .seed(11)
+                    .parallel(2)
+                    .build()
+                    .unwrap(),
+            )
             .unwrap();
-        sched.submit(Request::greedy(long_prompt(2), 6)).unwrap();
+        sched
+            .submit(Request::builder(long_prompt(2)).max_new(6).build().unwrap())
+            .unwrap();
         let mut done: Vec<_> = sched
             .run_to_completion()
             .into_iter()
@@ -260,10 +255,14 @@ fn long_arrival_never_stalls_active_decodes() {
         ..SchedulerConfig::default()
     };
     let mut sched = Scheduler::with_pool(model(), cfg, &pool);
-    let short = sched.submit(Request::greedy(vec![5, 6], 40)).unwrap();
+    let short = sched
+        .submit(Request::builder(vec![5, 6]).max_new(40).build().unwrap())
+        .unwrap();
     sched.step();
     assert_eq!(sched.generated_len(short), Some(1));
-    let long = sched.submit(Request::greedy(long_prompt(3), 5)).unwrap();
+    let long = sched
+        .submit(Request::builder(long_prompt(3)).max_new(5).build().unwrap())
+        .unwrap();
 
     // ceil(LONG / chunk) steps of prefill; the final chunk's step also
     // samples the long stream's first token. The short stream advances
@@ -298,9 +297,13 @@ fn long_arrival_never_stalls_active_decodes() {
         ..SchedulerConfig::default()
     };
     let mut sched = Scheduler::with_pool(model(), cfg, &pool);
-    sched.submit(Request::greedy(vec![5, 6], 40)).unwrap();
+    sched
+        .submit(Request::builder(vec![5, 6]).max_new(40).build().unwrap())
+        .unwrap();
     sched.step();
-    sched.submit(Request::greedy(long_prompt(3), 5)).unwrap();
+    sched
+        .submit(Request::builder(long_prompt(3)).max_new(5).build().unwrap())
+        .unwrap();
     sched.step();
     assert_eq!(
         sched.stats().stalled_prefill_tokens as usize,

@@ -10,7 +10,7 @@ use std::sync::OnceLock;
 use anda_llm::kv::{KvPoolConfig, KvStorage};
 use anda_llm::zoo::{opt_125m_sim, sim_model};
 use anda_llm::Model;
-use anda_serve::{Request, SamplingMode, SamplingParams, Scheduler, SchedulerConfig};
+use anda_serve::{Request, Scheduler, SchedulerConfig};
 use rayon_lite::ThreadPool;
 
 fn model() -> &'static Model {
@@ -27,30 +27,21 @@ fn llama() -> &'static Model {
 /// sampled streams, one EOS user.
 fn workload() -> Vec<Request> {
     vec![
-        Request::greedy(vec![1, 2, 3], 10),
-        Request::greedy(vec![17], 6),
-        Request {
-            prompt: vec![400, 5, 77, 8],
-            prefix: None,
-            max_new: 8,
-            eos: None,
-            sampling: SamplingParams {
-                temperature: 0.9,
-                seed: 7,
-            },
-            mode: SamplingMode::Single,
-        },
-        Request {
-            prompt: vec![9, 9, 12],
-            prefix: None,
-            max_new: 12,
-            eos: Some(40),
-            sampling: SamplingParams {
-                temperature: 1.1,
-                seed: 99,
-            },
-            mode: SamplingMode::Single,
-        },
+        Request::builder([1, 2, 3]).max_new(10).build().unwrap(),
+        Request::builder([17]).max_new(6).build().unwrap(),
+        Request::builder([400, 5, 77, 8])
+            .max_new(8)
+            .temperature(0.9)
+            .seed(7)
+            .build()
+            .unwrap(),
+        Request::builder([9, 9, 12])
+            .max_new(12)
+            .eos(40)
+            .temperature(1.1)
+            .seed(99)
+            .build()
+            .unwrap(),
     ]
 }
 
@@ -80,8 +71,10 @@ fn run(
         let prefix: Vec<usize> = (0..16).map(|i| (i * 29 + 11) % 500).collect();
         sched.register_prefix("sys", prefix).unwrap();
     }
-    for r in workload() {
-        let r = if with_prefix { r.with_prefix("sys") } else { r };
+    for mut r in workload() {
+        if with_prefix {
+            r.prefix = Some("sys".into());
+        }
         sched.submit(r).unwrap();
     }
     let mut done = sched.run_to_completion();
@@ -158,7 +151,13 @@ fn shared_prefix_pages_decode_once_per_step() {
     for (i, &p) in prompts.iter().enumerate() {
         let prompt: Vec<usize> = (0..p).map(|j| (i * 31 + j * 13 + 5) % 500).collect();
         sched
-            .submit(Request::greedy(prompt, 6).with_prefix("sys"))
+            .submit(
+                Request::builder(prompt)
+                    .max_new(6)
+                    .prefix("sys")
+                    .build()
+                    .unwrap(),
+            )
             .unwrap();
     }
 

@@ -8,7 +8,7 @@ use std::sync::OnceLock;
 use anda_llm::kv::{KvPoolConfig, KvStorage, PagePool};
 use anda_llm::zoo::{opt_125m_sim, sim_model};
 use anda_llm::Model;
-use anda_serve::{Request, SamplingMode, SamplingParams, Scheduler, SchedulerConfig, SubmitError};
+use anda_serve::{Request, Scheduler, SchedulerConfig, SubmitError};
 use anda_tensor::Rng;
 use rayon_lite::ThreadPool;
 
@@ -47,29 +47,19 @@ fn reference(model: &Model, req: &Request, storage: KvStorage) -> Vec<usize> {
 
 fn workload() -> Vec<Request> {
     vec![
-        Request::greedy(vec![1, 2, 3], 12),
-        Request {
-            prompt: vec![400, 5],
-            prefix: None,
-            max_new: 9,
-            eos: None,
-            sampling: SamplingParams {
-                temperature: 0.9,
-                seed: 7,
-            },
-            mode: SamplingMode::Single,
-        },
-        Request {
-            prompt: vec![9, 9, 9, 12, 40],
-            prefix: None,
-            max_new: 15,
-            eos: None,
-            sampling: SamplingParams {
-                temperature: 1.2,
-                seed: 99,
-            },
-            mode: SamplingMode::Single,
-        },
+        Request::builder([1, 2, 3]).max_new(12).build().unwrap(),
+        Request::builder([400, 5])
+            .max_new(9)
+            .temperature(0.9)
+            .seed(7)
+            .build()
+            .unwrap(),
+        Request::builder([9, 9, 9, 12, 40])
+            .max_new(15)
+            .temperature(1.2)
+            .seed(99)
+            .build()
+            .unwrap(),
     ]
 }
 
@@ -144,18 +134,17 @@ fn anda_pool_admits_a_batch_fp32_accounting_rejects() {
     let anda = KvStorage::Anda { mantissa_bits: 5 };
 
     let reqs: Vec<Request> = (0..batch)
-        .map(|i| Request {
-            prompt: (0..prompt_len)
-                .map(|j| (i * 131 + j * 17 + 1) % cfg.vocab)
-                .collect(),
-            prefix: None,
-            max_new,
-            eos: None,
-            sampling: SamplingParams {
-                temperature: 0.8,
-                seed: i as u64,
-            },
-            mode: SamplingMode::Single,
+        .map(|i| {
+            Request::builder(
+                (0..prompt_len)
+                    .map(|j| (i * 131 + j * 17 + 1) % cfg.vocab)
+                    .collect::<Vec<_>>(),
+            )
+            .max_new(max_new)
+            .temperature(0.8)
+            .seed(i as u64)
+            .build()
+            .unwrap()
         })
         .collect();
 

@@ -10,7 +10,7 @@ use std::sync::OnceLock;
 use anda_llm::kv::{KvPoolConfig, KvStorage};
 use anda_llm::zoo::opt_125m_sim;
 use anda_llm::Model;
-use anda_serve::{Request, SamplingMode, SamplingParams, Scheduler, SchedulerConfig, SubmitError};
+use anda_serve::{Request, RequestError, SamplingMode, Scheduler, SchedulerConfig, SubmitError};
 
 fn model() -> &'static Model {
     static MODEL: OnceLock<Model> = OnceLock::new();
@@ -36,17 +36,14 @@ fn cfg(
 }
 
 fn request(prompt: Vec<usize>, max_new: usize, seed: u64, mode: SamplingMode) -> Request {
-    Request {
-        prompt,
-        prefix: None,
-        max_new,
-        eos: Some(40),
-        sampling: SamplingParams {
-            temperature: 0.9,
-            seed,
-        },
-        mode,
-    }
+    Request::builder(prompt)
+        .max_new(max_new)
+        .eos(40)
+        .temperature(0.9)
+        .seed(seed)
+        .mode(mode)
+        .build()
+        .unwrap()
 }
 
 fn prompt(tag: usize, len: usize) -> Vec<usize> {
@@ -195,10 +192,18 @@ fn sampling_stays_exact_across_eviction_under_pressure() {
 #[test]
 fn submit_validates_sample_counts() {
     let mut sched = Scheduler::new(model(), cfg(KvStorage::Fp16, 4, None, false));
+    // The builder rejects zero samples at build time; the scheduler
+    // still guards hand-built requests.
     assert_eq!(
-        sched.submit(request(vec![1, 2], 4, 0, SamplingMode::Parallel { n: 0 })),
-        Err(SubmitError::InvalidSampleCount)
+        Request::builder(vec![1, 2])
+            .parallel(0)
+            .build()
+            .unwrap_err(),
+        RequestError::ZeroSamples
     );
+    let mut zero = request(vec![1, 2], 4, 0, SamplingMode::Single);
+    zero.mode = SamplingMode::Parallel { n: 0 };
+    assert_eq!(sched.submit(zero), Err(SubmitError::InvalidSampleCount));
     assert_eq!(
         sched.submit(request(vec![1, 2], 4, 0, SamplingMode::BestOf { n: 5 })),
         Err(SubmitError::SamplesExceedBatch { n: 5, max_batch: 4 })
